@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T1 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t1_lesk_scaling(benchmark):
+    run_experiment_benchmark(benchmark, "T1")

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T2 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t2_lesk_eps(benchmark):
+    run_experiment_benchmark(benchmark, "T2")

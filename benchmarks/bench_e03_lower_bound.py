@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T3 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t3_lower_bound(benchmark):
+    run_experiment_benchmark(benchmark, "T3")

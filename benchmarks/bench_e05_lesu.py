@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T5 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t5_lesu(benchmark):
+    run_experiment_benchmark(benchmark, "T5")

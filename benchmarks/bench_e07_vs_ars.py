@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T7 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t7_vs_ars(benchmark):
+    run_experiment_benchmark(benchmark, "T7")

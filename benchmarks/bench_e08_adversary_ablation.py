@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T8 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t8_adversary_ablation(benchmark):
+    run_experiment_benchmark(benchmark, "T8")

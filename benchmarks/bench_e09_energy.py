@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T9 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t9_energy(benchmark):
+    run_experiment_benchmark(benchmark, "T9")

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment T10 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_t10_lemma_checks(benchmark):
+    run_experiment_benchmark(benchmark, "T10")

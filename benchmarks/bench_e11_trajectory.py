@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment F1 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_f1_trajectory(benchmark):
+    run_experiment_benchmark(benchmark, "F1")

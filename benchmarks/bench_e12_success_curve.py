@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment F2 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_f2_success_curve(benchmark):
+    run_experiment_benchmark(benchmark, "F2")

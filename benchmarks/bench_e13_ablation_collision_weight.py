@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A1 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a1_ablation_collision_weight(benchmark):
+    run_experiment_benchmark(benchmark, "A1")

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A2 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a2_ablation_lesu_c(benchmark):
+    run_experiment_benchmark(benchmark, "A2")

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A3 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a3_nocd_frontier(benchmark):
+    run_experiment_benchmark(benchmark, "A3")

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A4 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a4_ars_throughput(benchmark):
+    run_experiment_benchmark(benchmark, "A4")

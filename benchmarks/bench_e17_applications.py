@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A5 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a5_applications(benchmark):
+    run_experiment_benchmark(benchmark, "A5")

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A6 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a6_energy_frontier(benchmark):
+    run_experiment_benchmark(benchmark, "A6")

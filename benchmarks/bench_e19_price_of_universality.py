@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A7 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a7_price_of_universality(benchmark):
+    run_experiment_benchmark(benchmark, "A7")

@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A8 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a8_worst_case_search(benchmark):
+    run_experiment_benchmark(benchmark, "A8")

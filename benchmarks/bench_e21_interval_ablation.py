@@ -1,0 +1,7 @@
+"""Benchmark target regenerating experiment A9 (see DESIGN.md section 2)."""
+
+from conftest import run_experiment_benchmark
+
+
+def test_a9_interval_ablation(benchmark):
+    run_experiment_benchmark(benchmark, "A9")

@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the simulation engines themselves.
+
+Quantifies the guide-recommended algorithmic optimization: the fast engine
+samples the transmitter count ``k ~ Binomial(n, p)`` per slot (O(1) in n),
+while the faithful engine flips one coin per station per slot (O(n)).
+Both are benchmarked on identical LESK workloads, plus the budget
+enforcement hot path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.budget import JammingBudget
+from repro.adversary.suite import make_adversary
+from repro.core.config import ElectionConfig
+from repro.core.election import make_protocol_stations
+from repro.protocols.lesk import LESKPolicy
+from repro.sim.engine import simulate_stations
+from repro.sim.fast import simulate_uniform_fast
+from repro.types import CDMode
+
+N = 512
+EPS = 0.5
+T = 32
+
+
+def test_fast_engine_lesk(benchmark):
+    def run():
+        adv = make_adversary("saturating", T=T, eps=EPS)
+        return simulate_uniform_fast(
+            LESKPolicy(EPS), n=N, adversary=adv, max_slots=100_000, seed=11
+        )
+
+    result = benchmark(run)
+    assert result.elected
+
+
+def test_faithful_engine_lesk(benchmark):
+    def run():
+        config = ElectionConfig(n=N, protocol="lesk", eps=EPS, T=T)
+        stations = make_protocol_stations(config)
+        adv = make_adversary("saturating", T=T, eps=EPS)
+        return simulate_stations(
+            stations,
+            adversary=adv,
+            cd_mode=CDMode.STRONG,
+            max_slots=100_000,
+            seed=11,
+            stop_on_first_single=True,
+        )
+
+    result = benchmark(run)
+    assert result.elected
+
+
+@pytest.mark.parametrize("want_rate", [0.0, 0.5, 1.0])
+def test_budget_grant_throughput(benchmark, want_rate):
+    """The O(1)/slot claim of the (T, 1-eps) budget enforcement."""
+    slots = 50_000
+
+    def run():
+        budget = JammingBudget(T=64, eps=0.3)
+        period = max(1, int(1 / want_rate)) if want_rate else 0
+        granted = 0
+        for t in range(slots):
+            want = bool(period) and (t % period == 0)
+            granted += budget.grant(want)
+        return granted
+
+    benchmark(run)
+
+
+def test_fast_notification_engine(benchmark):
+    from repro.protocols.lesk import LESKPolicy
+    from repro.sim.fast_notification import simulate_notification_fast
+
+    def run():
+        adv = make_adversary("saturating", T=T, eps=EPS)
+        return simulate_notification_fast(
+            lambda: LESKPolicy(EPS), n=N, adversary=adv, max_slots=200_000, seed=11
+        )
+
+    result = benchmark(run)
+    assert result.elected
+
+
+def test_ars_fast_engine(benchmark):
+    from repro.protocols.baselines.ars_fast import simulate_ars_fast
+    from repro.protocols.baselines.ars_mac import ars_gamma
+
+    def run():
+        adv = make_adversary("saturating", T=T, eps=EPS)
+        return simulate_ars_fast(
+            N, ars_gamma(N, T), adv, max_slots=1_000_000, seed=11
+        )
+
+    result = benchmark(run)
+    assert result.elected
+
+
+def test_geometric_fast_engine(benchmark):
+    from repro.protocols.baselines.geometric_fast import simulate_geometric_fast
+
+    def run():
+        adv = make_adversary("none", T=T, eps=EPS)
+        return simulate_geometric_fast(N, adv, max_slots=100_000, seed=11)
+
+    result = benchmark(run)
+    assert result.elected

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Adversary workshop: build your own attack and watch LESK shrug.
+
+Theorem 2.6 quantifies over *every* (T, 1-eps)-bounded adaptive adversary,
+so the library makes authoring new ones a one-liner.  This walkthrough
+
+1. writes a custom strategy from scratch (a jammer that targets the
+   estimator's descent after overshoot),
+2. composes library strategies with combinators (union of the two
+   strongest adaptive attacks, a mode-cycling jammer),
+3. races them all against LESK and checks every run stays within the
+   Theorem 2.6 explicit slot bound.
+
+Run: python examples/adversary_workshop.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.adversary import (
+    Adversary,
+    AnyOf,
+    Alternating,
+    EstimatorAttacker,
+    SilenceMasker,
+    SingleSuppressor,
+    JammingStrategy,
+    check_bounded,
+)
+from repro.analysis.bounds import lesk_exact_slot_bound
+from repro.protocols.lesk import LESKPolicy
+from repro.sim.fast import simulate_uniform_fast
+
+N, EPS, T = 1024, 0.4, 32
+REPS = 20
+
+
+class DescentBlocker(JammingStrategy):
+    """Custom attack: only spend budget while the estimator is descending
+    toward the election band from above (u > log2 n), converting the
+    would-be silences that pull it down into collisions."""
+
+    name = "descent-blocker"
+
+    def wants_jam(self, view, rng) -> bool:
+        u = view.protocol_u
+        if math.isnan(u):
+            return False
+        return u > math.log2(view.n)
+
+
+def race(strategy: JammingStrategy) -> tuple[float, float, bool]:
+    slots, jams = [], []
+    bounded = True
+    for seed in range(REPS):
+        adv = Adversary(strategy, T=T, eps=EPS, seed=seed)
+        result = simulate_uniform_fast(
+            LESKPolicy(EPS), n=N, adversary=adv, max_slots=200_000, seed=seed,
+            record_trace=True,
+        )
+        assert result.elected, "LESK must always elect"
+        slots.append(result.slots)
+        jams.append(result.jams)
+        bounded &= check_bounded(result.trace.jammed_array(), T, EPS)
+        strategy.reset()
+    return float(np.median(slots)), float(np.mean(jams)), bounded
+
+
+def main() -> None:
+    contenders = {
+        "custom: descent-blocker": DescentBlocker(),
+        "union: suppressor|masker": AnyOf(SingleSuppressor(), SilenceMasker()),
+        "cycling: attacker/masker (T-phase)": Alternating(
+            [EstimatorAttacker(), SilenceMasker()], phase_length=T
+        ),
+    }
+    bound = lesk_exact_slot_bound(N, EPS)
+    print(f"n={N}, eps={EPS}, T={T}; Thm 2.6 explicit bound = {bound:.0f} slots\n")
+    print(f"{'strategy':38s} {'median slots':>12s} {'mean jams':>10s} {'legal':>6s}")
+    print("-" * 70)
+    for name, strategy in contenders.items():
+        med, jams, legal = race(strategy)
+        verdict = "ok" if legal else "VIOLATION"
+        print(f"{name:38s} {med:12.0f} {jams:10.1f} {verdict:>6s}")
+        assert med <= bound
+    print(
+        "\nEvery composed or hand-written attack stays (T,1-eps)-bounded by "
+        "construction\n(the harness clamps intent), and LESK stays within its "
+        "proven slot budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Sensor-network bring-up: size estimation -> k-selection -> fair TDMA.
+
+A deployment story using the paper's primitives as building blocks
+(Section 4): a field of sensors wakes up with no configuration and an
+interferer nearby.  The network
+
+1. approximates its own size from the estimator walk (nobody knows n),
+2. elects k = 3 cluster heads (k-selection),
+3. lets the first head impose a TDMA schedule and measures the fairness
+   of the resulting channel shares under continued jamming.
+
+Run: python examples/sensor_network.py
+"""
+
+from repro.applications import (
+    estimate_size_walk,
+    select_k_leaders,
+    simulate_fair_use,
+)
+
+N = 300  # true deployment size -- unknown to every sensor
+EPS, T = 0.5, 16
+JAMMER = "saturating"
+SEED = 2015
+
+
+def main() -> None:
+    print(f"Deployment: {N} sensors (size unknown to them), "
+          f"({T}, {1-EPS})-bounded '{JAMMER}' interferer\n")
+
+    est = estimate_size_walk(n=N, eps=EPS, T=T, adversary=JAMMER, seed=SEED)
+    print(
+        f"1. size approximation: ~2^{est.log2_estimate:.1f} = "
+        f"{est.n_estimate:.0f} sensors (truth {N}; bracket "
+        f"[{est.n_low:.0f}, {est.n_high:.0f}]) in {est.slots} slots, "
+        f"{est.jams} jammed"
+    )
+
+    ks = select_k_leaders(n=N, k=3, eps=EPS, T=T, adversary=JAMMER, seed=SEED)
+    print(
+        f"2. cluster heads: sensors {list(ks.leaders)} elected at slots "
+        f"{list(ks.win_slots)} ({ks.slots} slots total, {ks.jams} jammed)"
+    )
+
+    report = simulate_fair_use(
+        n=30, eps=EPS, T=T, adversary=JAMMER, cycles=10, seed=SEED
+    )
+    print(
+        f"3. TDMA under head {report.leader}: fairness (Jain) "
+        f"{report.tdma_fairness:.3f}, loss to jamming {report.tdma_loss:.0%} "
+        f"over {report.tdma_slots} slots"
+    )
+    print(
+        "\nThe interferer can deny bandwidth (loss ~ 1-eps) but can neither "
+        "prevent\ncoordination nor skew who gets the channel."
+    )
+
+
+if __name__ == "__main__":
+    main()

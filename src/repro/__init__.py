@@ -1,0 +1,40 @@
+"""repro -- reproduction of Klonowski & Pajak (SPAA 2015),
+"Electing a Leader in Wireless Networks Quickly Despite Jamming".
+
+A slotted single-hop radio-network simulator, the paper's jamming-resistant
+leader-election protocols (LESK, LESU, and their weak-CD Notification
+wrappers LEWK / LEWU), a suite of (T, 1-eps)-bounded adaptive jamming
+adversaries, the baselines the paper compares against, and an experiment
+harness that regenerates every quantitative claim of the paper.
+
+Quickstart::
+
+    from repro import elect_leader
+
+    result = elect_leader(n=1024, protocol="lesk", eps=0.5, T=32,
+                          adversary="single-suppressor", seed=42)
+    print(f"leader {result.leader} elected in {result.slots} slots "
+          f"({result.jams} jammed)")
+"""
+
+from repro.core.config import ElectionConfig, default_slot_budget
+from repro.core.election import elect_leader, run_selection_resolution
+from repro.sim.metrics import EnergyStats, RunResult
+from repro.types import Action, CDMode, ChannelState, PerceivedState, SlotFeedback
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "elect_leader",
+    "run_selection_resolution",
+    "ElectionConfig",
+    "default_slot_budget",
+    "RunResult",
+    "EnergyStats",
+    "ChannelState",
+    "PerceivedState",
+    "CDMode",
+    "Action",
+    "SlotFeedback",
+    "__version__",
+]

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``elect``      run one leader election and print the outcome
+``estimate``   approximate the network size from the estimator walk
+``kselect``    elect k distinct leaders
+``experiments``forward to ``repro.experiments.run_all``
+
+Examples::
+
+    python -m repro elect --n 1000 --protocol lewu --adversary saturating
+    python -m repro elect --n 4096 --eps 0.3 --T 64 --adversary single-suppressor --trace out.csv
+    python -m repro estimate --n 5000 --adversary silence-masker
+    python -m repro kselect --n 500 --k 3
+    python -m repro experiments --preset small --only T1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adversary.suite import strategy_names
+from repro.core.config import PROTOCOLS
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--n", type=int, required=True, help="number of stations")
+    p.add_argument("--eps", type=float, default=0.5, help="adversary eps (0, 1)")
+    p.add_argument("--T", type=int, default=16, help="adversary window parameter")
+    p.add_argument(
+        "--adversary",
+        default="none",
+        choices=strategy_names(),
+        help="jamming strategy",
+    )
+    p.add_argument("--seed", type=int, default=None)
+
+
+def _cmd_elect(args: argparse.Namespace) -> int:
+    from repro.core.election import elect_leader
+
+    result = elect_leader(
+        n=args.n,
+        protocol=args.protocol,
+        eps=args.eps,
+        T=args.T,
+        adversary=args.adversary,
+        seed=args.seed,
+        max_slots=args.max_slots,
+        record_trace=args.trace is not None,
+    )
+    if not result.elected:
+        print(f"no leader within {result.slots} slots (timed out)")
+        return 1
+    print(
+        f"leader: station {result.leader} of {args.n}\n"
+        f"slots:  {result.slots} ({result.jams} jammed, "
+        f"{result.jam_denied} jam requests denied)\n"
+        f"energy: {result.energy.transmissions} transmissions "
+        f"({result.energy.transmissions_per_station(args.n):.2f}/station)"
+    )
+    if args.trace is not None:
+        from repro.sim.trace_io import save_trace
+
+        save_trace(result.trace, args.trace)
+        print(f"trace:  {args.trace}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.applications.size_estimation import estimate_size_walk
+
+    est = estimate_size_walk(
+        n=args.n, eps=args.eps, T=args.T, adversary=args.adversary, seed=args.seed
+    )
+    print(
+        f"estimate: ~{est.n_estimate:.0f} stations "
+        f"(log2 = {est.log2_estimate:.2f}; bracket "
+        f"[{est.n_low:.0f}, {est.n_high:.0f}]; truth {args.n})\n"
+        f"slots:    {est.slots} ({est.jams} jammed)"
+    )
+    return 0
+
+
+def _cmd_kselect(args: argparse.Namespace) -> int:
+    from repro.applications.k_selection import select_k_leaders
+
+    result = select_k_leaders(
+        n=args.n, k=args.k, eps=args.eps, T=args.T,
+        adversary=args.adversary, seed=args.seed,
+    )
+    print(
+        f"leaders: {list(result.leaders)}\n"
+        f"won at:  {list(result.win_slots)}\n"
+        f"slots:   {result.slots} ({result.jams} jammed)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch a ``python -m repro`` command; returns the exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "experiments":
+        # Forward everything verbatim (argparse's REMAINDER does not accept
+        # leading optionals like --preset).
+        from repro.experiments.run_all import main as run_all_main
+
+        return run_all_main(argv[1:])
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("elect", help="run one leader election")
+    _add_model_args(p)
+    p.add_argument("--protocol", default="lesk", choices=sorted(PROTOCOLS))
+    p.add_argument("--max-slots", type=int, default=None)
+    p.add_argument("--trace", default=None, help="write the slot trace as CSV")
+    p.set_defaults(fn=_cmd_elect)
+
+    p = sub.add_parser("estimate", help="approximate the network size")
+    _add_model_args(p)
+    p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser("kselect", help="elect k distinct leaders")
+    _add_model_args(p)
+    p.add_argument("--k", type=int, required=True)
+    p.set_defaults(fn=_cmd_kselect)
+
+    sub.add_parser(
+        "experiments",
+        help="regenerate experiment tables (all arguments forwarded)",
+        add_help=False,
+    )
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

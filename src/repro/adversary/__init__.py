@@ -1,0 +1,64 @@
+"""(T, 1-eps)-bounded jamming adversary framework.
+
+The adversary of Section 1.1 is *adaptive*: it sees the entire history of
+the channel (and knows the protocol and the true network size ``n``) but
+must commit to its jamming decision for a slot before seeing the stations'
+actions in that slot.  It may jam at most ``(1-eps) * w`` slots out of any
+``w >= T`` contiguous slots.
+
+The framework separates *strategy* (what the adversary wants to do,
+:class:`JammingStrategy`) from *budget* (what it is allowed to do,
+:class:`JammingBudget`); :class:`Adversary` combines the two and is what
+the simulation engines consume.
+"""
+
+from repro.adversary.base import Adversary, AdversaryView, JammingStrategy
+from repro.adversary.combinators import AllOf, Alternating, AnyOf, Mixture, Not
+from repro.adversary.budget import JammingBudget
+from repro.adversary.oblivious import (
+    BurstJammer,
+    NoJamming,
+    PeriodicFrontJammer,
+    RandomJammer,
+    SaturatingJammer,
+    ScriptedJammer,
+)
+from repro.adversary.adaptive import (
+    CollisionForcer,
+    EstimatorAttacker,
+    ReactiveJammer,
+    SilenceMasker,
+    SingleSuppressor,
+)
+from repro.adversary.search import SearchResult, find_worst_pattern
+from repro.adversary.suite import STRATEGY_REGISTRY, make_adversary
+from repro.adversary.validation import check_bounded, max_window_violation
+
+__all__ = [
+    "Adversary",
+    "AdversaryView",
+    "JammingStrategy",
+    "JammingBudget",
+    "AnyOf",
+    "AllOf",
+    "Alternating",
+    "Mixture",
+    "Not",
+    "NoJamming",
+    "PeriodicFrontJammer",
+    "RandomJammer",
+    "BurstJammer",
+    "SaturatingJammer",
+    "ScriptedJammer",
+    "ReactiveJammer",
+    "EstimatorAttacker",
+    "SilenceMasker",
+    "SingleSuppressor",
+    "CollisionForcer",
+    "SearchResult",
+    "find_worst_pattern",
+    "STRATEGY_REGISTRY",
+    "make_adversary",
+    "check_bounded",
+    "max_window_violation",
+]

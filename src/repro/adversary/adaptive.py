@@ -1,0 +1,202 @@
+"""Adaptive (history-aware) jamming strategies.
+
+The theorems of the paper hold against *every* (T, 1-eps)-bounded adaptive
+adversary.  Since worst-case adversaries are existential objects, the
+reproduction instantiates the natural worst-case candidates -- strategies
+that use full knowledge of the protocol state (recomputable from public
+history, because the protocols are uniform) to spend the jamming budget
+where it hurts most:
+
+* :class:`SingleSuppressor` -- jam exactly when the probability of a
+  successful ``Single`` is high (greedy election prevention);
+* :class:`EstimatorAttacker` -- jam when the LESK estimator ``u`` is inside
+  its "regular band" around ``log2 n``, keeping it from settling there;
+* :class:`SilenceMasker` -- jam when a ``Null`` is likely, converting the
+  slot into an observed ``Collision``; this flips the estimator's only
+  downward force into an upward push and is the attack the asymmetric
+  ``1/a`` update is designed to survive (Section 2.1);
+* :class:`CollisionForcer` -- jam every slot whose natural outcome would
+  not already be a ``Collision``; the optimal simple attack against the
+  symmetric-update strawman of Section 2.1;
+* :class:`ReactiveJammer` -- jam as a function of the previous observed
+  state (models cheap reactive hardware, cf. Richa et al. [24]).
+
+Strategies fall back to requesting a jam when protocol state is
+unavailable (non-uniform baseline runs), which the budget then clamps to a
+saturating pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.adversary.base import AdversaryView, JammingStrategy
+from repro.errors import ConfigurationError
+from repro.types import ChannelState
+
+__all__ = [
+    "ReactiveJammer",
+    "SingleSuppressor",
+    "EstimatorAttacker",
+    "SilenceMasker",
+    "CollisionForcer",
+]
+
+
+def _p_single(n: int, p: float) -> float:
+    """Exact probability of a Single when n stations transmit w.p. p."""
+    if n <= 0 or p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0 if n == 1 else 0.0
+    return n * p * math.exp((n - 1) * math.log1p(-p))
+
+
+class ReactiveJammer(JammingStrategy):
+    """Jams iff the *previous* slot's observed state is in ``triggers``.
+
+    The default triggers on ``NULL``: a reactive device that senses an idle
+    channel and floods the next slot, starving protocols that rely on
+    silence feedback.
+    """
+
+    name = "reactive"
+
+    def __init__(self, triggers: Iterable[ChannelState] = (ChannelState.NULL,)) -> None:
+        self.triggers = frozenset(ChannelState(t) for t in triggers)
+        if not self.triggers:
+            raise ConfigurationError("ReactiveJammer needs at least one trigger state")
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        if view.slot == 0:
+            return False
+        return view.trace.observed_state(view.slot - 1) in self.triggers
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(t.name for t in self.triggers))
+        return f"ReactiveJammer(triggers={names})"
+
+
+class SingleSuppressor(JammingStrategy):
+    """Greedy election prevention: jam when ``P[Single]`` exceeds a threshold.
+
+    Recomputes the exact Single probability from the protocol's current
+    transmission probability (public information for uniform protocols) and
+    spends budget only on dangerous slots.  ``threshold`` trades budget
+    thriftiness against coverage; the default 0.01 jams every slot in which
+    an election is at all likely.
+    """
+
+    name = "single-suppressor"
+
+    def __init__(self, threshold: float = 0.01) -> None:
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in [0,1], got {threshold}")
+        self.threshold = float(threshold)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        p = view.transmit_probability
+        if math.isnan(p):
+            return True  # unknown protocol state: saturate
+        return _p_single(view.n, p) >= self.threshold
+
+
+class EstimatorAttacker(JammingStrategy):
+    """Attacks LESK's estimator walk: jam whenever ``u`` is within
+    ``margin`` of ``log2 n``.
+
+    Inside this band every non-jammed slot has constant Single probability
+    (Lemma 2.4), so the adversary's best use of budget is to deny exactly
+    these slots; outside the band it lets the walk drift for free.
+    """
+
+    name = "estimator-attacker"
+
+    def __init__(self, margin: float = 3.0) -> None:
+        if margin <= 0:
+            raise ConfigurationError(f"margin must be > 0, got {margin}")
+        self.margin = float(margin)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        u = view.protocol_u
+        if math.isnan(u):
+            return True  # unknown protocol state: saturate
+        u0 = math.log2(view.n) if view.n > 0 else 0.0
+        return abs(u - u0) <= self.margin
+
+    def __repr__(self) -> str:
+        return f"EstimatorAttacker(margin={self.margin})"
+
+
+class SilenceMasker(JammingStrategy):
+    """Converts likely silences into observed collisions.
+
+    Jams when ``P[Null]`` given the current transmission probability is at
+    least ``threshold``.  Each granted jam turns a would-be ``Null``
+    (estimator decrease by 1) into an observed ``Collision`` (increase by
+    ``1/a``): the strategy tries to make the estimator diverge upward,
+    which is exactly what would kill a symmetric-update protocol
+    (Section 2.1) and what LESK's asymmetric update neutralizes.
+    """
+
+    name = "silence-masker"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in [0,1], got {threshold}")
+        self.threshold = float(threshold)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        p = view.transmit_probability
+        if math.isnan(p):
+            return True  # unknown protocol state: saturate
+        if p <= 0.0:
+            p_null = 1.0
+        elif p >= 1.0:
+            p_null = 0.0
+        else:
+            p_null = math.exp(view.n * math.log1p(-p))
+        return p_null >= self.threshold
+
+    def __repr__(self) -> str:
+        return f"SilenceMasker(threshold={self.threshold})"
+
+
+class CollisionForcer(JammingStrategy):
+    """Jams whenever a collision is not already the likely outcome.
+
+    The strongest simple attack against *symmetric* estimator updates
+    (Section 2.1's strawman): by converting both likely-``Null`` and
+    likely-``Single`` slots into observed collisions, every slot pushes a
+    symmetric walk up by +1 -- with ``eps < 1/2`` the walk diverges and the
+    strawman never elects.  Against LESK the same strategy is neutralized:
+    jammed slots are worth only ``+1/a = eps/8`` and the budget-mandated
+    clear slots let genuine silences pull the walk back.
+    """
+
+    name = "collision-forcer"
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in [0,1], got {threshold}")
+        self.threshold = float(threshold)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        p = view.transmit_probability
+        if math.isnan(p):
+            return True  # unknown protocol state: saturate
+        if p <= 0.0:
+            p_coll = 0.0
+        elif p >= 1.0:
+            p_coll = 1.0 if view.n >= 2 else 0.0
+        else:
+            p_null = math.exp(view.n * math.log1p(-p))
+            p_single = view.n * p * math.exp((view.n - 1) * math.log1p(-p))
+            p_coll = max(0.0, 1.0 - p_null - p_single)
+        return p_coll < self.threshold
+
+    def __repr__(self) -> str:
+        return f"CollisionForcer(threshold={self.threshold})"

@@ -1,0 +1,201 @@
+"""Online enforcement of the (T, 1-eps) jamming constraint.
+
+Definition (Section 1.1): the adversary may jam at most ``(1-eps) * w`` out
+of any ``w >= T`` contiguous time slots, for ``0 < eps < 1``.
+
+Online enforcement
+------------------
+Let ``J[s]`` be the number of jammed slots among slots ``0 .. s-1`` (prefix
+count).  The constraint over every *realized* window ``[s, e)`` with
+``e - s >= T`` is ``J[e] - J[s] <= (1-eps) * (e - s)``.
+
+Because the run length is not known in advance (the run ends when a leader
+is elected), a sound online rule must also keep every *future* window
+satisfiable.  A window ``[s, e)`` that contains the current slot ``t`` can
+always be satisfied by refraining from jamming after ``t``; the binding
+requirement at grant time is therefore, for every start ``s <= t``::
+
+    jams in [s, t+1)  <=  (1-eps) * max(t+1-s, T)
+
+i.e. windows shorter than ``T`` are padded to length ``T``.  Splitting on
+whether ``t+1-s >= T`` gives two O(1)-per-slot checks:
+
+* **(A) padded windows** (``s > t+1-T``): the count of jams in the trailing
+  ``min(T, t+1)`` slots, including the requested one, must not exceed
+  ``(1-eps) * T``.  Since ``J`` is non-decreasing the tightest start is the
+  earliest one, so a single comparison with ``J[max(0, t+2-T)]`` suffices
+  (maintained with a rolling buffer of the last ``T`` prefix counts).
+* **(B) full windows** (``s <= t+1-T``): with the potential
+  ``phi[s] = J[s] - (1-eps) * s`` the constraint reads
+  ``phi[t+1] <= min_{s <= t+1-T} phi[s]``; the right-hand side is a lagged
+  running minimum updated in O(1) per slot.
+
+Every window of the finished run ends at some slot, so granting jams only
+when (A) and (B) hold guarantees the final jam sequence is
+(T, 1-eps)-bounded (verified post-hoc by
+:func:`repro.adversary.validation.check_bounded`).  The rule is marginally
+conservative for runs that end before a final partial window closes; this
+is the sound side of the definition and is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.errors import BudgetViolationError, ConfigurationError
+
+__all__ = ["JammingBudget"]
+
+
+class JammingBudget:
+    """Tracks jams granted so far and answers "may the adversary jam now?".
+
+    Parameters
+    ----------
+    T:
+        Window-size parameter of the adversary, ``T >= 1``.
+    eps:
+        Fraction of each window that must remain un-jammed, ``0 < eps < 1``.
+        (``eps = 1`` is accepted and means "no jamming allowed at all in any
+        window of length >= T", the degenerate limit.)
+    strict:
+        If true, :meth:`grant` raises :class:`BudgetViolationError` when a
+        jam is requested but not allowed; otherwise it clamps silently.
+    """
+
+    def __init__(self, T: int, eps: float, strict: bool = False) -> None:
+        if T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {T}")
+        if not (0.0 < eps <= 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+        self.T = int(T)
+        self.eps = float(eps)
+        self.strict = strict
+        self._rate = 1.0 - self.eps  # allowed jam fraction per window
+        self._slot = 0  # next slot to be decided
+        self._jams = 0  # J[slot]: jams granted so far
+        self._denied = 0  # requests clamped (non-strict mode)
+        # Rolling buffer of prefix counts J[s] for s in [slot-T+1, slot]
+        # (most recent last).  Seeded with J[0] = 0.
+        self._recent_prefix: deque[int] = deque([0], maxlen=self.T)
+        # Lagged minimum of phi[s] = J[s] - rate*s over s <= slot - T + 1
+        # ... maintained so that when deciding slot t it covers s <= t+1-T.
+        self._min_phi_lagged = math.inf
+        # phi values waiting to age into the lagged minimum: phi[s] enters
+        # once s <= (t+1) - T, i.e. T slots after being produced.
+        self._pending_phi: deque[float] = deque([0.0])  # phi[0] = 0
+        # Number of phi values already folded into the lagged minimum; the
+        # index of the first pending phi value is exactly this count.
+        self._folded = 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        """Index of the next slot to be decided."""
+        return self._slot
+
+    @property
+    def jams_granted(self) -> int:
+        return self._jams
+
+    @property
+    def denied_requests(self) -> int:
+        return self._denied
+
+    def can_jam(self) -> bool:
+        """Would a jam request for the current slot be granted?"""
+        return self._allowed(jam=True)
+
+    def grant(self, want_jam: bool) -> bool:
+        """Decide the current slot and advance to the next one.
+
+        Returns the granted jam flag (clamped to the budget).  Must be
+        called exactly once per slot, in slot order.
+        """
+        granted = bool(want_jam) and self._allowed(jam=True)
+        if want_jam and not granted:
+            if self.strict:
+                raise BudgetViolationError(
+                    f"jam request at slot {self._slot} exceeds (T={self.T}, "
+                    f"1-eps={self._rate:.4g}) budget"
+                )
+            self._denied += 1
+        self._advance(granted)
+        return granted
+
+    # -- internals ----------------------------------------------------------
+
+    def _allowed(self, jam: bool) -> bool:
+        """Check conditions (A) and (B) for deciding the current slot."""
+        t = self._slot
+        new_prefix = self._jams + (1 if jam else 0)  # J[t+1]
+        # (A) padded trailing window: jams among the last min(T, t+1) slots.
+        # self._recent_prefix[0] == J[max(0, t+1-(T-1))] == J[max(0, t+2-T)].
+        oldest = self._recent_prefix[0]
+        if new_prefix - oldest > self._rate * self.T + 1e-12:
+            return False
+        # (B) all full windows ending at t+1.
+        phi_new = new_prefix - self._rate * (t + 1)
+        min_phi = self._lagged_min_for_end(t + 1)
+        if phi_new > min_phi + 1e-12:
+            return False
+        return True
+
+    def _lagged_min_for_end(self, end: int) -> float:
+        """min over s <= end - T of phi[s]; +inf when no full window exists."""
+        if end < self.T:
+            return math.inf
+        # phi[s] values for s = 0 .. end-T must have been folded in.  The
+        # pending deque holds phi[s] for s > (previously folded horizon).
+        horizon = end - self.T  # largest s to include
+        # Number of phi values produced so far is self._slot + 1 (phi[0..slot]).
+        # Fold in pending values whose index <= horizon.
+        while self._pending_phi and self._first_pending_index() <= horizon:
+            self._min_phi_lagged = min(self._min_phi_lagged, self._pending_phi.popleft())
+            self._folded += 1
+        return self._min_phi_lagged
+
+    def _first_pending_index(self) -> int:
+        return self._folded
+
+    def _advance(self, granted: bool) -> None:
+        self._jams += 1 if granted else 0
+        self._slot += 1
+        self._recent_prefix.append(self._jams)  # J[slot]
+        self._pending_phi.append(self._jams - self._rate * self._slot)  # phi[slot]
+
+    # -- introspection -------------------------------------------------------
+
+    def headroom(self) -> int:
+        """Maximum number of consecutive jams grantable starting now.
+
+        Computed by simulating grants on a copy; cost O(answer).
+        """
+        clone = self.copy()
+        count = 0
+        while clone.can_jam():
+            clone.grant(True)
+            count += 1
+            if count > clone.T + 1:  # can never exceed (1-eps)T consecutive
+                break
+        return count
+
+    def copy(self) -> "JammingBudget":
+        """Deep copy of the budget state (used by :meth:`headroom`)."""
+        clone = JammingBudget(self.T, self.eps, strict=self.strict)
+        clone._slot = self._slot
+        clone._jams = self._jams
+        clone._denied = self._denied
+        clone._recent_prefix = deque(self._recent_prefix, maxlen=self.T)
+        clone._min_phi_lagged = self._min_phi_lagged
+        clone._pending_phi = deque(self._pending_phi)
+        clone._folded = self._folded
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JammingBudget(T={self.T}, eps={self.eps}, slot={self._slot}, "
+            f"jams={self._jams})"
+        )

@@ -1,0 +1,162 @@
+"""Strategy combinators: build richer adversaries from simple ones.
+
+Theorem 2.6 quantifies over *all* (T, 1-eps)-bounded adversaries, so the
+more corners of strategy space we can reach, the stronger the empirical
+evidence.  Combinators compose registered strategies without touching the
+budget machinery (composition happens at the *intent* level; the harness
+still clamps the result):
+
+* :class:`AnyOf` -- jam when any sub-strategy wants to (union of attacks);
+* :class:`AllOf` -- jam only when all sub-strategies agree (conserves
+  budget for slots that are dangerous by every measure);
+* :class:`Alternating` -- switch between phases of fixed length (models
+  a jammer that cycles attack modes to evade characterization);
+* :class:`Mixture` -- pick a sub-strategy per slot at random (annealing
+  over attack modes);
+* :class:`Not` -- complement (useful for constructing control groups in
+  experiments, e.g. "jam exactly the slots X would spare").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.adversary.base import AdversaryView, JammingStrategy
+from repro.errors import ConfigurationError
+
+__all__ = ["AnyOf", "AllOf", "Alternating", "Mixture", "Not"]
+
+
+def _check_children(children: Sequence[JammingStrategy]) -> tuple[JammingStrategy, ...]:
+    children = tuple(children)
+    if not children:
+        raise ConfigurationError("combinator needs at least one sub-strategy")
+    return children
+
+
+class AnyOf(JammingStrategy):
+    """Jam iff *any* sub-strategy requests it."""
+
+    name = "any-of"
+
+    def __init__(self, *children: JammingStrategy) -> None:
+        self.children = _check_children(children)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        # Evaluate all children (no short-circuit) so stateful children see
+        # every slot.
+        return any([c.wants_jam(view, rng) for c in self.children])
+
+    def reset(self) -> None:
+        for c in self.children:
+            c.reset()
+
+    def __repr__(self) -> str:
+        return f"AnyOf({', '.join(map(repr, self.children))})"
+
+
+class AllOf(JammingStrategy):
+    """Jam iff *every* sub-strategy requests it."""
+
+    name = "all-of"
+
+    def __init__(self, *children: JammingStrategy) -> None:
+        self.children = _check_children(children)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        return all([c.wants_jam(view, rng) for c in self.children])
+
+    def reset(self) -> None:
+        for c in self.children:
+            c.reset()
+
+    def __repr__(self) -> str:
+        return f"AllOf({', '.join(map(repr, self.children))})"
+
+
+class Alternating(JammingStrategy):
+    """Cycle through sub-strategies in fixed-length phases.
+
+    Phase ``floor(slot / phase_length) mod len(children)`` is active; the
+    inactive children still observe the slot (their state advances) so a
+    reactivated child is not stale.
+    """
+
+    name = "alternating"
+
+    def __init__(self, children: Sequence[JammingStrategy], phase_length: int) -> None:
+        self.children = _check_children(children)
+        if phase_length < 1:
+            raise ConfigurationError(f"phase_length must be >= 1, got {phase_length}")
+        self.phase_length = int(phase_length)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        votes = [c.wants_jam(view, rng) for c in self.children]
+        active = (view.slot // self.phase_length) % len(self.children)
+        return votes[active]
+
+    def reset(self) -> None:
+        for c in self.children:
+            c.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"Alternating({', '.join(map(repr, self.children))}, "
+            f"phase_length={self.phase_length})"
+        )
+
+
+class Mixture(JammingStrategy):
+    """Delegate each slot to a randomly drawn sub-strategy.
+
+    ``weights`` defaults to uniform.  All children observe every slot.
+    """
+
+    name = "mixture"
+
+    def __init__(
+        self,
+        children: Sequence[JammingStrategy],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        self.children = _check_children(children)
+        if weights is None:
+            weights = [1.0] * len(self.children)
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if weights.shape != (len(self.children),) or np.any(weights < 0) or weights.sum() <= 0:
+            raise ConfigurationError(
+                "weights must be non-negative, match the children, and not all be zero"
+            )
+        self.weights = weights / weights.sum()
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        votes = [c.wants_jam(view, rng) for c in self.children]
+        choice = int(rng.choice(len(self.children), p=self.weights))
+        return votes[choice]
+
+    def reset(self) -> None:
+        for c in self.children:
+            c.reset()
+
+    def __repr__(self) -> str:
+        return f"Mixture({', '.join(map(repr, self.children))})"
+
+
+class Not(JammingStrategy):
+    """Request exactly the slots the wrapped strategy would spare."""
+
+    name = "not"
+
+    def __init__(self, child: JammingStrategy) -> None:
+        self.child = child
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        return not self.child.wants_jam(view, rng)
+
+    def reset(self) -> None:
+        self.child.reset()
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"

@@ -1,0 +1,155 @@
+"""Oblivious (history-independent) jamming strategies.
+
+These strategies fix their jam pattern as a function of the slot index
+only.  They include the exact lower-bound construction of Lemma 2.7: jam
+the first ``floor((1-eps) * T)`` slots of every window of ``T`` consecutive
+slots, which forces any w.h.p. leader-election algorithm to run for
+``Omega(max{T, (1/eps) * log n})`` slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import AdversaryView, JammingStrategy
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NoJamming",
+    "PeriodicFrontJammer",
+    "RandomJammer",
+    "BurstJammer",
+    "SaturatingJammer",
+    "ScriptedJammer",
+]
+
+
+class NoJamming(JammingStrategy):
+    """Never jams.  The baseline 'no adversary' environment."""
+
+    name = "none"
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        return False
+
+
+class PeriodicFrontJammer(JammingStrategy):
+    """Lemma 2.7 construction: jam the first ``floor((1-eps)*T)`` slots of
+    every block of ``T`` consecutive slots.
+
+    With this pattern only ``ceil(eps*T)`` slots per block are usable, so an
+    algorithm needing ``c log n`` clear slots needs
+    ``Omega(max{T, (1/eps) log n})`` slots in total.
+    """
+
+    name = "periodic-front"
+
+    def __init__(self, T: int, eps: float) -> None:
+        if T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {T}")
+        if not (0.0 < eps <= 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+        self.T = int(T)
+        self.jam_prefix = int((1.0 - eps) * self.T)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        return (view.slot % self.T) < self.jam_prefix
+
+    def __repr__(self) -> str:
+        return f"PeriodicFrontJammer(T={self.T}, jam_prefix={self.jam_prefix})"
+
+
+class RandomJammer(JammingStrategy):
+    """Jams each slot independently with probability *rate*.
+
+    Models incidental interference from co-existing networks (Section 1).
+    Requests exceeding the budget are clamped by the harness, so any
+    ``rate`` in [0, 1] is safe; ``rate <= 1-eps`` rarely hits the clamp.
+    """
+
+    name = "random"
+
+    def __init__(self, rate: float) -> None:
+        if not (0.0 <= rate <= 1.0):
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.rate)
+
+    def __repr__(self) -> str:
+        return f"RandomJammer(rate={self.rate})"
+
+
+class BurstJammer(JammingStrategy):
+    """Alternates long jam bursts with idle stretches.
+
+    Jams ``burst`` consecutive slots, then stays quiet for ``gap`` slots.
+    Captures duty-cycled jammers that save energy between attacks.
+    """
+
+    name = "burst"
+
+    def __init__(self, burst: int, gap: int, offset: int = 0) -> None:
+        if burst < 0 or gap < 0 or burst + gap == 0:
+            raise ConfigurationError(
+                f"need burst >= 0, gap >= 0, burst+gap > 0; got {burst}, {gap}"
+            )
+        self.burst = int(burst)
+        self.gap = int(gap)
+        self.offset = int(offset)
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        phase = (view.slot + self.offset) % (self.burst + self.gap)
+        return phase < self.burst
+
+    def __repr__(self) -> str:
+        return f"BurstJammer(burst={self.burst}, gap={self.gap})"
+
+
+class SaturatingJammer(JammingStrategy):
+    """Requests a jam in *every* slot; the budget harness grants as many as
+    the (T, 1-eps) constraint permits.
+
+    This realizes the maximal-energy adversary: the granted pattern is the
+    lexicographically earliest jam sequence compatible with the budget
+    (note its long-run density can sit strictly below ``1-eps``: the
+    definition constrains *every* window length ``w >= T``, and odd
+    lengths round ``(1-eps) * w`` down).  It is the
+    harshest *oblivious* environment and a useful stress test, though not
+    always the *smartest* use of the budget (see
+    :mod:`repro.adversary.adaptive`).
+    """
+
+    name = "saturating"
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        return True
+
+
+class ScriptedJammer(JammingStrategy):
+    """Replays a fixed jam script (slot -> bool), cycling if exhausted.
+
+    Debugging and testing tool: lets tests and bug reports pin the exact
+    jam pattern a run experienced (e.g. one recovered from a trace via
+    ``ChannelTrace.jammed_array()``).  Also the vehicle for
+    hypothesis-generated arbitrary patterns in the property tests.
+    """
+
+    name = "scripted"
+
+    def __init__(self, script, cycle: bool = False) -> None:
+        self.script = [bool(x) for x in script]
+        if not self.script:
+            raise ConfigurationError("script must be non-empty")
+        self.cycle = cycle
+
+    def wants_jam(self, view: AdversaryView, rng: np.random.Generator) -> bool:
+        if view.slot < len(self.script):
+            return self.script[view.slot]
+        if self.cycle:
+            return self.script[view.slot % len(self.script)]
+        return False
+
+    def __repr__(self) -> str:
+        return f"ScriptedJammer(len={len(self.script)}, cycle={self.cycle})"

@@ -1,0 +1,68 @@
+"""Named registry of jamming strategies for experiments and the CLI.
+
+Experiments refer to strategies by short names (``"none"``,
+``"saturating"``, ``"single-suppressor"``, ...) so that tables are
+self-describing; :func:`make_adversary` builds a fully configured
+:class:`~repro.adversary.base.Adversary` from such a name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adversary.adaptive import (
+    CollisionForcer,
+    EstimatorAttacker,
+    ReactiveJammer,
+    SilenceMasker,
+    SingleSuppressor,
+)
+from repro.adversary.base import Adversary, JammingStrategy
+from repro.adversary.oblivious import (
+    BurstJammer,
+    NoJamming,
+    PeriodicFrontJammer,
+    RandomJammer,
+    SaturatingJammer,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["STRATEGY_REGISTRY", "make_adversary", "strategy_names"]
+
+# Factories take (T, eps) so that strategies which depend on the adversary
+# parameters (e.g. the Lemma 2.7 front jammer) are configured consistently.
+STRATEGY_REGISTRY: dict[str, Callable[[int, float], JammingStrategy]] = {
+    "none": lambda T, eps: NoJamming(),
+    "periodic-front": lambda T, eps: PeriodicFrontJammer(T, eps),
+    "random": lambda T, eps: RandomJammer(rate=min(1.0, 1.0 - eps + 0.05)),
+    "burst": lambda T, eps: BurstJammer(
+        burst=max(1, int((1.0 - eps) * T)), gap=max(1, T - int((1.0 - eps) * T))
+    ),
+    "saturating": lambda T, eps: SaturatingJammer(),
+    "reactive": lambda T, eps: ReactiveJammer(),
+    "single-suppressor": lambda T, eps: SingleSuppressor(),
+    "estimator-attacker": lambda T, eps: EstimatorAttacker(),
+    "silence-masker": lambda T, eps: SilenceMasker(),
+    "collision-forcer": lambda T, eps: CollisionForcer(),
+}
+
+
+def strategy_names() -> list[str]:
+    """All registered strategy names, in registry order."""
+    return list(STRATEGY_REGISTRY)
+
+
+def make_adversary(
+    name: str,
+    T: int,
+    eps: float,
+    seed: int | None = None,
+    strict: bool = False,
+) -> Adversary:
+    """Build a budget-enforced adversary from a registry name."""
+    try:
+        factory = STRATEGY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGY_REGISTRY))
+        raise ConfigurationError(f"unknown strategy {name!r}; known: {known}") from None
+    return Adversary(factory(T, eps), T=T, eps=eps, seed=seed, strict=strict)

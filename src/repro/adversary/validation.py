@@ -1,0 +1,94 @@
+"""Post-hoc validation of jam sequences against the paper's definition.
+
+:func:`check_bounded` verifies the *exact* definition of a
+(T, 1-eps)-bounded adversary -- at most ``(1-eps) * w`` jams in every
+realized window of ``w >= T`` contiguous slots -- in O(len * ...) using a
+prefix-sum reformulation that is O(len) per window length class, and
+overall O(len) via the potential argument below.
+
+Used by property-based tests to certify that the online budget
+(:class:`repro.adversary.budget.JammingBudget`) never lets a violation
+through, and by experiments to report realized jam intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["check_bounded", "max_window_violation", "WindowViolation"]
+
+
+@dataclass(frozen=True, slots=True)
+class WindowViolation:
+    """Description of the worst offending window, if any."""
+
+    start: int
+    end: int  # exclusive
+    jams: int
+    allowed: float
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def _prefix(jams: np.ndarray) -> np.ndarray:
+    j = np.asarray(jams, dtype=np.int64)
+    out = np.zeros(len(j) + 1, dtype=np.int64)
+    np.cumsum(j, out=out[1:])
+    return out
+
+
+def max_window_violation(
+    jams: "np.ndarray | list[bool]", T: int, eps: float
+) -> WindowViolation | None:
+    """Return the worst-violating window ``[s, e)`` with ``e - s >= T``,
+    or ``None`` if the sequence is (T, 1-eps)-bounded.
+
+    The check maximizes ``J[e] - J[s] - (1-eps)(e - s)`` over ``e - s >= T``.
+    Writing ``phi[i] = J[i] - (1-eps) * i``, this is
+    ``max_e (phi[e] - min_{s <= e-T} phi[s])``, computable in one pass with
+    a lagged running minimum -- the same potential used by the online
+    budget, here applied to the completed sequence.
+    """
+    if T < 1:
+        raise ConfigurationError(f"T must be >= 1, got {T}")
+    if not (0.0 < eps <= 1.0):
+        raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+    J = _prefix(np.asarray(jams, dtype=bool))
+    L = len(J) - 1
+    if L < T:
+        return None  # no realized window of length >= T
+    rate = 1.0 - eps
+    phi = J - rate * np.arange(L + 1)
+    # prefix minima of phi and their argmins, lagged by T.
+    prefix_min = np.minimum.accumulate(phi)
+    # argmin tracking
+    argmin = np.zeros(L + 1, dtype=np.int64)
+    best = phi[0]
+    bi = 0
+    for i in range(1, L + 1):
+        if phi[i] < best:
+            best = phi[i]
+            bi = i
+        argmin[i] = bi
+    ends = np.arange(T, L + 1)
+    slack = phi[ends] - prefix_min[ends - T]
+    worst = int(np.argmax(slack))
+    # Tolerance: (1-eps)*w is real-valued; the definition "at most (1-eps)w"
+    # permits equality, so only strict excess (beyond float noise) counts.
+    if slack[worst] <= 1e-9:
+        return None
+    e = int(ends[worst])
+    s = int(argmin[e - T])
+    jams_in = int(J[e] - J[s])
+    return WindowViolation(start=s, end=e, jams=jams_in, allowed=rate * (e - s))
+
+
+def check_bounded(jams: "np.ndarray | list[bool]", T: int, eps: float) -> bool:
+    """True iff the jam sequence satisfies the (T, 1-eps) definition."""
+    return max_window_violation(jams, T, eps) is None

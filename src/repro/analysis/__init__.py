@@ -1,0 +1,59 @@
+"""Executable form of the paper's analysis (Sections 2.2-2.3).
+
+* :mod:`repro.analysis.probabilities` -- exact channel-state probabilities
+  and the Lemma 2.1 bounds.
+* :mod:`repro.analysis.chernoff` -- the Chernoff bound of Fact 1.
+* :mod:`repro.analysis.slot_classes` -- IS/IC/CS/CC/E/R slot
+  classification and the Lemma 2.3 counter relations.
+* :mod:`repro.analysis.bounds` -- closed-form runtime bounds of
+  Theorems 2.6/2.9/3.2/3.3 and the Lemma 2.7 lower bound.
+* :mod:`repro.analysis.walks` -- drift analysis of the estimator walk.
+* :mod:`repro.analysis.estimators` -- empirical statistics for the
+  experiment harness (Wilson intervals, bootstrap, scaling fits).
+"""
+
+from repro.analysis.bounds import (
+    estimation_result_bounds,
+    lesk_exact_slot_bound,
+    lesk_time_bound,
+    lesu_time_bound,
+    lower_bound,
+    notification_time_bound,
+)
+from repro.analysis.chernoff import binomial_upper_tail
+from repro.analysis.probabilities import (
+    collision_upper_bound,
+    null_upper_bound,
+    p_collision,
+    p_null,
+    p_single,
+    regular_single_lower_bound,
+    single_lower_bound_exp,
+    single_lower_bound_poly,
+)
+from repro.analysis.slot_classes import SlotClass, SlotCounts, classify_slots
+from repro.analysis.walks import equilibrium_u, expected_drift, predict_election_median
+
+__all__ = [
+    "p_null",
+    "p_single",
+    "p_collision",
+    "null_upper_bound",
+    "collision_upper_bound",
+    "single_lower_bound_exp",
+    "single_lower_bound_poly",
+    "regular_single_lower_bound",
+    "binomial_upper_tail",
+    "SlotClass",
+    "SlotCounts",
+    "classify_slots",
+    "lesk_time_bound",
+    "lesk_exact_slot_bound",
+    "lesu_time_bound",
+    "notification_time_bound",
+    "lower_bound",
+    "estimation_result_bounds",
+    "expected_drift",
+    "equilibrium_u",
+    "predict_election_median",
+]

@@ -1,0 +1,121 @@
+"""Terminal plotting for traces and experiment series.
+
+The reproduction is plotting-library-free by design (no matplotlib in the
+dependency set); figure-series experiments export CSV for external tools
+and render quick-look ASCII charts for the terminal:
+
+* :func:`sparkline` -- a one-line summary of a series;
+* :func:`line_chart` -- a multi-row block chart with y-axis labels and an
+  optional horizontal reference line (e.g. ``log2 n`` for estimator
+  trajectories);
+* :func:`histogram` -- horizontal-bar counts (e.g. election-time
+  distributions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "line_chart", "histogram"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _as_series(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("need a non-empty 1-D series")
+    if not np.isfinite(arr).all():
+        raise ConfigurationError("series contains non-finite values")
+    return arr
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line unicode sparkline, resampled to *width* characters."""
+    arr = _as_series(values)
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    idx = np.linspace(0, arr.size - 1, min(width, arr.size)).astype(int)
+    sampled = arr[idx]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    if hi == lo:
+        return _SPARK_LEVELS[0] * sampled.size
+    levels = ((sampled - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).round()
+    return "".join(_SPARK_LEVELS[int(v)] for v in levels)
+
+
+def line_chart(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    y_max: float | None = None,
+    reference: float | None = None,
+    reference_label: str = "",
+) -> str:
+    """Block chart of a series with labelled y-axis.
+
+    Parameters
+    ----------
+    values:
+        The series (x is its index).
+    width, height:
+        Character dimensions of the plot area.
+    y_max:
+        Top of the y-axis (default: series maximum).
+    reference:
+        Draw a marker on the row closest to this y-value (e.g. ``log2 n``).
+    reference_label:
+        Text appended to the reference row.
+    """
+    arr = _as_series(values)
+    if width < 1 or height < 2:
+        raise ConfigurationError("need width >= 1 and height >= 2")
+    top = float(y_max) if y_max is not None else float(max(arr.max(), 1e-12))
+    if top <= 0:
+        raise ConfigurationError(f"y_max must be > 0, got {top}")
+    idx = np.linspace(0, arr.size - 1, min(width, arr.size)).astype(int)
+    sampled = np.clip(arr[idx], 0.0, top)
+    cols = sampled.size
+    levels = (sampled / top * (height - 1)).round().astype(int)
+
+    grid = [[" "] * cols for _ in range(height)]
+    for col, level in enumerate(levels):
+        for r in range(level + 1):
+            grid[height - 1 - r][col] = "#" if r == level else "."
+    ref_row = None
+    if reference is not None:
+        ref_row = height - 1 - int(
+            round(min(max(reference, 0.0), top) / top * (height - 1))
+        )
+
+    lines = []
+    for r, row in enumerate(grid):
+        y = top * (height - 1 - r) / (height - 1)
+        suffix = f" <- {reference_label}" if (r == ref_row and reference_label) else (
+            " <-" if r == ref_row else ""
+        )
+        lines.append(f"{y:8.1f} |{''.join(row)}{suffix}")
+    lines.append(f"{'':8s} +{'-' * cols}")
+    lines.append(f"{'':10s}0 .. {arr.size - 1} (x = series index)")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10, width: int = 40
+) -> str:
+    """Horizontal-bar histogram with counts."""
+    arr = _as_series(values)
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(math.ceil(count / peak * width)) if count else ""
+        lines.append(f"[{lo:10.1f}, {hi:10.1f})  {bar} {count}")
+    return "\n".join(lines)

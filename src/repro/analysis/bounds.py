@@ -1,0 +1,128 @@
+"""Closed-form runtime bounds of the paper, as executable formulas.
+
+Each function returns the bound *without* the big-O constant unless noted;
+the experiment harness fits/ratios measured times against these shapes.
+``log`` is base 2 throughout (the paper's convention for ``u0 = log2 n``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "lesk_time_bound",
+    "lesk_exact_slot_bound",
+    "lesu_time_bound",
+    "lesu_regime",
+    "notification_time_bound",
+    "lower_bound",
+    "estimation_result_bounds",
+    "estimation_time_bound",
+]
+
+
+def _check(n: int, eps: float, T: int) -> None:
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    if not (0.0 < eps < 1.0):
+        raise ConfigurationError(f"eps must be in (0, 1), got {eps}")
+    if T < 1:
+        raise ConfigurationError(f"T must be >= 1, got {T}")
+
+
+def lesk_time_bound(n: int, eps: float, T: int) -> float:
+    """Theorem 2.6 shape: ``max{T, log n / (eps^3 log(1/eps))}``.
+
+    For eps -> 1 the ``log(1/eps)`` factor vanishes; the proof's explicit
+    constant formula (:func:`lesk_exact_slot_bound`) stays finite because
+    it uses ``ln a`` with ``a = 8/eps >= 8``.
+    """
+    _check(n, eps, T)
+    a = 8.0 / eps
+    return max(float(T), math.log2(n) / (eps**3 * math.log2(a)))
+
+
+def lesk_exact_slot_bound(n: int, eps: float, beta: float = 1.0) -> float:
+    """The explicit slot count from the proof of Theorem 2.6::
+
+        t > (16 / (5 eps)) * (a^2 ln(3 n^beta) / (2 ln a) + a log2 n + 1)
+
+    with ``a = 8/eps``; running LESK for this many non-``T``-dominated
+    slots gives success probability ``>= 1 - 1/n^beta``.  (The proof also
+    requires ``t > 3 a^2 log(3 n^beta)`` for the Chernoff step; we return
+    the max of both.)
+    """
+    _check(n, eps, 1)
+    a = 8.0 / eps
+    main = (16.0 / (5.0 * eps)) * (
+        a * a * math.log(3.0 * n**beta) / (2.0 * math.log(a))
+        + a * math.log2(n)
+        + 1.0
+    )
+    chernoff = 3.0 * a * a * math.log(3.0 * n**beta)
+    return max(main, chernoff)
+
+
+def lesu_regime(n: int, eps: float, T: int) -> int:
+    """Which Theorem 2.9 regime applies: 1 if
+    ``T <= log n / (eps^3 log(1/eps))``, else 2."""
+    _check(n, eps, T)
+    a = 8.0 / eps
+    return 1 if T <= math.log2(n) / (eps**3 * math.log2(a)) else 2
+
+
+def lesu_time_bound(n: int, eps: float, T: int) -> float:
+    """Theorem 2.9 shape:
+
+    * regime 1: ``(log log(1/eps) / eps^3) * log n``
+    * regime 2: ``max{log log(T / (eps log n)), log(1/eps) log log(1/eps)} * T``
+
+    ``log log`` terms are floored at 1 to keep the shape well-defined for
+    small arguments (the paper's constants absorb this).
+    """
+    _check(n, eps, T)
+    loglog_inv_eps = max(1.0, math.log2(max(2.0, math.log2(8.0 / eps))))
+    log_inv_eps = max(1.0, math.log2(8.0 / eps))
+    if lesu_regime(n, eps, T) == 1:
+        return (loglog_inv_eps / eps**3) * math.log2(n)
+    ratio = max(2.0, T / (eps * math.log2(n)))
+    return max(math.log2(math.log2(ratio) + 1.0), log_inv_eps * loglog_inv_eps) * T
+
+
+def notification_time_bound(t_n: float) -> float:
+    """Lemma 3.1: Notification turns a first-Single time ``t(n)`` into a
+    full weak-CD election in at most ``8 * t(n)`` slots."""
+    if t_n <= 0:
+        raise ConfigurationError(f"t(n) must be > 0, got {t_n}")
+    return 8.0 * t_n
+
+
+def lower_bound(n: int, eps: float, T: int) -> float:
+    """Lemma 2.7: any w.h.p. election needs ``Omega(max{T, log(n)/eps})``
+    slots against some (T, 1-eps)-bounded adversary.  Returned without the
+    hidden constant."""
+    _check(n, eps, T)
+    return max(float(T), math.log2(n) / eps)
+
+
+def estimation_result_bounds(n: int, T: int) -> tuple[float, float]:
+    """Lemma 2.8: ``Estimation(2)`` returns ``i`` with
+    ``log log n - 1 <= i <= max{log log n, log T} + 1`` w.h.p. (n >= 115)."""
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    if T < 1:
+        raise ConfigurationError(f"T must be >= 1, got {T}")
+    loglog_n = math.log2(max(1.0, math.log2(n)))
+    lo = loglog_n - 1.0
+    hi = max(math.ceil(loglog_n), math.ceil(math.log2(T)) if T > 1 else 0.0) + 1.0
+    return lo, hi
+
+
+def estimation_time_bound(n: int, T: int) -> float:
+    """Lemma 2.8 runtime shape ``max{log n, T}`` (rounds double, so the
+    total is within 4x of the last round's length)."""
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    return max(math.log2(n), float(T))

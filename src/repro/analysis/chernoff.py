@@ -1,0 +1,58 @@
+"""Fact 1: the Chernoff bound used throughout Section 2.2.
+
+For ``X ~ Bin(n, p)`` and ``0 <= delta < 3/2``::
+
+    P[X > (delta + 1) n p] <= exp(-delta^2 n p / 3)
+
+(Janson, Luczak, Rucinski, *Random Graphs*, Thm 2.1 eq. 2.5 with
+``t = delta n p``.)
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["binomial_upper_tail", "slots_for_regular_success"]
+
+
+def binomial_upper_tail(n: int, p: float, delta: float) -> float:
+    """The Fact 1 upper bound on ``P[X > (1 + delta) n p]``.
+
+    Raises for ``delta`` outside ``[0, 3/2)`` where the inequality is not
+    claimed.
+    """
+    if not (0.0 <= delta < 1.5):
+        raise ValueError(f"Fact 1 requires 0 <= delta < 3/2, got {delta}")
+    if n < 0 or not (0.0 <= p <= 1.0):
+        raise ValueError(f"need n >= 0 and p in [0,1], got n={n}, p={p}")
+    return math.exp(-delta * delta * n * p / 3.0)
+
+
+def slots_for_regular_success(C: float, failure: float) -> float:
+    """Number of independent trials with success probability ``C`` needed
+    to fail with probability at most *failure*: ``ln(1/failure)/C``.
+
+    Used in the proof of Theorem 2.6 ("it suffices to have at least
+    ``ln(3 n^beta)/C`` regular slots").
+    """
+    if not (0.0 < C <= 1.0):
+        raise ValueError(f"C must be in (0, 1], got {C}")
+    if not (0.0 < failure < 1.0):
+        raise ValueError(f"failure must be in (0, 1), got {failure}")
+    return math.log(1.0 / failure) / C
+
+
+def lemma_2_5_holds(t: float, a: float, n: int, beta: float = 1.0) -> bool:
+    """Lemma 2.5's arithmetic: for ``t > 3 a^2 log(3 n^beta)`` the Fact 1
+    tail (delta = 1) of ``Bin(t, 1/a^2)`` is at most ``1/(3 n^beta)``.
+
+    Returns whether the implication's conclusion holds at these values
+    (vacuously true below the threshold).
+    """
+    if a <= 0 or t < 0 or n < 2:
+        raise ValueError(f"need a > 0, t >= 0, n >= 2; got {a}, {t}, {n}")
+    threshold = 3.0 * a * a * math.log(3.0 * n**beta)
+    if t <= threshold:
+        return True
+    tail = binomial_upper_tail(int(t), 1.0 / (a * a), 1.0)
+    return tail <= 1.0 / (3.0 * n**beta) + 1e-12

@@ -1,0 +1,177 @@
+"""Empirical statistics for the experiment harness.
+
+Self-contained implementations (no SciPy dependency in the library) of the
+estimators the experiments report:
+
+* Wilson score intervals for success probabilities;
+* percentile bootstrap confidence intervals for means/medians;
+* least-squares fits for scaling laws (``t ~ a * log2(n) + b`` and log-log
+  power-law slopes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+
+__all__ = [
+    "wilson_interval",
+    "bootstrap_ci",
+    "LinearFit",
+    "fit_linear",
+    "fit_log2_scaling",
+    "fit_power_law",
+    "geometric_mean",
+    "censored_median",
+    "survival_curve",
+]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be > 0, got {trials}")
+    if not (0 <= successes <= trials):
+        raise ConfigurationError(f"need 0 <= successes <= trials, got {successes}/{trials}")
+    p_hat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p_hat + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p_hat * (1 - p_hat) / trials + z2 / (4 * trials * trials))
+    lo = max(0.0, center - half)
+    hi = min(1.0, center + half)
+    # The interval is exact at the extremes; guard against float epsilon.
+    if successes == 0:
+        lo = 0.0
+    if successes == trials:
+        hi = 1.0
+    return lo, hi
+
+
+def bootstrap_ci(
+    data: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int | None = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for *statistic* of *data*."""
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("bootstrap_ci needs non-empty data")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = make_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[idx])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept`` with fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x):
+        """Evaluate the fitted line at *x* (scalar or array)."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` on ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ConfigurationError("fit_linear needs >= 2 matching points")
+    A = np.vstack([x, np.ones_like(x)]).T
+    coeffs, *_ = np.linalg.lstsq(A, y, rcond=None)
+    slope, intercept = float(coeffs[0]), float(coeffs[1])
+    resid = y - (slope * x + intercept)
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r2)
+
+
+def fit_log2_scaling(n_values: Sequence[float], times: Sequence[float]) -> LinearFit:
+    """Fit ``t ~ slope * log2(n) + intercept`` -- the Theorem 2.6 shape.
+
+    A good LESK reproduction shows high ``r_squared`` and a stable slope
+    across adversaries (T1).
+    """
+    return fit_linear(np.log2(np.asarray(n_values, dtype=np.float64)), times)
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Fit ``y ~ C * x**slope`` by least squares in log-log space.
+
+    ``slope`` distinguishes polylog exponents empirically: measured
+    LESK ~1 vs ARS >~2 in experiment T7 (in log n).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ConfigurationError("fit_power_law needs strictly positive data")
+    return fit_linear(np.log2(x), np.log2(y))
+
+
+def geometric_mean(data: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ConfigurationError("geometric_mean needs non-empty positive data")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def censored_median(values: Sequence[float], cap: float) -> tuple[float, bool]:
+    """Median of right-censored data (timeouts recorded at *cap*).
+
+    With a common censoring point the sample median is exact as long as
+    fewer than half the observations are censored; otherwise only the
+    lower bound ``cap`` can be claimed.  Returns ``(value, exact)`` --
+    when ``exact`` is false the true median is ``>= value = cap``.
+
+    This is the statistic experiment tables should report when some runs
+    hit their slot budget: averaging censored values *underestimates*,
+    while this estimator stays honest.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("censored_median needs non-empty data")
+    if np.any(arr > cap + 1e-9):
+        raise ConfigurationError("observations exceed the declared cap")
+    censored = int(np.sum(arr >= cap - 1e-9))
+    if censored * 2 >= arr.size:
+        return float(cap), False
+    return float(np.median(arr)), True
+
+
+def survival_curve(values: Sequence[float], cap: float) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical survival function S(t) = P[time > t] with censoring.
+
+    Returns ``(times, survival)`` step-function points: with a single
+    common censoring point, the Kaplan-Meier estimator reduces to the
+    empirical survival of the uncensored observations, truncated at the
+    cap.  Useful for figure-style comparisons of election-time tails.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ConfigurationError("survival_curve needs non-empty data")
+    uncensored = arr[arr < cap - 1e-9]
+    times = np.unique(uncensored)
+    n = arr.size
+    survival = np.array([np.sum(arr > t) / n for t in times], dtype=np.float64)
+    return times, survival

@@ -1,0 +1,157 @@
+"""Channel-state probabilities and the Lemma 2.1 bounds.
+
+When each of ``n`` stations transmits independently with probability
+``p``::
+
+    P[Null]      = (1 - p)^n
+    P[Single]    = n p (1 - p)^(n-1)
+    P[Collision] = 1 - P[Null] - P[Single]
+
+Lemma 2.1 parameterizes ``p = 1/(x n)`` for ``x > 0``, ``n > 1`` and gives:
+
+1. ``P[Null]      <= exp(-1/x)``
+2. ``P[Collision] <= 1/x^2``
+3. ``P[Single]    >= (1/x) exp(-1/x)``
+4. ``P[Single]    >= 1/x - 1/x^2``
+
+All functions accept scalars or NumPy arrays and are numerically careful
+(``log1p`` throughout) so they remain exact for ``n`` up to 1e12.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "p_null",
+    "p_single",
+    "p_collision",
+    "null_upper_bound",
+    "collision_upper_bound",
+    "single_lower_bound_exp",
+    "single_lower_bound_poly",
+    "regular_single_lower_bound",
+    "single_probability_function",
+    "lemma_2_2_silence_slack",
+    "lemma_2_2_collision_slack",
+]
+
+
+def _as_array(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)
+
+
+def p_null(n, p):
+    """Exact ``P[Null] = (1-p)^n`` (vectorized, log1p-based)."""
+    n = _as_array(n)
+    p = _as_array(p)
+    safe_p = np.clip(p, 0.0, 1.0 - 1e-15)
+    with np.errstate(invalid="ignore"):
+        body = np.exp(n * np.log1p(-safe_p))
+    out = np.where(p >= 1.0, np.where(n > 0, 0.0, 1.0), body)
+    out = np.where(p <= 0.0, 1.0, out)
+    return out if out.ndim else float(out)
+
+
+def p_single(n, p):
+    """Exact ``P[Single] = n p (1-p)^(n-1)``."""
+    n = _as_array(n)
+    p = _as_array(p)
+    safe_p = np.clip(p, 0.0, 1.0 - 1e-15)
+    with np.errstate(invalid="ignore"):
+        body = n * p * np.exp((n - 1) * np.log1p(-safe_p))
+    out = np.where(p <= 0.0, 0.0, body)
+    out = np.where(p >= 1.0, np.where(n == 1, 1.0, 0.0), out)
+    return out if out.ndim else float(out)
+
+
+def p_collision(n, p):
+    """Exact ``P[Collision] = 1 - P[Null] - P[Single]`` (clamped at 0)."""
+    out = 1.0 - _as_array(p_null(n, p)) - _as_array(p_single(n, p))
+    out = np.maximum(out, 0.0)
+    return out if out.ndim else float(out)
+
+
+# -- Lemma 2.1 bounds, parameterized by x where p = 1/(x n) ------------------
+
+
+def null_upper_bound(x):
+    """Lemma 2.1(1): ``P[Null] <= exp(-1/x)`` for ``p = 1/(xn)``."""
+    x = _as_array(x)
+    out = np.exp(-1.0 / x)
+    return out if out.ndim else float(out)
+
+
+def collision_upper_bound(x):
+    """Lemma 2.1(2): ``P[Collision] <= 1/x^2``."""
+    x = _as_array(x)
+    out = 1.0 / (x * x)
+    return out if out.ndim else float(out)
+
+
+def single_lower_bound_exp(x):
+    """Lemma 2.1(3): ``P[Single] >= (1/x) exp(-1/x)``."""
+    x = _as_array(x)
+    out = np.exp(-1.0 / x) / x
+    return out if out.ndim else float(out)
+
+
+def single_lower_bound_poly(x):
+    """Lemma 2.1(4): ``P[Single] >= 1/x - 1/x^2`` (may be negative, still
+    a valid lower bound)."""
+    x = _as_array(x)
+    out = 1.0 / x - 1.0 / (x * x)
+    return out if out.ndim else float(out)
+
+
+def regular_single_lower_bound(a: float) -> float:
+    """Lemma 2.4: in every *regular* slot (``u`` inside the band
+    ``[u0 - log2(2 ln a), u0 + log2(sqrt a) + 1]``), ``P[Single] >= ln(a)/a^2``.
+
+    Note the paper states the constant as ``C = ln a / a^2`` in the lemma
+    and uses ``2 ln a / a^2`` inside the proof of Theorem 2.6; we adopt the
+    weaker (safe) lemma form.
+    """
+    if a < 8.0:
+        raise ValueError(f"Lemma 2.4 requires a >= 8, got {a}")
+    return math.log(a) / (a * a)
+
+
+def single_probability_function(n: int):
+    """Return ``f(p) = n p (1-p)^(n-1)`` as a callable (used by tests to
+    check the unimodality argument in the proof of Lemma 2.4)."""
+
+    def f(p):
+        return p_single(n, p)
+
+    return f
+
+
+def lemma_2_2_silence_slack(n: int, a: float) -> float:
+    """Lemma 2.2(1): an irregular-silence slot (``u <= u0 - log2(2 ln a)``,
+    i.e. ``p >= 2 ln(a)/n``) is ``Null`` with probability at most ``1/a^2``.
+
+    ``P[Null]`` decreases in ``p``, so the worst case is at the threshold
+    exactly; returns ``1/a^2 - P[Null at threshold]`` (>= 0 iff the lemma
+    holds for this (n, a)).
+    """
+    if a < 1.0 or n < 1:
+        raise ValueError(f"need a >= 1 and n >= 1, got a={a}, n={n}")
+    p_threshold = min(1.0, 2.0 * math.log(a) / n)
+    return 1.0 / (a * a) - p_null(n, p_threshold)
+
+
+def lemma_2_2_collision_slack(n: int, a: float) -> float:
+    """Lemma 2.2(2): an irregular-collision slot (``u >= u0 + log2(a)/2``,
+    i.e. ``p <= 1/(n sqrt(a))``) is a ``Collision`` with probability at
+    most ``1/a``.
+
+    ``P[Collision]`` increases in ``p``; worst case at the threshold.
+    Returns ``1/a - P[Collision at threshold]``.
+    """
+    if a < 1.0 or n < 1:
+        raise ValueError(f"need a >= 1 and n >= 1, got a={a}, n={n}")
+    p_threshold = min(1.0, 1.0 / (n * math.sqrt(a)))
+    return 1.0 / a - p_collision(n, p_threshold)

@@ -1,0 +1,200 @@
+"""Slot classification IS / IC / CS / CC / E / R (Section 2.2).
+
+Given a LESK trace -- the estimator value ``u`` at the start of each slot,
+the observed state, and the jam flags -- every slot before the election
+falls into exactly one class (``u0 = log2 n``, ``a = 8/eps``):
+
+* **E**  -- jammed by the adversary;
+* **IS** -- irregular silence:  ``u <= u0 - log2(2 ln a)`` and ``Null``;
+* **IC** -- irregular collision: ``u >= u0 + log2(a)/2`` and ``Collision``
+  (not jammed);
+* **CS** -- correcting silence: ``u >= u0 + log2(a)/2 + 1`` and ``Null``;
+* **CC** -- correcting collision: ``u <= u0 - log2(2 ln a)`` and
+  ``Collision`` (not jammed);
+* **R**  -- everything else (the *regular* slots, where
+  ``u0 - log2(2 ln a) <= u <= u0 + log2(a)/2 + 1`` and Lemma 2.4 gives a
+  constant Single probability).
+
+Lemma 2.3 relates the class counters; :func:`verify_lemma_2_3` checks the
+deterministic inequalities (4) and (5) on a real trace:
+
+* (4) ``CS <= (IC + E) / a``
+* (5) ``CC <= IS * a + u0 * a``
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.trace import ChannelTrace
+from repro.errors import ConfigurationError
+from repro.types import ChannelState
+
+__all__ = [
+    "SlotClass",
+    "SlotCounts",
+    "classify_slots",
+    "classify_trace",
+    "verify_lemma_2_3",
+    "theorem_2_6_regular_floor",
+]
+
+
+class SlotClass(enum.IntEnum):
+    """Slot classes of Section 2.2."""
+
+    REGULAR = 0
+    IRREGULAR_SILENCE = 1
+    IRREGULAR_COLLISION = 2
+    CORRECTING_SILENCE = 3
+    CORRECTING_COLLISION = 4
+    JAMMED = 5
+    SINGLE = 6  # the slot that ends the run (not classified by the paper)
+
+
+@dataclass(frozen=True, slots=True)
+class SlotCounts:
+    """Counters of the Section 2.2 slot classes."""
+
+    t: int
+    R: int
+    IS: int
+    IC: int
+    CS: int
+    CC: int
+    E: int
+    singles: int
+
+    def check_partition(self) -> bool:
+        """Lemma 2.3(1): the classes partition the pre-election slots."""
+        return self.t == self.R + self.IS + self.IC + self.CS + self.CC + self.E + self.singles
+
+
+def band_thresholds(n: int, a: float) -> tuple[float, float]:
+    """The classification thresholds ``(lo, hi)``:
+    ``lo = u0 - log2(2 ln a)`` and ``hi = u0 + log2(a)/2``."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if a <= 1.0:
+        raise ConfigurationError(f"a must be > 1, got {a}")
+    u0 = math.log2(n)
+    lo = u0 - math.log2(2.0 * math.log(a))
+    hi = u0 + 0.5 * math.log2(a)
+    return lo, hi
+
+
+def classify_slots(
+    u: np.ndarray,
+    observed: np.ndarray,
+    jammed: np.ndarray,
+    n: int,
+    a: float,
+) -> np.ndarray:
+    """Vectorized classification; returns an array of :class:`SlotClass`.
+
+    Parameters
+    ----------
+    u:
+        Estimator value at the *start* of each slot.
+    observed:
+        Observed channel states (int codes of :class:`ChannelState`).
+    jammed:
+        Jam flags.
+    n, a:
+        Network size and the LESK parameter ``a = 8/eps``.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.int8)
+    jammed = np.asarray(jammed, dtype=bool)
+    if not (u.shape == observed.shape == jammed.shape):
+        raise ConfigurationError("u, observed and jammed must have equal shapes")
+    lo, hi = band_thresholds(n, a)
+
+    out = np.full(u.shape, int(SlotClass.REGULAR), dtype=np.int8)
+    is_null = observed == int(ChannelState.NULL)
+    is_coll = observed == int(ChannelState.COLLISION)
+    is_single = observed == int(ChannelState.SINGLE)
+
+    out[jammed] = int(SlotClass.JAMMED)
+    free = ~jammed
+    out[free & is_null & (u <= lo)] = int(SlotClass.IRREGULAR_SILENCE)
+    out[free & is_null & (u >= hi + 1.0)] = int(SlotClass.CORRECTING_SILENCE)
+    out[free & is_coll & (u >= hi)] = int(SlotClass.IRREGULAR_COLLISION)
+    out[free & is_coll & (u <= lo)] = int(SlotClass.CORRECTING_COLLISION)
+    out[free & is_single] = int(SlotClass.SINGLE)
+    return out
+
+
+def counts_from_classes(classes: np.ndarray) -> SlotCounts:
+    """Aggregate a class array into :class:`SlotCounts`."""
+    classes = np.asarray(classes)
+    count = lambda c: int(np.count_nonzero(classes == int(c)))  # noqa: E731
+    return SlotCounts(
+        t=int(classes.size),
+        R=count(SlotClass.REGULAR),
+        IS=count(SlotClass.IRREGULAR_SILENCE),
+        IC=count(SlotClass.IRREGULAR_COLLISION),
+        CS=count(SlotClass.CORRECTING_SILENCE),
+        CC=count(SlotClass.CORRECTING_COLLISION),
+        E=count(SlotClass.JAMMED),
+        singles=count(SlotClass.SINGLE),
+    )
+
+
+def classify_trace(trace: ChannelTrace, n: int, a: float) -> SlotCounts:
+    """Classify a recorded LESK run (requires a trace with ``u`` recorded)."""
+    u = trace.u_array()
+    if np.isnan(u).any():
+        raise ConfigurationError(
+            "trace has no recorded estimator values; run with record_trace=True"
+        )
+    classes = classify_slots(
+        u, trace.observed_states_array(), trace.jammed_array(), n=n, a=a
+    )
+    return counts_from_classes(classes)
+
+
+def verify_lemma_2_3(counts: SlotCounts, n: int, a: float) -> dict[str, bool]:
+    """Check the deterministic Lemma 2.3 relations on observed counters.
+
+    Returns a dict of named boolean verdicts; all should be true for any
+    trace produced by a faithful LESK run.
+    """
+    u0 = math.log2(n)
+    return {
+        "partition": counts.check_partition(),
+        "correcting_silences": counts.CS <= (counts.IC + counts.E) / a + 1e-9,
+        "correcting_collisions": counts.CC <= counts.IS * a + u0 * a + 1e-9,
+    }
+
+
+def theorem_2_6_regular_floor(counts: SlotCounts, n: int, eps: float) -> dict[str, float]:
+    """The Theorem 2.6 proof chain, evaluated on measured counters.
+
+    From Lemma 2.3 the proof derives (equation (1) and onward, assuming
+    ``E <= (1-eps) t`` and the Lemma 2.5 events)::
+
+        R  >=  (5/16) eps t - a log2(n) - 1
+
+    Returns the measured ``R``, the floor value, and whether the premises
+    (jam fraction and the Chernoff envelopes on IS / IC) held for this
+    trace -- the floor is only claimed when they do.
+    """
+    a = 8.0 / eps
+    t = counts.t
+    floor = (5.0 / 16.0) * eps * t - a * math.log2(max(n, 2)) - 1.0
+    premises = (
+        counts.E <= (1.0 - eps) * t + 1e-9
+        and counts.IS <= 2.0 * t / (a * a) + 1e-9
+        and counts.IC <= 2.0 * t / a + 1e-9
+    )
+    return {
+        "R": float(counts.R),
+        "floor": floor,
+        "premises_hold": premises,
+        "satisfied": (not premises) or counts.R >= floor - 1e-9,
+    }

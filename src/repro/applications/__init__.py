@@ -1,0 +1,38 @@
+"""Applications built from the paper's primitives.
+
+Section 4: "some of the presented procedures can be also used as building
+blocks in constructions of other protocols including size approximation,
+k-selection or fair use of the wireless channel."  This package implements
+those three, each on top of the public protocol layer:
+
+* :mod:`repro.applications.size_estimation` -- jam-resistant approximation
+  of ``log2 n`` from the LESK estimator walk and of ``log log n`` from
+  ``Estimation``;
+* :mod:`repro.applications.k_selection` -- electing ``k`` distinct
+  leaders by continuing the LESK walk after each win;
+* :mod:`repro.applications.fair_use` -- leader-coordinated TDMA and the
+  fairness gain it brings over contention.
+"""
+
+from repro.applications.fair_use import FairUseReport, simulate_fair_use
+from repro.applications.k_selection import (
+    KSelectionResult,
+    select_k_leaders,
+    select_k_leaders_weak_cd,
+)
+from repro.applications.size_estimation import (
+    SizeEstimate,
+    estimate_size_walk,
+    estimate_loglog_size,
+)
+
+__all__ = [
+    "SizeEstimate",
+    "estimate_size_walk",
+    "estimate_loglog_size",
+    "KSelectionResult",
+    "select_k_leaders",
+    "select_k_leaders_weak_cd",
+    "FairUseReport",
+    "simulate_fair_use",
+]

@@ -1,0 +1,108 @@
+"""Fair use of the channel: leader-coordinated TDMA after election.
+
+A minimal end-to-end story for the Section 4 claim: once a leader exists
+it can impose a round-robin schedule.  We simulate (1) an election phase
+under jamming, (2) a TDMA phase where slot ``t`` belongs to station
+``t mod n`` (jammed slots are simply lost and retried next cycle), and
+report Jain's fairness index of per-station goodput in each phase.
+
+Jain's index ``(sum x)^2 / (n * sum x^2)`` is 1 for perfectly equal
+shares and ``1/n`` when one station monopolizes the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.base import AdversaryView
+from repro.adversary.suite import make_adversary
+from repro.channel.channel import resolve_slot
+from repro.channel.trace import ChannelTrace
+from repro.core.election import elect_leader
+from repro.errors import ConfigurationError
+from repro.rng import RngLike, make_rng
+
+__all__ = ["FairUseReport", "jain_index", "simulate_fair_use"]
+
+
+def jain_index(shares) -> float:
+    """Jain's fairness index of a non-negative allocation vector."""
+    x = np.asarray(shares, dtype=np.float64)
+    if x.size == 0 or np.any(x < 0):
+        raise ConfigurationError("jain_index needs a non-empty, non-negative vector")
+    total_sq = float(x.sum()) ** 2
+    denom = x.size * float((x * x).sum())
+    return total_sq / denom if denom > 0 else 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class FairUseReport:
+    """Outcome of the election + TDMA simulation."""
+
+    leader: int | None
+    election_slots: int
+    tdma_slots: int
+    #: Successful (non-jammed) deliveries per station during TDMA.
+    deliveries: tuple[int, ...]
+    #: Jain index of TDMA goodput (1.0 = perfectly fair; jamming can only
+    #: lower it by unlucky slot alignment).
+    tdma_fairness: float
+    #: Fraction of TDMA slots lost to jamming.
+    tdma_loss: float
+
+
+def simulate_fair_use(
+    n: int,
+    eps: float = 0.5,
+    T: int = 16,
+    adversary: str = "saturating",
+    cycles: int = 8,
+    seed: RngLike = None,
+) -> FairUseReport:
+    """Elect a leader, then run *cycles* TDMA rounds under the same jammer.
+
+    The TDMA phase keeps the (T, 1-eps) budget running: the adversary can
+    deny at most a ``(1-eps)`` fraction of any window, so each station is
+    guaranteed ``~eps`` of its nominal share -- fairness degrades gracefully
+    rather than collapsing.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    if cycles < 1:
+        raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+    rng = make_rng(seed)
+    election = elect_leader(
+        n=n, protocol="lesk", eps=eps, T=T, adversary=adversary, seed=rng
+    )
+    election.require_elected()
+
+    adv = make_adversary(adversary, T=T, eps=eps)
+    adv.reset(seed=rng.spawn(1)[0])
+    trace = ChannelTrace()
+    deliveries = [0] * n
+    tdma_slots = cycles * n
+    jams = 0
+    for slot in range(tdma_slots):
+        view = AdversaryView(
+            slot=slot, n=n, trace=trace, budget=adv.budget, transmit_probability=1.0
+        )
+        jammed = adv.decide(view)
+        owner = slot % n
+        # Exactly one transmitter per slot: a Single unless jammed.
+        outcome = resolve_slot(slot, 1, jammed)
+        trace.append(1, jammed, outcome.true_state, outcome.observed_state)
+        if outcome.successful_single:
+            deliveries[owner] += 1
+        else:
+            jams += 1
+
+    return FairUseReport(
+        leader=election.leader,
+        election_slots=election.slots,
+        tdma_slots=tdma_slots,
+        deliveries=tuple(deliveries),
+        tdma_fairness=jain_index(deliveries),
+        tdma_loss=jams / tdma_slots,
+    )

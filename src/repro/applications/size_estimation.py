@@ -1,0 +1,183 @@
+"""Jam-resistant network-size approximation.
+
+Two estimators built from the paper's primitives:
+
+* :func:`estimate_loglog_size` -- run ``Estimation(L)`` standalone
+  (Function 2).  By Lemma 2.8 the returned round ``i`` brackets
+  ``log log n`` within +-1 (up to the ``log T`` cap), i.e. it localizes
+  ``n`` to a doubly-exponential range -- coarse, but obtained in
+  ``O(max{log n, T})`` slots under arbitrary (T, 1-eps) jamming.
+
+* :func:`estimate_size_walk` -- run the LESK estimator walk for a fixed
+  number of slots, *ignoring* Singles, and read off the median of ``u``
+  over the second half of the run.  The walk concentrates around its
+  zero-drift point (:func:`repro.analysis.walks.equilibrium_u`), which
+  sits ``Theta(log log a)`` below ``log2 n``; we invert that relation to
+  de-bias the estimate.  Jamming shifts the equilibrium up by at most
+  ``~log2(1/eps)`` (each jam adds ``+1/a``), bounded by design of the
+  asymmetric update, so the estimate stays within a few doublings of the
+  truth under any (T, 1-eps) adversary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.suite import make_adversary
+from repro.analysis.walks import equilibrium_u
+from repro.errors import ConfigurationError, SimulationError
+from repro.protocols.estimation import EstimationPolicy
+from repro.protocols.lesk import LESKPolicy, lesk_parameter_a
+from repro.rng import RngLike
+from repro.sim.fast import simulate_uniform_fast
+from repro.types import ChannelState
+
+__all__ = ["SizeEstimate", "estimate_size_walk", "estimate_loglog_size"]
+
+
+@dataclass(frozen=True, slots=True)
+class SizeEstimate:
+    """Result of a size-approximation run."""
+
+    #: Point estimate of n.
+    n_estimate: float
+    #: Point estimate of log2 n.
+    log2_estimate: float
+    #: Bracketing interval [lo, hi] for n implied by the method's accuracy.
+    n_low: float
+    n_high: float
+    #: Slots consumed.
+    slots: int
+    #: Slots jammed during the run.
+    jams: int
+
+
+class _SizeWalkPolicy(LESKPolicy):
+    """LESK walk that ignores Singles (size estimation never stops on one).
+
+    A heard ``Single`` tells a listener "at least one transmitter", which
+    for the walk is information-equivalent to a collision's "not silent";
+    we apply the ``+1/a`` update to keep the drift analysis intact.
+    """
+
+    def observe(self, step: int, state: ChannelState) -> None:
+        if state is ChannelState.SINGLE:
+            state = ChannelState.COLLISION
+        super().observe(step, state)
+
+    def clone(self) -> "_SizeWalkPolicy":
+        return _SizeWalkPolicy(self.eps, initial_u=self.initial_u)
+
+
+def _invert_equilibrium(u_measured: float, a: float) -> float:
+    """Find ``log2 n_est`` such that ``equilibrium_u(n_est, a) == u_measured``.
+
+    ``equilibrium_u`` is monotone in ``n``; bisection over ``log2 n``.
+    """
+    lo, hi = 0.0, u_measured + 8.0
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        n_mid = max(2, int(round(2.0**mid)))
+        if equilibrium_u(n_mid, a) < u_measured:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def estimate_size_walk(
+    n: int,
+    eps: float = 0.5,
+    T: int = 16,
+    adversary: str = "none",
+    slots: int | None = None,
+    seed: RngLike = None,
+) -> SizeEstimate:
+    """Approximate the network size from the LESK walk's resting point.
+
+    Parameters mirror :func:`repro.elect_leader`; *slots* defaults to a
+    multiple of the LESK time bound so the walk has settled.
+    """
+    if n < 2:
+        raise ConfigurationError(f"size estimation needs n >= 2, got {n}")
+    a = lesk_parameter_a(eps)
+    if slots is None:
+        slots = int(64 * max(T, math.log2(n) / eps**3) + 512)
+    adv = make_adversary(adversary, T=T, eps=eps)
+    policy = _SizeWalkPolicy(eps)
+    result = simulate_uniform_fast(
+        policy,
+        n=n,
+        adversary=adv,
+        max_slots=slots,
+        seed=seed,
+        record_trace=True,
+        halt_on_single=False,
+    )
+    assert result.trace is not None
+    u_series = result.trace.u_array()
+    settled = u_series[len(u_series) // 2 :]
+    u_med = float(np.median(settled))
+    log2_est = _invert_equilibrium(u_med, a)
+    # Accuracy bracket: jamming can lift the equilibrium by up to the
+    # worst-case shift at jam fraction (1 - eps); silence-side error is
+    # bounded by the band halfwidth log2(2 ln a).
+    up_shift = equilibrium_u(max(2, int(2.0**log2_est)), a, jam_fraction=1.0 - eps) - \
+        equilibrium_u(max(2, int(2.0**log2_est)), a)
+    halfwidth = math.log2(2.0 * math.log(a)) + 1.0
+    lo = log2_est - up_shift - halfwidth
+    hi = log2_est + halfwidth
+    return SizeEstimate(
+        n_estimate=2.0**log2_est,
+        log2_estimate=log2_est,
+        n_low=2.0**lo,
+        n_high=2.0**hi,
+        slots=result.slots,
+        jams=result.jams,
+    )
+
+
+def estimate_loglog_size(
+    n: int,
+    eps: float = 0.5,
+    T: int = 16,
+    adversary: str = "none",
+    L: int = 2,
+    seed: RngLike = None,
+    max_slots: int = 1_000_000,
+) -> SizeEstimate:
+    """Coarse size approximation via standalone ``Estimation(L)``.
+
+    Returns the Lemma 2.8 bracket: the round ``i`` satisfies
+    ``log log n - 1 <= i <= max{log log n, log T} + 1`` w.h.p., so
+    ``n in [2**(2**(i-1)), 2**(2**(i+1))]`` (when ``T`` does not dominate).
+    """
+    if n < 2:
+        raise ConfigurationError(f"size estimation needs n >= 2, got {n}")
+    adv = make_adversary(adversary, T=T, eps=eps)
+    policy = EstimationPolicy(L=L)
+    result = simulate_uniform_fast(
+        policy,
+        n=n,
+        adversary=adv,
+        max_slots=max_slots,
+        seed=seed,
+        halt_on_single=False,
+    )
+    if result.policy_result is None:
+        raise SimulationError(
+            f"Estimation did not complete within {max_slots} slots"
+        )
+    i = int(result.policy_result)
+    log2_est = float(2.0 ** i)
+    return SizeEstimate(
+        n_estimate=2.0**log2_est,
+        log2_estimate=log2_est,
+        n_low=2.0 ** (2.0 ** max(0, i - 1)),
+        n_high=2.0 ** (2.0 ** (i + 1)),
+        slots=result.slots,
+        jams=result.jams,
+    )

@@ -1,0 +1,103 @@
+"""Slot resolution: transmitter count + jamming -> true/observed states.
+
+The adversary cannot inject a ``Null`` or a ``Single``: jamming a slot makes
+it *observed* as ``COLLISION`` regardless of the true state, because "to the
+listening stations, a jammed slot is indistinguishable from the case of at
+least two transmitters" (Section 1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import ChannelState
+
+__all__ = ["SlotOutcome", "resolve_slot", "Channel"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlotOutcome:
+    """Physical outcome of one slot.
+
+    Attributes
+    ----------
+    slot:
+        Slot index (0-based).
+    transmitters:
+        Number of honest stations that transmitted.
+    jammed:
+        Whether the adversary jammed the slot.
+    true_state:
+        State determined by the honest transmitters only.
+    observed_state:
+        State as received by listening stations (``COLLISION`` if jammed).
+    """
+
+    slot: int
+    transmitters: int
+    jammed: bool
+    true_state: ChannelState
+    observed_state: ChannelState
+
+    @property
+    def successful_single(self) -> bool:
+        """True iff exactly one station transmitted and the slot was not
+        jammed, i.e. the message went through and listeners heard it."""
+        return self.true_state is ChannelState.SINGLE and not self.jammed
+
+
+def resolve_slot(slot: int, transmitters: int, jammed: bool) -> SlotOutcome:
+    """Resolve the physical outcome of a slot.
+
+    Parameters
+    ----------
+    slot:
+        Slot index, recorded in the outcome.
+    transmitters:
+        Number of honest stations transmitting in this slot.
+    jammed:
+        Adversary's (budget-checked) jamming decision for this slot.
+    """
+    true_state = ChannelState.from_transmitter_count(transmitters)
+    observed = ChannelState.COLLISION if jammed else true_state
+    return SlotOutcome(
+        slot=slot,
+        transmitters=transmitters,
+        jammed=jammed,
+        true_state=true_state,
+        observed_state=observed,
+    )
+
+
+class Channel:
+    """Stateful convenience wrapper advancing one slot at a time.
+
+    Mostly useful for step-by-step exploration and tests; the simulation
+    engines call :func:`resolve_slot` directly.
+    """
+
+    def __init__(self) -> None:
+        self._slot = 0
+        self._last: SlotOutcome | None = None
+
+    @property
+    def slot(self) -> int:
+        """Index of the next slot to be resolved."""
+        return self._slot
+
+    @property
+    def last_outcome(self) -> SlotOutcome | None:
+        """Outcome of the most recently resolved slot, if any."""
+        return self._last
+
+    def step(self, transmitters: int, jammed: bool = False) -> SlotOutcome:
+        """Resolve the next slot and advance time."""
+        outcome = resolve_slot(self._slot, transmitters, jammed)
+        self._slot += 1
+        self._last = outcome
+        return outcome
+
+    def reset(self) -> None:
+        """Rewind to slot 0."""
+        self._slot = 0
+        self._last = None

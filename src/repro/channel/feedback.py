@@ -1,0 +1,57 @@
+"""Per-station feedback under the three collision-detection modes.
+
+Section 1.1 of the paper defines:
+
+* **strong-CD** -- stations transmit and listen simultaneously; *all*
+  stations receive the observed state of each slot.
+* **weak-CD** -- a transmitting station learns nothing from the channel
+  (it only knows it transmitted, hence that the slot was ``SINGLE`` or
+  ``COLLISION``); listeners receive the observed state.
+* **no-CD** -- listeners can only distinguish ``SINGLE`` from
+  "no single" (zero or >= 2 transmitters); transmitters learn nothing.
+
+A jammed slot is observed as ``COLLISION`` (or ``NO_SINGLE`` under no-CD).
+"""
+
+from __future__ import annotations
+
+from repro.types import CDMode, ChannelState, PerceivedState, SlotFeedback
+
+__all__ = ["perceived_by_listener", "perceived_by_transmitter", "feedback_for"]
+
+_LISTENER_MAP = {
+    ChannelState.NULL: PerceivedState.NULL,
+    ChannelState.SINGLE: PerceivedState.SINGLE,
+    ChannelState.COLLISION: PerceivedState.COLLISION,
+}
+
+
+def perceived_by_listener(observed: ChannelState, mode: CDMode) -> PerceivedState:
+    """What a non-transmitting station perceives, given the observed state."""
+    if mode is CDMode.NO_CD:
+        if observed is ChannelState.SINGLE:
+            return PerceivedState.SINGLE
+        return PerceivedState.NO_SINGLE
+    return _LISTENER_MAP[observed]
+
+
+def perceived_by_transmitter(observed: ChannelState, mode: CDMode) -> PerceivedState:
+    """What a transmitting station perceives.
+
+    In strong-CD the transmitter receives the observed state like everyone
+    else (in particular it *hears its own* successful ``SINGLE``, which is
+    how a leader learns it won).  In weak-CD and no-CD the transmitter
+    receives no channel feedback (``UNKNOWN``).
+    """
+    if mode is CDMode.STRONG:
+        return _LISTENER_MAP[observed]
+    return PerceivedState.UNKNOWN
+
+
+def feedback_for(transmitted: bool, observed: ChannelState, mode: CDMode) -> SlotFeedback:
+    """Assemble the :class:`~repro.types.SlotFeedback` for one station."""
+    if transmitted:
+        perceived = perceived_by_transmitter(observed, mode)
+    else:
+        perceived = perceived_by_listener(observed, mode)
+    return SlotFeedback(transmitted=transmitted, perceived=perceived)

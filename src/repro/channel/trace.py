@@ -1,0 +1,178 @@
+"""Recording of per-slot simulation history.
+
+A :class:`ChannelTrace` stores, per slot: the number of transmitters, the
+jam flag, the true and observed channel states, and (for uniform protocols)
+the common transmission probability and estimator value ``u`` at the start
+of the slot.  Traces feed three consumers:
+
+* the adversary (its "entire history of the channel", Section 1.1);
+* the analysis module (slot classification IS/IC/CS/CC/E/R, Section 2.2);
+* experiment output (figure series F1 etc.).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.types import ChannelState
+
+__all__ = ["SlotRecord", "ChannelTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlotRecord:
+    """Immutable view of one recorded slot."""
+
+    slot: int
+    transmitters: int
+    jammed: bool
+    true_state: ChannelState
+    observed_state: ChannelState
+    #: Common per-station transmission probability at the start of the slot
+    #: (NaN when the run was not uniform or recording was disabled).
+    probability: float = math.nan
+    #: Estimator value ``u`` at the start of the slot (NaN if not applicable).
+    u: float = math.nan
+
+
+class ChannelTrace:
+    """Append-only history of a run, with cheap columnar storage.
+
+    The trace doubles as the adversary's view of the past: observed states
+    and jam flags are queryable per slot, and summary counters (number of
+    singles, collisions, jams, ...) are maintained incrementally.
+    """
+
+    def __init__(self, record_probabilities: bool = True) -> None:
+        self.record_probabilities = record_probabilities
+        self._transmitters: list[int] = []
+        self._jammed: list[bool] = []
+        self._true_states: list[int] = []
+        self._observed: list[int] = []
+        self._probability: list[float] = []
+        self._u: list[float] = []
+        # Incremental counters over *observed* states.
+        self.observed_nulls = 0
+        self.observed_singles = 0
+        self.observed_collisions = 0
+        self.jam_count = 0
+        self.successful_singles = 0
+        self.first_single_slot: int | None = None
+
+    # -- recording ---------------------------------------------------------
+
+    def append(
+        self,
+        transmitters: int,
+        jammed: bool,
+        true_state: ChannelState,
+        observed_state: ChannelState,
+        probability: float = math.nan,
+        u: float = math.nan,
+    ) -> None:
+        """Record one slot."""
+        slot = len(self._transmitters)
+        self._transmitters.append(transmitters)
+        self._jammed.append(jammed)
+        self._true_states.append(int(true_state))
+        self._observed.append(int(observed_state))
+        if self.record_probabilities:
+            self._probability.append(probability)
+            self._u.append(u)
+        if observed_state is ChannelState.NULL:
+            self.observed_nulls += 1
+        elif observed_state is ChannelState.SINGLE:
+            self.observed_singles += 1
+        else:
+            self.observed_collisions += 1
+        if jammed:
+            self.jam_count += 1
+        if true_state is ChannelState.SINGLE and not jammed:
+            self.successful_singles += 1
+            if self.first_single_slot is None:
+                self.first_single_slot = slot
+
+    # -- querying ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._transmitters)
+
+    def __getitem__(self, slot: int) -> SlotRecord:
+        if slot < 0:
+            slot += len(self)
+        return SlotRecord(
+            slot=slot,
+            transmitters=self._transmitters[slot],
+            jammed=self._jammed[slot],
+            true_state=ChannelState(self._true_states[slot]),
+            observed_state=ChannelState(self._observed[slot]),
+            probability=self._probability[slot] if self.record_probabilities else math.nan,
+            u=self._u[slot] if self.record_probabilities else math.nan,
+        )
+
+    def __iter__(self) -> Iterator[SlotRecord]:
+        for slot in range(len(self)):
+            yield self[slot]
+
+    def observed_state(self, slot: int) -> ChannelState:
+        """Observed state of a past slot (what all listeners received)."""
+        return ChannelState(self._observed[slot])
+
+    def was_jammed(self, slot: int) -> bool:
+        """Whether a past slot was jammed."""
+        return self._jammed[slot]
+
+    # -- columnar export ---------------------------------------------------
+
+    def transmitters_array(self) -> np.ndarray:
+        """Per-slot transmitter counts as an int64 array."""
+        return np.asarray(self._transmitters, dtype=np.int64)
+
+    def jammed_array(self) -> np.ndarray:
+        """Per-slot jam flags as a boolean array."""
+        return np.asarray(self._jammed, dtype=bool)
+
+    def true_states_array(self) -> np.ndarray:
+        """Per-slot true channel states (int codes) as an int8 array."""
+        return np.asarray(self._true_states, dtype=np.int8)
+
+    def observed_states_array(self) -> np.ndarray:
+        """Per-slot observed states (int codes) as an int8 array."""
+        return np.asarray(self._observed, dtype=np.int8)
+
+    def probability_array(self) -> np.ndarray:
+        """Per-slot common transmission probabilities (float array)."""
+        return np.asarray(self._probability, dtype=np.float64)
+
+    def u_array(self) -> np.ndarray:
+        """Per-slot estimator values at slot start (float array)."""
+        return np.asarray(self._u, dtype=np.float64)
+
+    # -- summaries ---------------------------------------------------------
+
+    def tail_observed(self, k: int) -> list[ChannelState]:
+        """Observed states of the last *k* slots (shorter at run start)."""
+        return [ChannelState(s) for s in self._observed[-k:]]
+
+    def jam_fraction(self) -> float:
+        """Fraction of recorded slots that were jammed."""
+        return self.jam_count / len(self) if len(self) else 0.0
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Export the trace as a list of plain dictionaries (CSV-friendly)."""
+        return [
+            {
+                "slot": rec.slot,
+                "transmitters": rec.transmitters,
+                "jammed": rec.jammed,
+                "true_state": rec.true_state.name,
+                "observed_state": rec.observed_state.name,
+                "probability": rec.probability,
+                "u": rec.u,
+            }
+            for rec in self
+        ]

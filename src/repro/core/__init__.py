@@ -1,0 +1,13 @@
+"""High-level public API: configure and run jamming-resistant leader
+elections without touching the engine plumbing."""
+
+from repro.core.config import ElectionConfig, default_slot_budget
+from repro.core.election import elect_leader, make_protocol_stations, run_selection_resolution
+
+__all__ = [
+    "ElectionConfig",
+    "default_slot_budget",
+    "elect_leader",
+    "run_selection_resolution",
+    "make_protocol_stations",
+]

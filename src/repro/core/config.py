@@ -1,0 +1,118 @@
+"""Election run configuration and slot-budget heuristics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.types import CDMode
+
+__all__ = ["ElectionConfig", "default_slot_budget", "PROTOCOLS"]
+
+#: Protocol name -> (CD mode, whether the station knows eps).
+PROTOCOLS: dict[str, tuple[CDMode, bool]] = {
+    "lesk": (CDMode.STRONG, True),
+    "lesu": (CDMode.STRONG, False),
+    "lewk": (CDMode.WEAK, True),
+    "lewu": (CDMode.WEAK, False),
+}
+
+
+def default_slot_budget(n: int, eps: float, T: int, protocol: str = "lesk") -> int:
+    """A generous slot limit under which the protocol succeeds w.h.p.
+
+    Scaled from the Theorem 2.6 / 2.9 bounds with comfortable constants so
+    that hitting the limit in an experiment is a red flag, not noise.  The
+    weak-CD wrappers get the Lemma 3.1 factor (8) on top; LESU additionally
+    pays its schedule overhead.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    log_n = max(1.0, math.log2(max(n, 2)))
+    log_inv_eps = max(0.5, math.log2(1.0 / eps)) if eps < 1.0 else 0.5
+    lesk_core = log_n / (eps**3 * log_inv_eps)
+    base = 64.0 * max(float(T), lesk_core) + 512.0
+    if protocol in ("lesu", "lewu"):
+        # Schedule overhead: log(1/eps) * log log(1/eps)-ish factor plus the
+        # estimation phase O(max{log n, T}).
+        base *= 8.0 * max(1.0, log_inv_eps)
+        base += 32.0 * max(log_n, float(T))
+    if protocol in ("lewk", "lewu"):
+        base *= 8.0
+    return int(base)
+
+
+@dataclass(slots=True)
+class ElectionConfig:
+    """Declarative description of one election run.
+
+    Attributes
+    ----------
+    n:
+        Number of honest stations.  Stations themselves never read ``n``;
+        it only sizes the simulation.
+    protocol:
+        One of ``"lesk"``, ``"lesu"``, ``"lewk"``, ``"lewu"``.
+    eps, T:
+        Adversary parameters.  ``eps`` is also handed to protocols that
+        *know* it (lesk / lewk); lesu / lewu never see it.
+    adversary:
+        Strategy name from :data:`repro.adversary.suite.STRATEGY_REGISTRY`,
+        or a :class:`repro.adversary.base.JammingStrategy` instance for
+        custom attacks (it is reset before the run).
+    max_slots:
+        Slot limit; ``None`` selects :func:`default_slot_budget`.
+    engine:
+        ``"auto"`` (fast for strong-CD, faithful for weak-CD),
+        ``"fast"`` or ``"faithful"``.
+    lesu_c:
+        The calibrated Theorem 2.6 constant for LESU's ``t0``.
+    """
+
+    n: int
+    protocol: str = "lesk"
+    eps: float = 0.5
+    T: int = 16
+    adversary: "str | object" = "none"
+    max_slots: int | None = None
+    engine: str = "auto"
+    record_trace: bool = False
+    lesu_c: float = 2.0
+    seed: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            known = ", ".join(sorted(PROTOCOLS))
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; known: {known}"
+            )
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if not (0.0 < self.eps < 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1), got {self.eps}")
+        if self.T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {self.T}")
+        if self.engine not in ("auto", "fast", "faithful"):
+            raise ConfigurationError(f"unknown engine {self.engine!r}")
+
+    @property
+    def cd_mode(self) -> CDMode:
+        return PROTOCOLS[self.protocol][0]
+
+    @property
+    def knows_eps(self) -> bool:
+        return PROTOCOLS[self.protocol][1]
+
+    def slot_budget(self) -> int:
+        """The effective slot limit for this run."""
+        if self.max_slots is not None:
+            return self.max_slots
+        return default_slot_budget(self.n, self.eps, self.T, self.protocol)
+
+    def resolved_engine(self) -> str:
+        """The engine this configuration will actually use."""
+        if self.engine != "auto":
+            return self.engine
+        return "fast" if self.cd_mode is CDMode.STRONG else "faithful"

@@ -1,0 +1,167 @@
+"""`elect_leader` -- the library's front door.
+
+Examples
+--------
+Elect a leader among 1000 stations with a known adversary strength::
+
+    from repro import elect_leader
+
+    result = elect_leader(n=1000, protocol="lesk", eps=0.5, T=32,
+                          adversary="saturating", seed=7)
+    assert result.elected
+    print(result.slots, "slots,", result.jams, "jammed")
+
+Fully parameter-free weak-CD election (the paper's headline setting)::
+
+    result = elect_leader(n=500, protocol="lewu", eps=0.5, T=32,
+                          adversary="single-suppressor", seed=7)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adversary.base import Adversary
+from repro.adversary.suite import make_adversary
+from repro.core.config import ElectionConfig
+from repro.errors import ConfigurationError
+from repro.protocols.base import StationProtocol, UniformPolicy, UniformStationAdapter
+from repro.protocols.lesk import LESKPolicy
+from repro.protocols.lesu import LESUPolicy
+from repro.protocols.notification import NotificationStation
+from repro.rng import RngLike
+from repro.sim.engine import simulate_stations
+from repro.sim.fast import simulate_uniform_fast
+from repro.sim.fast_notification import simulate_notification_fast
+from repro.sim.metrics import RunResult
+from repro.types import CDMode
+
+__all__ = ["elect_leader", "run_selection_resolution", "make_protocol_stations"]
+
+
+def _policy_factory(config: ElectionConfig) -> Callable[[], UniformPolicy]:
+    """Factory of fresh policy instances for the configured protocol."""
+    if config.protocol in ("lesk", "lewk"):
+        eps = config.eps
+        return lambda: LESKPolicy(eps)
+    if config.protocol in ("lesu", "lewu"):
+        c = config.lesu_c
+        return lambda: LESUPolicy(c=c)
+    raise ConfigurationError(f"unknown protocol {config.protocol!r}")
+
+
+def make_protocol_stations(config: ElectionConfig) -> list[StationProtocol]:
+    """Fresh per-station protocol instances for a faithful-engine run."""
+    factory = _policy_factory(config)
+    if config.cd_mode is CDMode.STRONG:
+        return [
+            UniformStationAdapter(factory(), cd_mode=CDMode.STRONG)
+            for _ in range(config.n)
+        ]
+    # Weak-CD: wrap the strong-CD first-Single algorithm in Notification.
+    return [NotificationStation(factory) for _ in range(config.n)]
+
+
+def _make_adversary(config: ElectionConfig) -> Adversary:
+    from repro.adversary.base import JammingStrategy
+
+    if isinstance(config.adversary, JammingStrategy):
+        config.adversary.reset()
+        return Adversary(config.adversary, T=config.T, eps=config.eps)
+    return make_adversary(config.adversary, T=config.T, eps=config.eps)
+
+
+def run_config(config: ElectionConfig, seed: RngLike = None) -> RunResult:
+    """Run one election described by *config*."""
+    seed = config.seed if seed is None else seed
+    adversary = _make_adversary(config)
+    budget = config.slot_budget()
+    if config.resolved_engine() == "fast":
+        if config.cd_mode is CDMode.STRONG:
+            policy = _policy_factory(config)()
+            return simulate_uniform_fast(
+                policy,
+                n=config.n,
+                adversary=adversary,
+                max_slots=budget,
+                seed=seed,
+                record_trace=config.record_trace,
+            )
+        # Weak-CD: the aggregate-state Notification simulator (requires the
+        # paper's n >= 3; opt-in via engine="fast" -- "auto" keeps the
+        # faithful per-station engine as the weak-CD ground truth).
+        return simulate_notification_fast(
+            _policy_factory(config),
+            n=config.n,
+            adversary=adversary,
+            max_slots=budget,
+            seed=seed,
+            record_trace=config.record_trace,
+        )
+    stations = make_protocol_stations(config)
+    return simulate_stations(
+        stations,
+        adversary=adversary,
+        cd_mode=config.cd_mode,
+        max_slots=budget,
+        seed=seed,
+        record_trace=config.record_trace,
+        stop_on_first_single=config.cd_mode is CDMode.STRONG,
+    )
+
+
+def elect_leader(
+    n: int,
+    protocol: str = "lesk",
+    eps: float = 0.5,
+    T: int = 16,
+    adversary: "str | object" = "none",
+    seed: RngLike = None,
+    max_slots: int | None = None,
+    engine: str = "auto",
+    record_trace: bool = False,
+    lesu_c: float = 2.0,
+) -> RunResult:
+    """Elect a leader among *n* stations under a (T, 1-eps)-bounded jammer.
+
+    Parameters mirror :class:`~repro.core.config.ElectionConfig`; see the
+    module docstring for examples.  Returns a
+    :class:`~repro.sim.metrics.RunResult`.
+    """
+    config = ElectionConfig(
+        n=n,
+        protocol=protocol,
+        eps=eps,
+        T=T,
+        adversary=adversary,
+        max_slots=max_slots,
+        engine=engine,
+        record_trace=record_trace,
+        lesu_c=lesu_c,
+    )
+    return run_config(config, seed=seed)
+
+
+def run_selection_resolution(
+    policy: UniformPolicy,
+    n: int,
+    eps: float,
+    T: int,
+    adversary: str = "none",
+    seed: RngLike = None,
+    max_slots: int = 1_000_000,
+    record_trace: bool = False,
+) -> RunResult:
+    """Run an arbitrary uniform policy until its first successful Single.
+
+    Low-level convenience used by experiments and the applications layer.
+    """
+    adv = make_adversary(adversary, T=T, eps=eps)
+    return simulate_uniform_fast(
+        policy,
+        n=n,
+        adversary=adv,
+        max_slots=max_slots,
+        seed=seed,
+        record_trace=record_trace,
+    )

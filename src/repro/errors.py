@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "BudgetViolationError",
+    "SimulationError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all library-specific exceptions."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised for invalid model or protocol parameters."""
+
+
+class BudgetViolationError(ReproError):
+    """Raised in strict mode when an adversary exceeds its jamming budget.
+
+    The (T, 1-eps)-bounded adversary may jam at most ``(1-eps) * w`` out of
+    any ``w >= T`` contiguous slots.  In non-strict mode the harness simply
+    clamps over-budget jam requests; in strict mode it raises this error so
+    tests can assert that a strategy is budget-aware.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot proceed (e.g. slot limit exhausted
+    where the caller required an election)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol object is driven incorrectly (e.g. feedback
+    delivered for a slot that was never started)."""

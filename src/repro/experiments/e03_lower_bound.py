@@ -1,0 +1,85 @@
+"""T3 -- Lemma 2.7: the Omega(max{T, log(n)/eps}) lower bound.
+
+The Lemma 2.7 adversary jams the first ``floor((1-eps)T)`` slots of every
+``T``-slot block (:class:`~repro.adversary.oblivious.PeriodicFrontJammer`).
+Sweeping ``T`` with ``n`` and ``eps`` fixed shows the two regimes meet at
+the crossover ``T ~ log2(n)/eps``: below it the election time is flat in
+``T`` (the ``log n/eps`` term dominates); above it the time tracks ``T``
+linearly.  The table reports measured time, the lower-bound shape, and
+their ratio (which must stay >= some constant: no algorithm can beat the
+bound, and LESK matches it up to constants -- optimality for constant eps).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import lower_bound
+from repro.core.election import elect_leader
+from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
+
+EXPERIMENT = "T3"
+
+
+def run(preset: str = "small", seed: int = 2017) -> Table:
+    """Run experiment T3 at *preset* scale and return its table."""
+    T_values = preset_value(preset, [4, 64, 512], [2, 8, 32, 64, 128, 256, 512, 2048, 8192])
+    reps = preset_value(preset, 20, 200)
+    n = 1024
+    eps = 0.5
+
+    table = Table(
+        name=EXPERIMENT,
+        title=f"Election time under the Lemma 2.7 front jammer (n={n}, eps={eps})",
+        claim="Lemma 2.7: any w.h.p. election needs Omega(max{T, log(n)/eps}) slots",
+        columns=[
+            Column("T", "T"),
+            Column("median_slots", "median slots", ".0f"),
+            Column("hard_floor", "hard floor", ".0f"),
+            Column("floor_ok", "above floor"),
+            Column("bound", "max{T, log2n/eps}", ".0f"),
+            Column("ratio", "measured/bound", ".2f"),
+            Column("regime", "dominant term"),
+            Column("success_rate", "success", ".3f"),
+        ],
+    )
+    crossover = lower_bound(n, eps, 1)
+    for ti, T in enumerate(T_values):
+        results = replicate(
+            lambda s: elect_leader(
+                n=n, protocol="lesk", eps=eps, T=T, adversary="periodic-front", seed=s
+            ),
+            reps,
+            seed,
+            3,
+            ti,
+        )
+        stats = summarize_times(results)
+        bound = lower_bound(n, eps, T)
+        # Under this jammer every slot before floor((1-eps)T) is jammed, so
+        # no Single -- hence no election -- can occur earlier.  This is the
+        # constant-free part of the lemma; the asymptotic shape hides a
+        # (1-eps) factor in front of T.
+        hard_floor = int((1.0 - eps) * T)
+        min_slots = min(r.slots for r in results)
+        table.add_row(
+            T=T,
+            median_slots=stats["median_slots"],
+            hard_floor=hard_floor,
+            floor_ok=bool(min_slots > hard_floor),
+            bound=bound,
+            ratio=stats["median_slots"] / bound,
+            regime="T" if T > crossover else "log n / eps",
+            success_rate=stats["success_rate"],
+        )
+    table.add_note(
+        f"crossover predicted at T ~ log2(n)/eps = {crossover:.0f}; above it the "
+        "median must grow linearly in T"
+    )
+    table.add_note(
+        "'hard floor' = floor((1-eps)T): the jammer blocks every earlier slot, so "
+        "every run must exceed it ('above floor' asserts the minimum run did)"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(run("small").render())

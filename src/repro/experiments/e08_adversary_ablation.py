@@ -1,0 +1,95 @@
+"""T8 -- Section 1.1: robustness against *every* adaptive strategy.
+
+Theorem 2.6 quantifies over all (T, 1-eps)-bounded adversaries.  We cannot
+enumerate them, but we can race LESK against the natural worst-case
+candidates -- including strategies that recompute LESK's own state and
+spend budget exactly where it hurts.  The claim reproduced: the measured
+time stays within a constant multiple of the Theorem 2.6 shape for *every*
+strategy in the suite.
+
+As a contrast, the same ablation is run for the non-robust uniform sweep
+baseline (Nakano-Olariu style): an adaptive jammer inflates it by orders
+of magnitude (or times it out entirely), demonstrating that robustness is
+a property of LESK's update rule, not of the model.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.suite import make_adversary, strategy_names
+from repro.analysis.bounds import lesk_time_bound
+from repro.core.election import elect_leader
+from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
+from repro.protocols.baselines.nakano_olariu import UniformSweepPolicy
+from repro.sim.fast import simulate_uniform_fast
+
+EXPERIMENT = "T8"
+
+
+def _run_sweep_baseline(n: int, eps: float, T: int, adversary: str, seed: int, max_slots: int):
+    adv = make_adversary(adversary, T=T, eps=eps)
+    return simulate_uniform_fast(
+        UniformSweepPolicy(), n=n, adversary=adv, max_slots=max_slots, seed=seed
+    )
+
+
+def run(preset: str = "small", seed: int = 2022) -> Table:
+    """Run experiment T8 at *preset* scale and return its table."""
+    n = preset_value(preset, 1024, 4096)
+    reps = preset_value(preset, 15, 150)
+    eps = 0.4
+    T = 32
+    sweep_budget = preset_value(preset, 20_000, 100_000)
+
+    table = Table(
+        name=EXPERIMENT,
+        title=f"Adversary-strategy ablation (n={n}, eps={eps}, T={T})",
+        claim="Thm 2.6 holds against ANY (T,1-eps)-bounded adaptive adversary; "
+        "non-robust baselines do not",
+        columns=[
+            Column("strategy", "strategy"),
+            Column("lesk_median", "LESK median", ".0f"),
+            Column("lesk_vs_bound", "LESK/bound", ".2f"),
+            Column("lesk_success", "LESK success", ".3f"),
+            Column("sweep_median", "sweep median", ".0f"),
+            Column("sweep_success", "sweep success", ".3f"),
+        ],
+    )
+    bound = lesk_time_bound(n, eps, T)
+    for si, strategy in enumerate(strategy_names()):
+        lesk = replicate(
+            lambda s: elect_leader(
+                n=n, protocol="lesk", eps=eps, T=T, adversary=strategy, seed=s
+            ),
+            reps,
+            seed,
+            8,
+            si,
+            0,
+        )
+        sweep = replicate(
+            lambda s: _run_sweep_baseline(n, eps, T, strategy, s, sweep_budget),
+            reps,
+            seed,
+            8,
+            si,
+            1,
+        )
+        ls = summarize_times(lesk)
+        sw = summarize_times(sweep)
+        table.add_row(
+            strategy=strategy,
+            lesk_median=ls["median_slots"],
+            lesk_vs_bound=ls["median_slots"] / bound,
+            lesk_success=ls["success_rate"],
+            sweep_median=sw["median_slots"],
+            sweep_success=sw["success_rate"],
+        )
+    table.add_note(
+        f"bound shape = {bound:.0f} slots; sweep baseline capped at "
+        f"{sweep_budget} slots (timeouts count at the cap)"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(run("small").render())

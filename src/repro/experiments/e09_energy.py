@@ -1,0 +1,85 @@
+"""T9 -- Section 1.3: energy expectation.
+
+"...we expect, however, that the energetic efficiency of our protocol
+should be similar to the leader election from [3]."  We measure, per
+station: mean transmissions until election, for LESK and for ARS [3],
+across ``n``.  (LESK transmits with probability ``2**-u``; the expected
+per-station count is small because ``u`` reaches ``~log2 n`` quickly and
+only ``O(1)`` of the early slots have high probability.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.suite import make_adversary
+from repro.core.election import elect_leader
+from repro.experiments.harness import Column, Table, preset_value, replicate
+from repro.protocols.baselines.ars_fast import simulate_ars_fast
+from repro.protocols.baselines.ars_mac import ars_gamma
+
+EXPERIMENT = "T9"
+
+
+def _run_ars(n: int, eps: float, T: int, adversary: str, seed: int, max_slots: int):
+    adv = make_adversary(adversary, T=T, eps=eps)
+    return simulate_ars_fast(
+        n, ars_gamma(n, T), adv, max_slots=max_slots, seed=seed
+    )
+
+
+def run(preset: str = "small", seed: int = 2023) -> Table:
+    """Run experiment T9 at *preset* scale and return its table."""
+    ns = preset_value(preset, [64, 256], [64, 256, 1024, 4096, 16384])
+    reps = preset_value(preset, 10, 80)
+    eps = 0.5
+    T = 16
+    adversary = "saturating"
+    max_slots = preset_value(preset, 200_000, 1_000_000)
+
+    table = Table(
+        name=EXPERIMENT,
+        title="Energy to election: mean transmissions per station",
+        claim="Sec 1.3: LESK's energy should be comparable to [3]'s",
+        columns=[
+            Column("n", "n"),
+            Column("lesk_tx", "LESK tx/station", ".2f"),
+            Column("lesk_slots", "LESK slots", ".0f"),
+            Column("ars_tx", "ARS tx/station", ".2f"),
+            Column("ars_slots", "ARS slots", ".0f"),
+            Column("tx_ratio", "LESK/ARS tx", ".2f"),
+        ],
+    )
+    for ni, n in enumerate(ns):
+        lesk = replicate(
+            lambda s: elect_leader(
+                n=n, protocol="lesk", eps=eps, T=T, adversary=adversary, seed=s
+            ),
+            reps,
+            seed,
+            9,
+            ni,
+            0,
+        )
+        ars = replicate(
+            lambda s: _run_ars(n, eps, T, adversary, s, max_slots), reps, seed, 9, ni, 1
+        )
+        lesk_tx = float(np.mean([r.energy.transmissions_per_station(n) for r in lesk]))
+        ars_tx = float(np.mean([r.energy.transmissions_per_station(n) for r in ars]))
+        table.add_row(
+            n=n,
+            lesk_tx=lesk_tx,
+            lesk_slots=float(np.median([r.slots for r in lesk])),
+            ars_tx=ars_tx,
+            ars_slots=float(np.median([r.slots for r in ars])),
+            tx_ratio=lesk_tx / max(ars_tx, 1e-9),
+        )
+    table.add_note(
+        "transmission energy only; every awake non-transmitting station also "
+        "listens, so listening energy is proportional to slots"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(run("small").render())

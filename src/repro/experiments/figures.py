@@ -1,0 +1,78 @@
+"""Quick-look terminal charts from experiment CSVs.
+
+``python -m repro.experiments.figures results/F1.csv`` renders the
+numeric columns of an exported experiment table as ASCII line charts
+(one per column, x = row index), using
+:mod:`repro.analysis.ascii_plot`.  Intended for eyeballing figure-series
+experiments (F1, F2) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.analysis.ascii_plot import line_chart, sparkline
+from repro.errors import ConfigurationError
+
+__all__ = ["load_numeric_columns", "render_csv", "main"]
+
+
+def load_numeric_columns(text: str) -> dict[str, list[float]]:
+    """Parse CSV text into {column: values} keeping only fully numeric
+    columns (at least two parseable values)."""
+    reader = csv.DictReader(text.splitlines())
+    if not reader.fieldnames:
+        raise ConfigurationError("CSV has no header")
+    columns: dict[str, list[float]] = {name: [] for name in reader.fieldnames}
+    ok: dict[str, bool] = {name: True for name in reader.fieldnames}
+    for row in reader:
+        for name in reader.fieldnames:
+            try:
+                columns[name].append(float(row[name]))
+            except (TypeError, ValueError):
+                ok[name] = False
+    return {
+        name: values
+        for name, values in columns.items()
+        if ok[name] and len(values) >= 2
+    }
+
+
+def render_csv(text: str, width: int = 60, height: int = 10) -> str:
+    """Render every numeric column of a CSV as a labelled chart."""
+    columns = load_numeric_columns(text)
+    if not columns:
+        raise ConfigurationError("no numeric columns with >= 2 values found")
+    blocks = []
+    for name, values in columns.items():
+        lo, hi = min(values), max(values)
+        blocks.append(
+            f"-- {name} (min {lo:g}, max {hi:g}) --\n"
+            + (
+                line_chart(values, width=width, height=height)
+                if hi > 0
+                else f"  {sparkline(values, width)}"
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: render one or more experiment CSVs."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", nargs="+", type=Path)
+    parser.add_argument("--width", type=int, default=60)
+    parser.add_argument("--height", type=int, default=10)
+    args = parser.parse_args(argv)
+    for path in args.csv:
+        print(f"==== {path} ====")
+        print(render_csv(path.read_text(), width=args.width, height=args.height))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Experiment plumbing: replicated runs, summaries, and table rendering.
+
+Design goals:
+
+* **Reproducible**: every cell of every table derives its seed from
+  ``(root_seed, experiment path, repetition index)`` via
+  :func:`repro.rng.derive_seed`; re-running a table bit-reproduces it.
+* **Self-describing**: tables render as aligned ASCII with a title and a
+  claim line, and export to CSV for downstream plotting.
+* **Two presets**: ``small`` (seconds; used by the benchmark suite) and
+  ``full`` (the EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.estimators import wilson_interval
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed
+
+__all__ = ["Column", "Table", "replicate", "summarize_times", "preset_value"]
+
+
+def preset_value(preset: str, small, full):
+    """Pick a parameter by preset name (``small`` or ``full``)."""
+    if preset == "small":
+        return small
+    if preset == "full":
+        return full
+    raise ConfigurationError(f"unknown preset {preset!r}; use 'small' or 'full'")
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One table column: row-dict key, header text, and format spec."""
+
+    key: str
+    header: str
+    fmt: str = ""  # format spec applied to the value, e.g. ".2f"
+
+    def render(self, value) -> str:
+        """Format one cell value (None renders as '-')."""
+        if value is None:
+            return "-"
+        if self.fmt:
+            try:
+                return format(value, self.fmt)
+            except (TypeError, ValueError):
+                return str(value)
+        return str(value)
+
+
+@dataclass(slots=True)
+class Table:
+    """An experiment result table."""
+
+    name: str  # e.g. "T1"
+    title: str
+    claim: str  # the paper claim being reproduced
+    columns: list[Column]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        """Append one result row (keyword per column key)."""
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table as aligned ASCII with title, claim and notes."""
+        headers = [c.header for c in self.columns]
+        cells = [
+            [c.render(row.get(c.key)) for c in self.columns] for row in self.rows
+        ]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [f"== {self.name}: {self.title} ==", f"claim: {self.claim}"]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Export rows as CSV keyed by column keys."""
+        keys = [c.key for c in self.columns]
+        out = [",".join(keys)]
+        for row in self.rows:
+            out.append(",".join(str(row.get(k, "")) for k in keys))
+        return "\n".join(out)
+
+    def column_values(self, key: str) -> list:
+        """All row values for one column key."""
+        return [row.get(key) for row in self.rows]
+
+
+def replicate(
+    fn: Callable[[int], object],
+    reps: int,
+    root_seed: int,
+    *path: int,
+) -> list:
+    """Run ``fn(seed)`` for *reps* stable derived seeds and collect results."""
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    return [fn(derive_seed(root_seed, *path, r)) for r in range(reps)]
+
+
+def summarize_times(
+    results: Sequence,
+    slots_of: Callable = lambda r: r.slots,
+    elected_of: Callable = lambda r: r.elected,
+) -> dict:
+    """Summary statistics over a batch of run results.
+
+    Returns mean/median/p90/max of slot counts (over *all* runs, counting
+    timeouts at their full budget -- conservative), plus the success rate
+    and its 95% Wilson interval.
+    """
+    slots = np.asarray([slots_of(r) for r in results], dtype=np.float64)
+    successes = int(sum(bool(elected_of(r)) for r in results))
+    lo, hi = wilson_interval(successes, len(results))
+    return {
+        "reps": len(results),
+        "success_rate": successes / len(results),
+        "success_lo": lo,
+        "success_hi": hi,
+        "mean_slots": float(slots.mean()),
+        "median_slots": float(np.median(slots)),
+        "p90_slots": float(np.quantile(slots, 0.9)),
+        "max_slots": float(slots.max()),
+    }
+
+
+def log2_or_nan(x: float) -> float:
+    """log2(x), or NaN for non-positive x (plot-friendly)."""
+    return math.log2(x) if x > 0 else math.nan
+
+
+def render_tables(tables: Iterable[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n\n".join(t.render() for t in tables)

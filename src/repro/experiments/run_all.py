@@ -1,0 +1,102 @@
+"""Regenerate every experiment table: ``python -m repro.experiments.run_all``.
+
+Options::
+
+    --preset small|full   (default: full)
+    --out DIR             write per-experiment .txt and .csv under DIR
+    --only T1,T5,F1       run a subset by experiment id
+    --jobs N              run experiments in N parallel processes
+                          (results identical: seeds are pre-derived)
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from pathlib import Path
+
+EXPERIMENT_MODULES: dict[str, str] = {
+    "T1": "repro.experiments.e01_lesk_scaling",
+    "T2": "repro.experiments.e02_lesk_eps",
+    "T3": "repro.experiments.e03_lower_bound",
+    "T4": "repro.experiments.e04_estimation",
+    "T5": "repro.experiments.e05_lesu",
+    "T6": "repro.experiments.e06_notification",
+    "T7": "repro.experiments.e07_vs_ars",
+    "T8": "repro.experiments.e08_adversary_ablation",
+    "T9": "repro.experiments.e09_energy",
+    "T10": "repro.experiments.e10_lemma_checks",
+    "F1": "repro.experiments.e11_trajectory",
+    "F2": "repro.experiments.e12_success_curve",
+    "A1": "repro.experiments.e13_ablation_collision_weight",
+    "A2": "repro.experiments.e14_ablation_lesu_c",
+    "A3": "repro.experiments.e15_nocd_frontier",
+    "A4": "repro.experiments.e16_ars_throughput",
+    "A5": "repro.experiments.e17_applications",
+    "A6": "repro.experiments.e18_energy_frontier",
+    "A7": "repro.experiments.e19_price_of_universality",
+    "A8": "repro.experiments.e20_worst_case_search",
+    "A9": "repro.experiments.e21_interval_ablation",
+}
+
+
+def run_experiment(exp_id: str, preset: str):
+    """Run one experiment by id and return its Table."""
+    module = importlib.import_module(EXPERIMENT_MODULES[exp_id])
+    return module.run(preset=preset)
+
+
+def _run_one(item: tuple[str, str]):
+    """Pool work item (module-level for picklability)."""
+    exp_id, preset = item
+    start = time.perf_counter()
+    table = run_experiment(exp_id, preset)
+    return exp_id, table, time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; see the module docstring for options."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=("small", "full"), default="full")
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--only", type=str, default=None)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    ids = list(EXPERIMENT_MODULES)
+    if args.only:
+        ids = [i.strip() for i in args.only.split(",") if i.strip()]
+        unknown = [i for i in ids if i not in EXPERIMENT_MODULES]
+        if unknown:
+            parser.error(f"unknown experiment ids: {unknown}")
+
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    items = [(exp_id, args.preset) for exp_id in ids]
+    if args.jobs == 1 or len(items) == 1:
+        outputs = map(_run_one, items)
+    else:
+        import multiprocessing as mp
+
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else None
+        )
+        pool = ctx.Pool(processes=min(args.jobs, len(items)))
+        outputs = pool.imap(_run_one, items)
+    for exp_id, table, elapsed in outputs:
+        text = table.render()
+        print(text)
+        print(f"[{exp_id} done in {elapsed:.1f}s]\n", flush=True)
+        if args.out:
+            (args.out / f"{exp_id}.txt").write_text(text + "\n")
+            (args.out / f"{exp_id}.csv").write_text(table.to_csv() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Leader-election protocols: the paper's algorithms and the baselines.
+
+The paper's algorithms are *uniform* (Section 1.1, [21]): in every slot all
+stations transmit with one common, history-determined probability.  They
+are implemented as :class:`~repro.protocols.base.UniformPolicy` objects --
+a shared-state description consumed directly by the fast vectorized engine
+and wrapped per-station (via
+:class:`~repro.protocols.base.UniformStationAdapter`) by the faithful
+engine.  The weak-CD Notification wrapper is a genuinely per-station state
+machine (:mod:`repro.protocols.notification`).
+"""
+
+from repro.protocols.base import (
+    StationProtocol,
+    UniformPolicy,
+    UniformStationAdapter,
+)
+from repro.protocols.broadcast import broadcast_feedback
+from repro.protocols.estimation import EstimationPolicy
+from repro.protocols.intervals import (
+    interval_bounds,
+    interval_of_slot,
+    slots_of_interval,
+)
+from repro.protocols.lesk import LESKPolicy
+from repro.protocols.lesu import LESUPolicy, lesu_schedule
+from repro.protocols.notification import NotificationStation, Phase
+
+__all__ = [
+    "UniformPolicy",
+    "StationProtocol",
+    "UniformStationAdapter",
+    "broadcast_feedback",
+    "LESKPolicy",
+    "EstimationPolicy",
+    "LESUPolicy",
+    "lesu_schedule",
+    "NotificationStation",
+    "Phase",
+    "interval_of_slot",
+    "interval_bounds",
+    "slots_of_interval",
+]

@@ -1,0 +1,35 @@
+"""Baseline protocols the paper compares against or motivates.
+
+* :mod:`repro.protocols.baselines.ars_mac` -- the Awerbuch--Richa--
+  Scheideler robust MAC [3], the paper's main comparator (O(log^4 n)
+  leader election vs. our O(log n)).
+* :mod:`repro.protocols.baselines.willard` -- Willard-style
+  O(log log n)-expected selection resolution (related work [25]); fast
+  but not jamming-resistant.
+* :mod:`repro.protocols.baselines.nakano_olariu` -- uniform sweep
+  election in O(log n) w.h.p. with CD, and the O(log^2 n) no-CD schedule
+  (related work [18, 19, 21]); oblivious schedules, not jamming-resistant.
+* :mod:`repro.protocols.baselines.symmetric_walk` -- the Section 2.1
+  strawman: LESK with symmetric +-1 updates, whose estimate the adversary
+  can push to infinity.
+"""
+
+from repro.protocols.baselines.ars_fast import simulate_ars_fast
+from repro.protocols.baselines.geometric_energy import GeometricLevelStation
+from repro.protocols.baselines.geometric_fast import simulate_geometric_fast
+from repro.protocols.baselines.ars_mac import ARSMACStation, ars_gamma
+from repro.protocols.baselines.nakano_olariu import NoCDSweepPolicy, UniformSweepPolicy
+from repro.protocols.baselines.symmetric_walk import SymmetricWalkPolicy
+from repro.protocols.baselines.willard import WillardPolicy
+
+__all__ = [
+    "ARSMACStation",
+    "ars_gamma",
+    "simulate_ars_fast",
+    "GeometricLevelStation",
+    "simulate_geometric_fast",
+    "WillardPolicy",
+    "UniformSweepPolicy",
+    "NoCDSweepPolicy",
+    "SymmetricWalkPolicy",
+]

@@ -1,0 +1,188 @@
+"""Energy-efficient leader election via geometric levels (sleep-capable).
+
+The paper explicitly skips energy analysis ("we expect ... similar to
+[3]", Section 1.3) and cites the authors' own energy-efficient election
+line of work [13] (Kardas-Klonowski-Pajak, ICPP 2013).  This baseline is a
+simplified protocol in that spirit -- the classic geometric-level
+tournament -- implemented with real radio sleeping so the energy frontier
+can be *measured* (experiment A6):
+
+* Each station privately draws a level ``L ~ Geometric(1/2)``
+  (``P[L = k] = 2^-k``); the maximum level across ``n`` stations
+  concentrates near ``log2 n`` and is *unique* with constant probability.
+* Time is organized in rounds.  A round with level guess ``G`` has ``G``
+  sweep slots (testing levels ``G, G-1, ..., 1``) followed by one
+  confirmation slot:
+
+  - in sweep slot for level ``j``, exactly the stations with
+    ``min(L, G) = j`` transmit; everyone else **sleeps**;
+  - a station that hears/produces a clear ``Single`` during the sweep is
+    the round's winner (strong-CD: the transmitter hears it itself);
+  - in the confirmation slot every station wakes and listens while the
+    winner (if any) transmits alone: a clear ``Single`` there ends the
+    protocol for everyone.
+
+* If the confirmation slot is not a ``Single`` (no unique maximum this
+  round, or jamming), the guess doubles, fresh levels are drawn, and the
+  next round begins.
+
+Per-station energy is O(1) per round -- one transmission during the sweep
+plus one listen at the confirmation -- times O(log log n + retries)
+rounds, versus LESK's one *listen per slot* (Theta(log n) energy).  The
+price is fragility: the confirmation slot's position is public, so a
+jammer can deny it within budget and stall the protocol -- the
+energy-vs-robustness trade-off quantified in experiment A6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import StationProtocol
+from repro.types import Action, PerceivedState, SlotFeedback
+
+__all__ = ["GeometricLevelStation", "round_length", "confirmation_slots"]
+
+
+def round_length(guess: int) -> int:
+    """Slots in a round with level guess *guess*: the sweep plus one
+    confirmation slot."""
+    if guess < 1:
+        raise ConfigurationError(f"guess must be >= 1, got {guess}")
+    return guess + 1
+
+
+def confirmation_slots(initial_guess: int, horizon: int) -> frozenset[int]:
+    """Slot indices of every confirmation slot up to *horizon*.
+
+    The round schedule is public and deterministic (guesses double), so an
+    adversary can precompute exactly where the protocol is vulnerable --
+    the structural weakness experiment A6 exploits.
+    """
+    if initial_guess < 1:
+        raise ConfigurationError(f"initial_guess must be >= 1, got {initial_guess}")
+    if horizon < 0:
+        raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+    out = set()
+    slot = 0
+    guess = initial_guess
+    while slot < horizon:
+        slot += guess  # the sweep
+        if slot < horizon:
+            out.add(slot)  # the confirmation
+        slot += 1
+        guess *= 2
+    return frozenset(out)
+
+
+class GeometricLevelStation(StationProtocol):
+    """Sleep-capable geometric-level tournament station (strong-CD).
+
+    Parameters
+    ----------
+    initial_guess:
+        Level guess of the first round (doubles each round).
+    """
+
+    def __init__(self, initial_guess: int = 2) -> None:
+        if initial_guess < 1:
+            raise ConfigurationError(
+                f"initial_guess must be >= 1, got {initial_guess}"
+            )
+        self.initial_guess = int(initial_guess)
+        self._rng: np.random.Generator | None = None
+        self.station_id: int | None = None
+        self._guess = self.initial_guess
+        self._round_slot = 0  # position within the current round
+        self._level = 1
+        self._round_winner = False  # won a sweep Single this round
+        self._done = False
+        self._is_leader: bool | None = None
+        self.rounds_played = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _draw_level(self) -> int:
+        assert self._rng is not None
+        # Geometric(1/2) over {1, 2, ...}: P[L = k] = 2^-k.
+        return int(self._rng.geometric(0.5))
+
+    def _begin_round(self) -> None:
+        self._round_slot = 0
+        self._level = self._draw_level()
+        self._round_winner = False
+        self.rounds_played += 1
+
+    # -- StationProtocol ---------------------------------------------------------
+
+    def reset(self, station_id: int, rng: np.random.Generator) -> None:
+        self.station_id = station_id
+        self._rng = rng
+        self._guess = self.initial_guess
+        self._done = False
+        self._is_leader = None
+        self.rounds_played = 0
+        self._begin_round()
+
+    def begin_slot(self, slot: int) -> Action:
+        if self._rng is None:
+            raise ConfigurationError("begin_slot before reset")
+        if self._done:
+            return Action.LISTEN
+        j = self._sweep_level_of_slot()
+        if j is not None:
+            # Sweep slot for level j: transmit iff it is my slot, else sleep.
+            if min(self._level, self._guess) == j:
+                return Action.TRANSMIT
+            return Action.SLEEP
+        # Confirmation slot: the round winner announces; everyone listens.
+        if self._round_winner:
+            return Action.TRANSMIT
+        return Action.LISTEN
+
+    def _sweep_level_of_slot(self) -> int | None:
+        """Level tested in the current round slot (None = confirmation)."""
+        if self._round_slot < self._guess:
+            return self._guess - self._round_slot  # G, G-1, ..., 1
+        return None
+
+    def end_slot(self, slot: int, feedback: SlotFeedback) -> None:
+        if self._done:
+            return
+        in_sweep = self._sweep_level_of_slot() is not None
+        self._round_slot += 1
+
+        if in_sweep:
+            # Strong-CD: a transmitter that hears its own Single won the sweep.
+            if feedback.transmitted and feedback.perceived is PerceivedState.SINGLE:
+                self._round_winner = True
+            return
+
+        # Confirmation slot.
+        if feedback.transmitted:
+            if feedback.perceived is PerceivedState.SINGLE:
+                self._done = True
+                self._is_leader = True
+                return
+        elif feedback.perceived is PerceivedState.SINGLE:
+            self._done = True
+            self._is_leader = False
+            return
+        # No confirmation: double the guess and redraw.
+        self._guess *= 2
+        self._begin_round()
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def is_leader(self) -> bool | None:
+        return self._is_leader
+
+    def __repr__(self) -> str:
+        return (
+            f"GeometricLevelStation(guess={self._guess}, level={self._level}, "
+            f"round_slot={self._round_slot})"
+        )

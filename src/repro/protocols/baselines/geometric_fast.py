@@ -1,0 +1,116 @@
+"""Vectorized simulator for the geometric-level tournament.
+
+The tournament's randomness is all in the per-round level draws; within a
+round the schedule is deterministic.  So one round simulates as:
+
+1. draw ``levels ~ Geometric(1/2)`` for all n stations (vectorized) and
+   histogram ``min(level, G)``;
+2. sweep slot for level ``j`` has exactly ``hist[j]`` transmitters; a
+   clear slot with ``hist[j] == 1`` makes that station a round winner;
+3. the confirmation slot has ``#winners`` transmitters; a clear ``Single``
+   there elects.
+
+Per-round cost is O(G + n) with NumPy constants -- orders of magnitude
+faster than the per-station engine, and distributionally identical
+(cross-validated in ``tests/protocols/baselines/test_geometric_energy.py``).
+Energy accounting matches the faithful engine: one transmission per
+station per round plus one confirmation listen (winners transmit instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import Adversary, AdversaryView
+from repro.channel.channel import resolve_slot
+from repro.channel.trace import ChannelTrace
+from repro.errors import ConfigurationError
+from repro.rng import RngLike, make_rng
+from repro.sim.metrics import EnergyStats, RunResult
+
+__all__ = ["simulate_geometric_fast"]
+
+
+def simulate_geometric_fast(
+    n: int,
+    adversary: Adversary,
+    max_slots: int,
+    seed: RngLike = None,
+    initial_guess: int = 2,
+    record_trace: bool = False,
+) -> RunResult:
+    """Run the geometric-level tournament election over *n* stations.
+
+    Mirrors :class:`~repro.protocols.baselines.geometric_energy.GeometricLevelStation`
+    slot-for-slot; see that module for the protocol.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if initial_guess < 1:
+        raise ConfigurationError(f"initial_guess must be >= 1, got {initial_guess}")
+    if max_slots < 1:
+        raise ConfigurationError(f"max_slots must be >= 1, got {max_slots}")
+
+    rng = make_rng(seed)
+    adversary.reset(seed=rng.spawn(1)[0])
+    trace = ChannelTrace()
+    energy = EnergyStats()
+
+    guess = int(initial_guess)
+    slot = 0
+    elected = False
+    timed_out = True
+
+    def decide_jam() -> bool:
+        view = AdversaryView(
+            slot=slot, n=n, trace=trace, budget=adversary.budget
+        )
+        return adversary.decide(view)
+
+    while slot < max_slots:
+        levels = np.minimum(rng.geometric(0.5, size=n), guess)
+        hist = np.bincount(levels, minlength=guess + 1)
+        winners = 0
+        # Sweep: levels guess, guess-1, ..., 1.
+        for j in range(guess, 0, -1):
+            if slot >= max_slots:
+                break
+            jammed = decide_jam()
+            k = int(hist[j])
+            outcome = resolve_slot(slot, k, jammed)
+            trace.append(k, jammed, outcome.true_state, outcome.observed_state)
+            energy.transmissions += k
+            # Non-transmitters sleep during the sweep: no listening energy.
+            if outcome.successful_single:
+                winners += 1
+            slot += 1
+        if slot >= max_slots:
+            break
+        # Confirmation slot: winners transmit, everyone else listens.
+        jammed = decide_jam()
+        outcome = resolve_slot(slot, winners, jammed)
+        trace.append(winners, jammed, outcome.true_state, outcome.observed_state)
+        energy.transmissions += winners
+        energy.listening += n - winners
+        slot += 1
+        if outcome.successful_single:
+            elected = True
+            timed_out = False
+            break
+        guess *= 2
+
+    leader = int(rng.integers(n)) if elected else None
+    return RunResult(
+        n=n,
+        slots=slot,
+        elected=elected,
+        leader=leader,
+        first_single_slot=trace.first_single_slot,
+        all_terminated=elected,
+        leaders_count=1 if elected else 0,
+        jams=adversary.budget.jams_granted,
+        jam_denied=adversary.budget.denied_requests,
+        energy=energy,
+        trace=trace if record_trace else None,
+        timed_out=timed_out,
+    )

@@ -1,0 +1,133 @@
+"""Nakano--Olariu-style uniform election schedules (references [18, 19, 21]).
+
+Two oblivious, uniform schedules that elect w.h.p. *without* an adversary:
+
+* :class:`UniformSweepPolicy` (with collision detection): sawtooth sweeps
+  of the exponent ``u = 0, 1, ..., K`` with the ceiling ``K`` doubling
+  after each sweep.  Once ``K >= log2 n`` every sweep passes through the
+  window ``u ~ log2 n`` where a ``Single`` occurs with constant
+  probability; summing the geometric sweep lengths gives ``O(log n)``
+  slots w.h.p. -- the classic uniform doubling-election bound [21].
+
+* :class:`NoCDSweepPolicy` (no collision detection): the same sweep but
+  with each exponent repeated ``repeat(K)`` times, giving the
+  ``O(log^2 n)`` w.h.p. bound of [19].  (In no-CD a listener only learns
+  ``Single`` vs ``no-Single``, so the schedule cannot adapt at all.)
+
+Both schedules ignore channel feedback entirely (they only stop on a
+``Single``), which makes them trivially *correct* under jamming but not
+*robust*: an adversary that jams the few dangerous slots of every sweep
+delays election indefinitely within its budget -- the contrast experiment
+T8 quantifies this.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import UniformPolicy, probability_from_exponent
+from repro.types import ChannelState
+
+__all__ = ["UniformSweepPolicy", "NoCDSweepPolicy"]
+
+
+class UniformSweepPolicy(UniformPolicy):
+    """Sawtooth exponent sweep with doubling ceiling (CD model)."""
+
+    def __init__(self, initial_ceiling: int = 1) -> None:
+        if initial_ceiling < 1:
+            raise ConfigurationError(
+                f"initial_ceiling must be >= 1, got {initial_ceiling}"
+            )
+        self._ceiling = int(initial_ceiling)
+        self._u = 0
+        self._completed = False
+
+    def transmit_probability(self, step: int) -> float:
+        return probability_from_exponent(float(self._u))
+
+    def observe(self, step: int, state: ChannelState) -> None:
+        if state is ChannelState.SINGLE:
+            self._completed = True
+            return
+        self._u += 1
+        if self._u > self._ceiling:
+            self._u = 0
+            self._ceiling *= 2
+
+    @property
+    def u(self) -> float:
+        return float(self._u)
+
+    @property
+    def ceiling(self) -> int:
+        return self._ceiling
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    def clone(self) -> "UniformSweepPolicy":
+        return UniformSweepPolicy()
+
+    def __repr__(self) -> str:
+        return f"UniformSweepPolicy(u={self._u}, ceiling={self._ceiling})"
+
+
+class NoCDSweepPolicy(UniformPolicy):
+    """No-CD sweep: each exponent of sweep ``K`` is repeated ``K`` times.
+
+    The repetition boosts the per-window success probability enough that
+    the protocol does not need Null/Collision feedback, matching the
+    ``O(log^2 n)`` schedule of [19].  Drive it with
+    ``halt_on_single=True``; intermediate states are ignored.
+    """
+
+    def __init__(self, initial_ceiling: int = 2) -> None:
+        if initial_ceiling < 1:
+            raise ConfigurationError(
+                f"initial_ceiling must be >= 1, got {initial_ceiling}"
+            )
+        self._ceiling = int(initial_ceiling)
+        self._u = 0
+        self._repeat_left = self._ceiling
+        self._completed = False
+
+    def _repeats(self) -> int:
+        return self._ceiling
+
+    def transmit_probability(self, step: int) -> float:
+        return probability_from_exponent(float(self._u))
+
+    def observe(self, step: int, state: ChannelState) -> None:
+        if state is ChannelState.SINGLE:
+            self._completed = True
+            return
+        self._repeat_left -= 1
+        if self._repeat_left > 0:
+            return
+        self._u += 1
+        if self._u > self._ceiling:
+            self._u = 0
+            self._ceiling *= 2
+        self._repeat_left = self._repeats()
+
+    @property
+    def u(self) -> float:
+        return float(self._u)
+
+    @property
+    def ceiling(self) -> int:
+        return self._ceiling
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    def clone(self) -> "NoCDSweepPolicy":
+        return NoCDSweepPolicy()
+
+    def __repr__(self) -> str:
+        return (
+            f"NoCDSweepPolicy(u={self._u}, ceiling={self._ceiling}, "
+            f"repeat_left={self._repeat_left})"
+        )

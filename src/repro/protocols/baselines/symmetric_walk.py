@@ -1,0 +1,57 @@
+"""The Section 2.1 strawman: a symmetric estimator walk.
+
+"...we cannot use symmetric changes or the adversary could force the
+estimate u to diverge to infinity."  This policy is LESK with the
+collision update changed from ``+1/a`` to ``+delta`` (default +1,
+symmetric with the ``-1`` silence update).  Against an adversary with
+``eps < 1/2`` -- more jammed slots than clear ones -- the estimate is
+pushed up faster than genuine silences can pull it down, the transmission
+probability collapses, and no leader is ever elected.  Experiment F1 plots
+the divergence next to LESK's bounded walk.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import UniformPolicy, probability_from_exponent
+from repro.types import ChannelState
+
+__all__ = ["SymmetricWalkPolicy"]
+
+
+class SymmetricWalkPolicy(UniformPolicy):
+    """LESK with a symmetric (non-robust) collision update."""
+
+    def __init__(self, collision_delta: float = 1.0) -> None:
+        if collision_delta <= 0.0:
+            raise ConfigurationError(
+                f"collision_delta must be > 0, got {collision_delta}"
+            )
+        self.collision_delta = float(collision_delta)
+        self._u = 0.0
+        self._completed = False
+
+    def transmit_probability(self, step: int) -> float:
+        return probability_from_exponent(self._u)
+
+    def observe(self, step: int, state: ChannelState) -> None:
+        if state is ChannelState.NULL:
+            self._u = max(self._u - 1.0, 0.0)
+        elif state is ChannelState.COLLISION:
+            self._u += self.collision_delta
+        else:
+            self._completed = True
+
+    @property
+    def u(self) -> float:
+        return self._u
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    def clone(self) -> "SymmetricWalkPolicy":
+        return SymmetricWalkPolicy(self.collision_delta)
+
+    def __repr__(self) -> str:
+        return f"SymmetricWalkPolicy(u={self._u:.3f})"

@@ -1,0 +1,105 @@
+"""Willard-style selection resolution (expected O(log log n), strong-CD).
+
+Follows the classic double-exponential-probe + binary-search scheme of
+Willard (SIAM J. Comput. 1986, reference [25]):
+
+1. **Probe phase**: try exponents ``u = 2^0, 2^1, 2^2, ...`` (transmission
+   probability ``2**-u``) until the channel answers ``Null``.  A ``Null``
+   at exponent ``2^i`` means ``log2 n`` is (w.c.p.) below ``2^i``; together
+   with the preceding ``Collision`` at ``2^(i-1)`` this brackets
+   ``log2 n`` in an interval of length ``2^(i-1)``.
+2. **Binary-search phase**: bisect the bracket on channel feedback --
+   ``Null`` means the exponent is too high, ``Collision`` too low -- until
+   it collapses, then keep broadcasting at the final exponent (each such
+   slot yields a ``Single`` with constant probability).
+
+Expected ``O(log log n)`` slots without an adversary -- much faster than
+LESK -- but a jammed slot *looks like a collision*, sending the binary
+search to the wrong half: the protocol has no robustness whatsoever, which
+is exactly the contrast the comparison experiment shows.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import UniformPolicy, probability_from_exponent
+from repro.types import ChannelState
+
+__all__ = ["WillardPolicy"]
+
+
+class WillardPolicy(UniformPolicy):
+    """Uniform-policy implementation of the probe + bisect scheme."""
+
+    #: Settle slots before declaring the attempt failed and restarting.
+    SETTLE_PATIENCE = 32
+
+    def __init__(self) -> None:
+        self._phase = "probe"
+        self._probe_index = 0  # probing exponent 2**probe_index
+        self._lo = 0.0  # binary-search bracket [lo, hi] on the exponent
+        self._hi = 1.0
+        self._u = 1.0  # current exponent
+        self._settle_slots = 0
+        self._restarts = 0
+        self._completed = False
+
+    # -- UniformPolicy ---------------------------------------------------------
+
+    def transmit_probability(self, step: int) -> float:
+        return probability_from_exponent(self._u)
+
+    def observe(self, step: int, state: ChannelState) -> None:
+        if state is ChannelState.SINGLE:
+            self._completed = True
+            return
+        if self._phase == "probe":
+            if state is ChannelState.NULL:
+                # Bracket found: log2 n in [2**(i-1), 2**i] (approximately).
+                self._hi = float(2**self._probe_index)
+                self._lo = self._hi / 2.0 if self._probe_index > 0 else 0.0
+                self._phase = "bisect"
+                self._u = (self._lo + self._hi) / 2.0
+            else:
+                self._probe_index += 1
+                self._u = float(2**self._probe_index)
+            return
+        if self._phase == "bisect":
+            if state is ChannelState.NULL:
+                self._hi = self._u
+            else:  # COLLISION
+                self._lo = self._u
+            if self._hi - self._lo <= 1.0:
+                self._phase = "settle"
+                self._u = (self._lo + self._hi) / 2.0
+            else:
+                self._u = (self._lo + self._hi) / 2.0
+            return
+        # Settle: keep broadcasting at the settled exponent.  A failed
+        # attempt (bracket misled by noise or jamming) is retried from
+        # scratch, the standard boosting of Willard's constant-probability
+        # guarantee.
+        self._settle_slots += 1
+        if self._settle_slots >= self.SETTLE_PATIENCE:
+            self._phase = "probe"
+            self._probe_index = 0
+            self._u = 1.0
+            self._settle_slots = 0
+            self._restarts += 1
+
+    @property
+    def u(self) -> float:
+        return self._u
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    def clone(self) -> "WillardPolicy":
+        return WillardPolicy()
+
+    def __repr__(self) -> str:
+        return f"WillardPolicy(phase={self._phase}, u={self._u:.2f})"

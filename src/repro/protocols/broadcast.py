@@ -1,0 +1,59 @@
+"""The ``Broadcast(u)`` primitive (Functions 1 and 3 of the paper).
+
+``Broadcast(u)`` = "transmit with probability ``2**-u``; return the status
+of the channel".  In the simulation the primitive is distributed across the
+engine (which resolves the channel) and the station adapters (which apply
+the per-mode return conventions); this module captures the *return value*
+semantics in one reusable function, used by the adapters, documentation
+and tests:
+
+* strong-CD (Function 1): the caller receives the observed channel state,
+  whether or not it transmitted.
+* weak-CD (Function 3): a transmitting caller receives ``Collision`` (its
+  own conservative assumption); a listening caller receives the observed
+  state.
+
+>>> from repro.types import CDMode, ChannelState
+>>> transmit_probability(3.0)
+0.125
+>>> broadcast_feedback(True, ChannelState.SINGLE, CDMode.STRONG).name
+'SINGLE'
+>>> broadcast_feedback(True, ChannelState.SINGLE, CDMode.WEAK).name
+'COLLISION'
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import probability_from_exponent
+from repro.types import CDMode, ChannelState
+
+__all__ = ["broadcast_feedback", "transmit_probability"]
+
+
+def transmit_probability(u: float) -> float:
+    """The ``Broadcast(u)`` transmission probability ``2**-u`` (clamped)."""
+    return probability_from_exponent(u)
+
+
+def broadcast_feedback(
+    transmitted: bool, observed: ChannelState, mode: CDMode
+) -> ChannelState:
+    """Return value of ``Broadcast`` for one caller.
+
+    Parameters
+    ----------
+    transmitted:
+        Whether this caller transmitted in the slot.
+    observed:
+        Observed state of the channel (``COLLISION`` if jammed).
+    mode:
+        ``STRONG`` or ``WEAK`` collision detection.
+    """
+    if mode is CDMode.STRONG:
+        return observed
+    if mode is CDMode.WEAK:
+        if transmitted:
+            return ChannelState.COLLISION
+        return observed
+    raise ConfigurationError("Broadcast is defined for strong-CD and weak-CD only")

@@ -1,0 +1,93 @@
+"""``Estimation(L)`` (Function 2): jam-resistant scale estimation.
+
+Rounds ``r = 1, 2, 3, ...``; round ``r`` consists of ``2**r`` slots, in
+each of which every station calls ``Broadcast(2**r)`` (transmission
+probability ``2**-(2**r)``).  If at least ``L`` slots of the round were
+``Null``, the function returns ``r``.
+
+Lemma 2.8 (for ``L = 2``, ``n >= 115``): with probability at least
+``1 - 2/n**2`` the call either produces a ``Single`` (electing a leader on
+the spot) or returns ``i`` with
+``log log n - 1 <= i <= max{log log n, log T} + 1``, within
+``O(max{log n, T})`` slots.  The intuition: while ``2**-(2**r) >= 1/sqrt(n)``
+silences are exponentially unlikely, and once a round is long enough
+(``2**r >= 2T``) the adversary cannot jam it entirely while the
+transmission probability ``<= 1/n**2`` makes non-jammed slots Null w.h.p.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import UniformPolicy, probability_from_exponent
+from repro.types import ChannelState
+
+__all__ = ["EstimationPolicy"]
+
+
+class EstimationPolicy(UniformPolicy):
+    """Uniform-policy implementation of Function 2.
+
+    :attr:`completed` becomes true when a round accumulates ``L`` nulls;
+    :attr:`result` is then the returned round index.  ``max_round`` guards
+    against unbounded growth when driven without a slot limit.
+    """
+
+    def __init__(self, L: int = 2, max_round: int = 60) -> None:
+        if L < 1:
+            raise ConfigurationError(f"L must be >= 1, got {L}")
+        if max_round < 1:
+            raise ConfigurationError(f"max_round must be >= 1, got {max_round}")
+        self.L = int(L)
+        self.max_round = int(max_round)
+        self._round = 1
+        self._slots_left_in_round = 2  # round r has 2**r slots
+        self._nulls_in_round = 0
+        self._result: int | None = None
+        self.total_steps = 0
+
+    # -- UniformPolicy ---------------------------------------------------------
+
+    def transmit_probability(self, step: int) -> float:
+        # Round r uses Broadcast(2**r): probability 2**-(2**r).
+        return probability_from_exponent(float(2 ** self._round))
+
+    def observe(self, step: int, state: ChannelState) -> None:
+        if self._result is not None:
+            return
+        self.total_steps += 1
+        if state is ChannelState.NULL:
+            self._nulls_in_round += 1
+        self._slots_left_in_round -= 1
+        if self._slots_left_in_round == 0:
+            if self._nulls_in_round >= self.L:
+                self._result = self._round
+                return
+            if self._round >= self.max_round:
+                # Pathological (adversary would need to jam 2**60 slots in a
+                # row); report the cap rather than loop forever.
+                self._result = self._round
+                return
+            self._round += 1
+            self._slots_left_in_round = 2 ** self._round
+            self._nulls_in_round = 0
+
+    @property
+    def completed(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> int | None:
+        return self._result
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    def clone(self) -> "EstimationPolicy":
+        return EstimationPolicy(L=self.L, max_round=self.max_round)
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimationPolicy(L={self.L}, round={self._round}, "
+            f"result={self._result})"
+        )

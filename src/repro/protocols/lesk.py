@@ -1,0 +1,106 @@
+"""LESK -- Leader Election in Strong-CD with Known eps (Algorithm 1).
+
+State: an estimate ``u`` of ``log2 n``, starting at 0.  Every slot each
+station transmits with probability ``2**-u`` (the ``Broadcast(u)``
+primitive) and updates:
+
+* ``Null``      -> ``u = max(u - 1, 0)``   (silence: estimate too high),
+* ``Collision`` -> ``u = u + 1/a`` with ``a = 8/eps``,
+* ``Single``    -> stop; the successful transmitter is the leader.
+
+The asymmetry is the heart of the paper: the adversary can convert any slot
+into an observed ``Collision`` (worth ``+1/a``) but can never fabricate a
+``Null`` (worth ``-1``); with ``a = 8/eps`` each genuine silence neutralizes
+about ``8/eps`` jammed slots, so the walk cannot be pushed away from
+``log2 n`` even when a ``(1-eps)`` fraction of every window is jammed.
+
+Theorem 2.6: against any (T, 1-eps)-bounded adversary LESK elects a leader
+with probability ``1 - 1/n**beta`` within
+``O(max{T, log n / (eps**3 log(1/eps))})`` slots.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import UniformPolicy, probability_from_exponent
+from repro.types import ChannelState
+
+__all__ = ["LESKPolicy", "lesk_parameter_a"]
+
+
+def lesk_parameter_a(eps: float) -> float:
+    """The collision-weight parameter ``a = 8/eps`` of Algorithm 1."""
+    if not (0.0 < eps < 1.0):
+        raise ConfigurationError(f"eps must be in (0, 1), got {eps}")
+    return 8.0 / eps
+
+
+class LESKPolicy(UniformPolicy):
+    """Uniform-policy implementation of Algorithm 1.
+
+    Parameters
+    ----------
+    eps:
+        The (known) adversary parameter; sets ``a = 8/eps``.
+    initial_u:
+        Starting estimate (the paper uses 0; LESU restarts also use 0).
+    floor_at_zero:
+        Whether ``u`` is clamped at 0 on silences, per Algorithm 1's
+        ``u <- max(u - 1, 0)``.
+    """
+
+    def __init__(self, eps: float, initial_u: float = 0.0, floor_at_zero: bool = True) -> None:
+        if initial_u < 0.0:
+            raise ConfigurationError(f"initial_u must be >= 0, got {initial_u}")
+        self.eps = float(eps)
+        self.a = lesk_parameter_a(eps)
+        self.initial_u = float(initial_u)
+        self.floor_at_zero = floor_at_zero
+        self._u = self.initial_u
+        self._completed = False
+        # Update counters, used by the analysis module and experiments.
+        self.nulls_seen = 0
+        self.collisions_seen = 0
+
+    # -- UniformPolicy -------------------------------------------------------
+
+    def transmit_probability(self, step: int) -> float:
+        return probability_from_exponent(self._u)
+
+    def observe(self, step: int, state: ChannelState) -> None:
+        if state is ChannelState.NULL:
+            self.nulls_seen += 1
+            self._u = self._u - 1.0
+            if self.floor_at_zero and self._u < 0.0:
+                self._u = 0.0
+        elif state is ChannelState.COLLISION:
+            self.collisions_seen += 1
+            self._u += 1.0 / self.a
+        else:  # SINGLE: the repeat-until loop exits; tolerate being told.
+            self._completed = True
+
+    @property
+    def u(self) -> float:
+        return self._u
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    def clone(self) -> "LESKPolicy":
+        return LESKPolicy(self.eps, initial_u=self.initial_u, floor_at_zero=self.floor_at_zero)
+
+    # -- introspection --------------------------------------------------------
+
+    def regular_band(self, n: int) -> tuple[float, float]:
+        """The 'regular slot' band for ``u`` from Section 2.2:
+        ``[u0 - log2(2 ln a), u0 + log2(sqrt(a)) + 1]`` with ``u0 = log2 n``."""
+        u0 = math.log2(n)
+        lo = u0 - math.log2(2.0 * math.log(self.a))
+        hi = u0 + 0.5 * math.log2(self.a) + 1.0
+        return lo, hi
+
+    def __repr__(self) -> str:
+        return f"LESKPolicy(eps={self.eps}, u={self._u:.3f})"

@@ -1,0 +1,28 @@
+"""Simulation engines.
+
+* :mod:`repro.sim.engine` -- faithful per-station synchronous engine
+  (ground truth; O(n) per slot).
+* :mod:`repro.sim.fast` -- vectorized engine for uniform protocols: one
+  shared policy state, transmitter counts sampled as ``Binomial(n, p)``
+  (O(1) per slot, independent of n).
+* :mod:`repro.sim.fast_notification` -- aggregate-state engine for weak-CD
+  Notification runs (the Lemma 3.1 proof structure as code; O(1) per slot).
+
+(The baselines package adds vectorized ARS and tournament simulators.)
+Cross-validation tests assert every fast engine is distributionally
+indistinguishable from the faithful one; ``docs/engines.md`` gives the
+equivalence arguments.
+"""
+
+from repro.sim.engine import simulate_stations
+from repro.sim.fast import simulate_uniform_fast
+from repro.sim.fast_notification import simulate_notification_fast
+from repro.sim.metrics import EnergyStats, RunResult
+
+__all__ = [
+    "simulate_stations",
+    "simulate_uniform_fast",
+    "simulate_notification_fast",
+    "RunResult",
+    "EnergyStats",
+]

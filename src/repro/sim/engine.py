@@ -1,0 +1,184 @@
+"""Faithful per-station synchronous engine.
+
+Simulates the Section 1.1 model exactly: every slot, (1) the adversary
+commits its jamming decision from public history, (2) every non-terminated
+station independently decides to transmit or listen, (3) the channel
+resolves, (4) feedback is delivered per the CD mode.  Terminated stations
+sleep (no transmissions, no updates).
+
+This engine is the ground truth: O(n) per slot, used for the weak-CD
+Notification runs, the non-uniform baselines, and cross-validation of the
+fast engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.adversary.base import Adversary, AdversaryView
+from repro.channel.channel import resolve_slot
+from repro.channel.feedback import feedback_for
+from repro.channel.trace import ChannelTrace
+from repro.errors import ConfigurationError
+from repro.protocols.base import StationProtocol
+from repro.rng import RngLike, make_rng, spawn_many
+from repro.sim.metrics import EnergyStats, RunResult
+from repro.types import Action, CDMode, PerceivedState, SlotFeedback
+
+__all__ = ["simulate_stations"]
+
+
+def simulate_stations(
+    stations: Sequence[StationProtocol],
+    adversary: Adversary,
+    cd_mode: CDMode,
+    max_slots: int,
+    seed: RngLike = None,
+    record_trace: bool = False,
+    stop_on_first_single: bool = False,
+    stop_when_all_done: bool = True,
+) -> RunResult:
+    """Run *stations* against *adversary* until termination.
+
+    Parameters
+    ----------
+    stations:
+        Fresh station protocol instances, one per honest station.  The
+        engine resets each with a private RNG stream.
+    adversary:
+        Budget-enforced adversary (reset by the engine).
+    cd_mode:
+        Collision-detection model used for feedback delivery.
+    max_slots:
+        Hard slot limit; reaching it marks the result ``timed_out``.
+    seed:
+        Root seed or generator; station and adversary streams are spawned
+        from it.
+    record_trace:
+        Keep the full slot-by-slot trace on the result.
+    stop_on_first_single:
+        End the run at the first successful ``Single`` (selection
+        resolution semantics) even if stations have not terminated --
+        used when measuring strong-CD election time, where the first
+        ``Single`` *is* the election.
+    stop_when_all_done:
+        End the run once every station reports ``done`` (the normal
+        termination criterion for Notification runs).
+    """
+    n = len(stations)
+    if n < 1:
+        raise ConfigurationError("need at least one station")
+    if max_slots < 1:
+        raise ConfigurationError(f"max_slots must be >= 1, got {max_slots}")
+
+    root = make_rng(seed)
+    station_rngs = spawn_many(root, n)
+    adversary.reset(seed=root.spawn(1)[0])
+    for sid, (station, srng) in enumerate(zip(stations, station_rngs)):
+        station.reset(sid, srng)
+
+    trace = ChannelTrace(record_probabilities=True)
+    energy = EnergyStats(per_station_transmissions=[0] * n)
+    actions: list[Action] = [Action.LISTEN] * n
+    slots_run = 0
+    first_single: int | None = None
+    timed_out = True
+
+    for slot in range(max_slots):
+        # (1) adversary commits, seeing history but not current actions.
+        probe = stations[0]
+        view = AdversaryView(
+            slot=slot,
+            n=n,
+            trace=trace,
+            budget=adversary.budget,
+            transmit_probability=probe.transmit_probability_hint(),
+            protocol_u=probe.u_hint(),
+        )
+        jammed = adversary.decide(view)
+
+        # (2) stations act.
+        k = 0
+        for sid, station in enumerate(stations):
+            if station.done:
+                actions[sid] = Action.LISTEN
+                continue
+            action = station.begin_slot(slot)
+            actions[sid] = action
+            if action is Action.TRANSMIT:
+                k += 1
+                energy.transmissions += 1
+                energy.per_station_transmissions[sid] += 1
+            elif action is Action.LISTEN:
+                energy.listening += 1
+            # SLEEP: radio off, no energy, no feedback content.
+
+        # (3) channel resolves.
+        outcome = resolve_slot(slot, k, jammed)
+        trace.append(
+            transmitters=k,
+            jammed=jammed,
+            true_state=outcome.true_state,
+            observed_state=outcome.observed_state,
+            probability=view.transmit_probability,
+            u=view.protocol_u,
+        )
+        if outcome.successful_single and first_single is None:
+            first_single = slot
+
+        # (4) feedback to active stations.
+        for sid, station in enumerate(stations):
+            if station.done and actions[sid] is Action.LISTEN:
+                # Terminated stations sleep; skip delivery.  (A station that
+                # transmitted and became done in a previous slot is already
+                # covered by the same check.)
+                continue
+            if actions[sid] is Action.SLEEP:
+                # A sleeping station learns nothing about the slot.
+                fb = SlotFeedback(transmitted=False, perceived=PerceivedState.UNKNOWN)
+            else:
+                fb = feedback_for(
+                    transmitted=actions[sid] is Action.TRANSMIT,
+                    observed=outcome.observed_state,
+                    mode=cd_mode,
+                )
+            station.end_slot(slot, fb)
+
+        slots_run = slot + 1
+        if stop_on_first_single and first_single is not None:
+            timed_out = False
+            break
+        if stop_when_all_done and all(s.done for s in stations):
+            timed_out = False
+            break
+
+    leaders = [sid for sid, s in enumerate(stations) if s.is_leader]
+    all_done = all(s.done for s in stations)
+    if stop_on_first_single:
+        elected = first_single is not None
+        leader = leaders[0] if len(leaders) == 1 else None
+    else:
+        elected = all_done and len(leaders) == 1
+        leader = leaders[0] if elected else None
+    return RunResult(
+        n=n,
+        slots=slots_run,
+        elected=elected,
+        leader=leader,
+        first_single_slot=first_single,
+        all_terminated=all_done,
+        leaders_count=len(leaders),
+        jams=adversary.budget.jams_granted,
+        jam_denied=adversary.budget.denied_requests,
+        energy=energy,
+        trace=trace if record_trace else None,
+        timed_out=timed_out,
+    )
+
+
+def build_stations(factory: Callable[[], StationProtocol], n: int) -> list[StationProtocol]:
+    """Construct *n* fresh stations from a zero-argument factory."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return [factory() for _ in range(n)]

@@ -1,0 +1,248 @@
+"""Fast aggregate-state simulator for Notification runs (LEWK / LEWU).
+
+The faithful engine costs O(n) per slot, which caps weak-CD experiments at
+moderate sizes.  This engine exploits the structure of the Lemma 3.1 proof:
+at every moment the population decomposes into at most three *distinguished*
+stations/groups, each of which is either a deterministic transmitter or a
+uniform group whose transmitter count is ``Binomial(count, p)``:
+
+* **Phase 1** -- all ``n`` stations run ``A`` in ``C_1`` with one shared
+  state.  The first clear ``Single`` in ``C_1`` crowns the candidate ``l``.
+* **Phase 2** -- the ``n-1`` listeners run a fresh ``A`` in ``C_2`` (one
+  shared state); ``l`` keeps running its own ``A`` in ``C_1`` alone.  The
+  first clear ``Single`` in ``C_2`` (transmitter ``s``) tells ``l`` it is
+  the leader.  (Jammed would-be Singles keep the group uniform: the
+  transmitter's Collision assumption matches what listeners observe.)
+* **Phase 3** -- ``l`` transmits in every ``C_3`` slot; the ``n-2``
+  notified non-leaders transmit in every ``C_1`` slot; ``s`` keeps running
+  ``A`` in ``C_2`` alone.  The first clear ``C_3`` slot is a ``Single``
+  (only ``l`` transmits there) and terminates everyone but ``l``.
+* **Phase 4** -- ``l`` waits for a clear (hence silent) ``C_1`` slot and
+  terminates as leader.
+
+Per-slot cost is O(1); cross-validated distributionally against the
+faithful engine in ``tests/sim/test_fast_notification.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adversary.base import Adversary, AdversaryView
+from repro.channel.channel import resolve_slot
+from repro.channel.trace import ChannelTrace
+from repro.errors import ConfigurationError
+from repro.protocols.base import UniformPolicy
+from repro.protocols.intervals import interval_of_slot
+from repro.rng import RngLike, make_rng
+from repro.sim.metrics import EnergyStats, RunResult
+from repro.types import ChannelState
+
+__all__ = ["simulate_notification_fast"]
+
+
+class _PolicyRun:
+    """One executing copy of ``A`` restarted at every interval boundary."""
+
+    def __init__(self, factory: Callable[[], UniformPolicy], run_set: int) -> None:
+        self.factory = factory
+        self.run_set = run_set  # which C_j this copy runs in
+        self.policy: UniformPolicy | None = None
+        self.key: tuple[int, int] | None = None
+        self.step = 0
+
+    def probability(self, iv) -> float:
+        """Transmission probability for a slot of interval *iv* (resets A
+        at interval boundaries, per Function 4)."""
+        key = (iv.j, iv.i)
+        if self.policy is None or self.key != key:
+            self.policy = self.factory()
+            self.key = key
+            self.step = 0
+        return self.policy.transmit_probability(self.step)
+
+    def observe(self, state: ChannelState) -> None:
+        """Advance A's state by one observed slot."""
+        assert self.policy is not None
+        self.policy.observe(self.step, state)
+        self.step += 1
+
+    def fork(self) -> "_PolicyRun":
+        """Clone for a station whose state diverges from the group (the C2
+        transmitter ``s``): same parameters, same *current* state.
+
+        Policies are deterministic given observations, so replaying is
+        unnecessary -- but the instance is shared-mutable; the group is
+        about to stop using it, so handing over the object is safe.
+        """
+        clone = _PolicyRun(self.factory, self.run_set)
+        clone.policy = self.policy
+        clone.key = self.key
+        clone.step = self.step
+        return clone
+
+
+def simulate_notification_fast(
+    algorithm_factory: Callable[[], UniformPolicy],
+    n: int,
+    adversary: Adversary,
+    max_slots: int,
+    seed: RngLike = None,
+    record_trace: bool = False,
+) -> RunResult:
+    """Simulate Notification(A) over *n* weak-CD stations in O(1)/slot.
+
+    Parameters mirror :func:`repro.sim.fast.simulate_uniform_fast`; the
+    *algorithm_factory* produces fresh instances of the wrapped
+    first-``Single`` algorithm ``A`` (e.g. ``lambda: LESKPolicy(0.5)``).
+    """
+    if n < 3:
+        raise ConfigurationError(
+            f"the fast Notification engine needs n >= 3 (Lemma 3.1's own "
+            f"assumption: without a notifying crowd in C_1 the leader can "
+            f"quit before the C_2 winner is informed); got n = {n}.  Use the "
+            f"faithful engine for n = 2."
+        )
+    if max_slots < 1:
+        raise ConfigurationError(f"max_slots must be >= 1, got {max_slots}")
+
+    rng = make_rng(seed)
+    adversary.reset(seed=rng.spawn(1)[0])
+    trace = ChannelTrace()
+    energy = EnergyStats()
+
+    phase = 1
+    group = _PolicyRun(algorithm_factory, run_set=1)  # phase-1 crowd, then C2 crowd
+    group_count = n
+    l_run: _PolicyRun | None = None  # candidate leader's own A in C1
+    s_run: _PolicyRun | None = None  # C2 winner's own A in C2
+    nonleaders_notifying = 0  # stations transmitting in C1 (phase >= 3)
+    s_active = False
+    leader_done = False
+    slots_run = 0
+    timed_out = True
+
+    def sample(count: int, p: float) -> int:
+        if count <= 0 or p <= 0.0:
+            return 0
+        if p >= 1.0:
+            return count
+        return int(rng.binomial(count, p))
+
+    for slot in range(max_slots):
+        iv = interval_of_slot(slot)
+        view = AdversaryView(
+            slot=slot, n=n, trace=trace, budget=adversary.budget
+        )
+        jammed = adversary.decide(view)
+
+        k = 0
+        group_p = l_p = s_p = 0.0
+        group_k = l_tx = s_tx = 0
+        if iv is not None:
+            if iv.j == 1:
+                if phase == 1:
+                    group_p = group.probability(iv)
+                    group_k = sample(group_count, group_p)
+                    k += group_k
+                elif phase == 2 and l_run is not None:
+                    # l keeps running A alone in C1, oblivious to its win.
+                    l_p = l_run.probability(iv)
+                    l_tx = sample(1, l_p)
+                    k += l_tx
+                # Phase 3: the notified non-leaders keep C1 busy so the
+                # leader does not quit early (the n >= 3 mechanism).
+                k += nonleaders_notifying
+            elif iv.j == 2:
+                if phase == 2:
+                    group_p = group.probability(iv)
+                    group_k = sample(group_count, group_p)
+                    k += group_k
+                elif s_active and s_run is not None:
+                    s_p = s_run.probability(iv)
+                    s_tx = sample(1, s_p)
+                    k += s_tx
+            elif iv.j == 3:
+                if phase >= 3 and not leader_done:
+                    k += 1  # the leader transmits in every C3 slot
+
+        outcome = resolve_slot(slot, k, jammed)
+        energy.transmissions += k
+        trace.append(
+            transmitters=k,
+            jammed=jammed,
+            true_state=outcome.true_state,
+            observed_state=outcome.observed_state,
+        )
+        slots_run = slot + 1
+        observed = outcome.observed_state
+        clear_single = outcome.successful_single
+
+        if iv is None:
+            continue
+
+        if phase == 1:
+            if iv.j == 1 and group.policy is not None:
+                if clear_single and group_k == 1:
+                    # The transmitter l missed the Single and plays on alone
+                    # in C1; everyone else moves to the C2 execution.
+                    l_run = group.fork()
+                    l_run.observe(ChannelState.COLLISION)  # Function 3 view
+                    group = _PolicyRun(algorithm_factory, run_set=2)
+                    group_count = n - 1
+                    phase = 2
+                else:
+                    group.observe(observed)
+        elif phase == 2:
+            if iv.j == 1 and l_run is not None and l_run.policy is not None:
+                # l's solo C1 slot: it observes its own Broadcast result.
+                if l_tx:
+                    l_run.observe(ChannelState.COLLISION)
+                else:
+                    l_run.observe(observed)
+            elif iv.j == 2 and group.policy is not None:
+                if clear_single and group_k == 1:
+                    # Second Single: l learns it is the leader; the n-2
+                    # listeners start hammering C1; the transmitter s plays
+                    # on alone in C2 with the Collision view.
+                    s_run = group.fork()
+                    s_run.observe(ChannelState.COLLISION)
+                    s_active = True
+                    nonleaders_notifying = group_count - 1
+                    phase = 3
+                else:
+                    group.observe(observed)
+        elif phase == 3:
+            if iv.j == 2 and s_active and s_run is not None and s_run.policy is not None:
+                if s_tx:
+                    s_run.observe(ChannelState.COLLISION)
+                else:
+                    s_run.observe(observed)
+            if iv.j == 3 and clear_single:
+                # The leader's announcement: s and the notifying crowd quit.
+                s_active = False
+                nonleaders_notifying = 0
+                phase = 4
+        elif phase == 4:
+            if iv.j == 1 and observed is ChannelState.NULL:
+                leader_done = True
+                timed_out = False
+                break
+
+    elected = leader_done
+    leader = int(rng.integers(n)) if elected else None
+    energy.listening = n * slots_run - energy.transmissions
+    return RunResult(
+        n=n,
+        slots=slots_run,
+        elected=elected,
+        leader=leader,
+        first_single_slot=trace.first_single_slot,
+        all_terminated=elected,
+        leaders_count=1 if elected else 0,
+        jams=adversary.budget.jams_granted,
+        jam_denied=adversary.budget.denied_requests,
+        energy=energy,
+        trace=trace if record_trace else None,
+        timed_out=timed_out,
+    )

@@ -1,0 +1,109 @@
+"""Run results and energy accounting.
+
+Energy follows the convention of the radio-network literature (e.g. the
+authors' ICPP'13 paper on energy-efficient leader election): a station
+spends one unit per slot in which it transmits and one per slot in which
+it listens; sleeping is free.  In this paper's model every non-transmitting
+station listens, so listening energy equals ``slots * n - transmissions``
+for the faithful engine (done stations are assumed asleep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channel.trace import ChannelTrace
+
+__all__ = ["EnergyStats", "RunResult"]
+
+
+@dataclass(slots=True)
+class EnergyStats:
+    """Aggregate energy accounting for a run."""
+
+    #: Total transmissions across all stations and slots.
+    transmissions: int = 0
+    #: Total station-slots spent listening (awake but not transmitting).
+    listening: int = 0
+    #: Per-station transmission counts (faithful engine only; empty for the
+    #: fast engine, which tracks only the total).
+    per_station_transmissions: list[int] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.transmissions + self.listening
+
+    def transmissions_per_station(self, n: int) -> float:
+        """Mean transmissions per station."""
+        return self.transmissions / n if n else 0.0
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    n:
+        Number of honest stations.
+    slots:
+        Number of slots simulated before the run ended.
+    elected:
+        Whether a leader was successfully elected (protocol-specific: for
+        strong-CD protocols, a successful ``Single`` occurred; for
+        Notification runs, all stations terminated with exactly one leader).
+    leader:
+        Station id of the leader, if any.
+    first_single_slot:
+        Slot of the first successful (non-jammed) ``Single``, if any --
+        the "selection resolution" time.
+    all_terminated:
+        Whether every station reached its ``done`` state (always true for
+        fast strong-CD runs that elected).
+    leaders_count:
+        Number of stations that believe they are the leader (must be 1 for
+        a correct election; recorded to let tests assert uniqueness).
+    jams:
+        Slots jammed by the adversary.
+    jam_denied:
+        Jam requests clamped by the budget harness.
+    energy:
+        Energy accounting.
+    policy_result:
+        For policy runs that complete on their own (e.g. ``Estimation``),
+        the policy's result value.
+    trace:
+        Full slot-by-slot trace if recording was enabled.
+    timed_out:
+        True when the run hit ``max_slots`` without finishing.
+    """
+
+    n: int
+    slots: int
+    elected: bool
+    leader: int | None = None
+    first_single_slot: int | None = None
+    all_terminated: bool = False
+    leaders_count: int = 0
+    jams: int = 0
+    jam_denied: int = 0
+    energy: EnergyStats = field(default_factory=EnergyStats)
+    policy_result: object | None = None
+    trace: ChannelTrace | None = None
+    timed_out: bool = False
+
+    @property
+    def election_slot(self) -> int | None:
+        """Alias used by experiments: slot index at which election resolved
+        (first successful Single)."""
+        return self.first_single_slot
+
+    def require_elected(self) -> "RunResult":
+        """Raise if the run did not elect; convenience for examples."""
+        if not self.elected:
+            from repro.errors import SimulationError
+
+            raise SimulationError(
+                f"no leader elected within {self.slots} slots (n={self.n})"
+            )
+        return self

@@ -1,0 +1,75 @@
+"""Saving and loading channel traces (CSV).
+
+Experiment figures (F1's ``u`` trajectories, success curves) are series of
+per-slot values; this module round-trips :class:`ChannelTrace` objects to
+CSV so traces can be archived with experiment outputs and re-analyzed
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+
+from repro.channel.trace import ChannelTrace
+from repro.errors import ConfigurationError
+from repro.types import ChannelState
+
+__all__ = ["trace_to_csv", "trace_from_csv", "save_trace", "load_trace"]
+
+_FIELDS = ["slot", "transmitters", "jammed", "true_state", "observed_state", "probability", "u"]
+
+
+def trace_to_csv(trace: ChannelTrace) -> str:
+    """Serialize a trace to CSV text (header + one row per slot)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for row in trace.to_rows():
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def trace_from_csv(text: str) -> ChannelTrace:
+    """Rebuild a trace from :func:`trace_to_csv` output.
+
+    Counters (singles, jams, first-single slot) are reconstructed by
+    replaying the rows through :meth:`ChannelTrace.append`, so a loaded
+    trace is indistinguishable from a recorded one.
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames != _FIELDS:
+        raise ConfigurationError(
+            f"unexpected trace header {reader.fieldnames!r}; expected {_FIELDS}"
+        )
+    trace = ChannelTrace()
+    for i, row in enumerate(reader):
+        if int(row["slot"]) != i:
+            raise ConfigurationError(
+                f"trace rows out of order: row {i} has slot {row['slot']}"
+            )
+        prob = float(row["probability"]) if row["probability"] else math.nan
+        u = float(row["u"]) if row["u"] else math.nan
+        trace.append(
+            transmitters=int(row["transmitters"]),
+            jammed=row["jammed"] == "True",
+            true_state=ChannelState[row["true_state"]],
+            observed_state=ChannelState[row["observed_state"]],
+            probability=prob,
+            u=u,
+        )
+    return trace
+
+
+def save_trace(trace: ChannelTrace, path: str | Path) -> Path:
+    """Write a trace to *path* as CSV; returns the path."""
+    path = Path(path)
+    path.write_text(trace_to_csv(trace))
+    return path
+
+
+def load_trace(path: str | Path) -> ChannelTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_csv(Path(path).read_text())

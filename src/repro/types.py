@@ -1,0 +1,115 @@
+"""Core value types shared across the whole library.
+
+The model follows Section 1.1 of Klonowski & Pajak (SPAA 2015):
+
+* time is slotted; in every slot each station either transmits or listens;
+* the channel is in one of three *true* states depending on the number of
+  simultaneous transmitters: ``NULL`` (0), ``SINGLE`` (1) or ``COLLISION``
+  (>= 2);
+* a slot jammed by the adversary is indistinguishable from a collision, so
+  the *observed* state of a jammed slot is always ``COLLISION``;
+* what a particular station perceives additionally depends on the
+  collision-detection (CD) mode -- see :mod:`repro.channel.feedback`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "ChannelState",
+    "PerceivedState",
+    "CDMode",
+    "Action",
+    "SlotFeedback",
+]
+
+
+class ChannelState(enum.IntEnum):
+    """True (physical) state of the channel in a slot."""
+
+    NULL = 0
+    SINGLE = 1
+    COLLISION = 2
+
+    @classmethod
+    def from_transmitter_count(cls, k: int) -> "ChannelState":
+        """Map the number of simultaneous transmitters to the true state."""
+        if k < 0:
+            raise ValueError(f"transmitter count must be >= 0, got {k}")
+        if k == 0:
+            return cls.NULL
+        if k == 1:
+            return cls.SINGLE
+        return cls.COLLISION
+
+
+class PerceivedState(enum.IntEnum):
+    """What an individual station perceives about a slot.
+
+    ``NULL`` / ``SINGLE`` / ``COLLISION`` mirror :class:`ChannelState`.
+    ``NO_SINGLE`` is the coarse feedback of the no-CD model, where a
+    listener can only tell whether exactly one station transmitted.
+    ``UNKNOWN`` is what a weak-CD transmitter perceives at the physical
+    layer: it knows it transmitted but learns nothing about the channel.
+    (Function 3 of the paper makes the *protocol* treat this as a
+    collision, but the physical perception is "unknown".)
+    """
+
+    NULL = 0
+    SINGLE = 1
+    COLLISION = 2
+    NO_SINGLE = 3
+    UNKNOWN = 4
+
+
+class CDMode(enum.Enum):
+    """Collision-detection capability of the stations (Section 1.1)."""
+
+    #: Stations transmit and listen simultaneously; everyone receives the
+    #: observed state of every slot.
+    STRONG = "strong-cd"
+    #: Only non-transmitting stations receive the observed state of the slot.
+    WEAK = "weak-cd"
+    #: Listeners can only distinguish ``SINGLE`` from "not single".
+    NO_CD = "no-cd"
+
+
+class Action(enum.IntEnum):
+    """Per-slot decision of a station.
+
+    ``SLEEP`` powers the radio down entirely: the station neither
+    transmits nor hears anything (and spends no energy).  The paper's
+    protocols never sleep -- every non-transmitting station listens -- but
+    energy-efficient baselines (cf. the authors' ICPP'13 line of work,
+    reference [13]) rely on it.
+    """
+
+    LISTEN = 0
+    TRANSMIT = 1
+    SLEEP = 2
+
+
+@dataclass(frozen=True, slots=True)
+class SlotFeedback:
+    """Feedback delivered to one station at the end of one slot.
+
+    Attributes
+    ----------
+    transmitted:
+        Whether this station transmitted in the slot.
+    perceived:
+        The station's perception of the slot, after applying the CD mode
+        and adversarial jamming (a jammed slot is perceived as
+        ``COLLISION`` by listeners in CD models, and as ``NO_SINGLE`` in
+        the no-CD model).
+    """
+
+    transmitted: bool
+    perceived: PerceivedState
+
+    @property
+    def heard_single(self) -> bool:
+        """True if the station (as a listener) heard a successful message."""
+        return not self.transmitted and self.perceived is PerceivedState.SINGLE

@@ -1,0 +1,74 @@
+"""Stateful property testing of JammingBudget.
+
+A hypothesis rule-based machine interleaves grants, side-effect-free
+queries and copies, and checks every invariant against a naive reference
+model that stores the whole grant history.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.adversary.budget import JammingBudget
+from repro.adversary.validation import check_bounded
+
+
+class BudgetMachine(RuleBasedStateMachine):
+    T = 6
+    EPS = 0.4
+
+    def __init__(self):
+        super().__init__()
+        self.budget = JammingBudget(self.T, self.EPS)
+        self.granted: list[bool] = []
+        self.clones: list[tuple[JammingBudget, list[bool]]] = []
+
+    @rule(want=st.booleans())
+    def grant(self, want):
+        before_can = self.budget.can_jam()
+        got = self.budget.grant(want)
+        # grant agrees with the preceding can_jam answer.
+        assert got == (want and before_can)
+        self.granted.append(got)
+
+    @rule()
+    def query_is_pure(self):
+        slot = self.budget.slot
+        jams = self.budget.jams_granted
+        self.budget.can_jam()
+        self.budget.headroom()
+        assert self.budget.slot == slot
+        assert self.budget.jams_granted == jams
+
+    @rule()
+    def take_copy(self):
+        if len(self.clones) < 3:
+            self.clones.append((self.budget.copy(), list(self.granted)))
+
+    @rule(extra=st.lists(st.booleans(), min_size=1, max_size=10))
+    def drive_copy_independently(self, extra):
+        if not self.clones:
+            return
+        clone, history = self.clones.pop()
+        for want in extra:
+            history.append(clone.grant(want))
+        assert check_bounded(history, self.T, self.EPS)
+        # The original is untouched by the clone's activity.
+        assert self.budget.slot == len(self.granted)
+
+    @invariant()
+    def granted_history_is_always_bounded(self):
+        assert check_bounded(self.granted, self.T, self.EPS)
+
+    @invariant()
+    def counters_match_history(self):
+        assert self.budget.slot == len(self.granted)
+        assert self.budget.jams_granted == sum(self.granted)
+
+
+TestBudgetMachine = BudgetMachine.TestCase
+TestBudgetMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None, derandomize=True
+)

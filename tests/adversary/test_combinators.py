@@ -1,0 +1,126 @@
+"""Tests for strategy combinators (repro.adversary.combinators)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import Adversary, AdversaryView, as_strategy
+from repro.adversary.budget import JammingBudget
+from repro.adversary.combinators import AllOf, Alternating, AnyOf, Mixture, Not
+from repro.adversary.oblivious import NoJamming, SaturatingJammer
+from repro.adversary.validation import check_bounded
+from repro.channel.trace import ChannelTrace
+from repro.errors import ConfigurationError
+
+RNG = np.random.default_rng(0)
+
+
+def view(slot=0):
+    return AdversaryView(
+        slot=slot, n=64, trace=ChannelTrace(), budget=JammingBudget(8, 0.5)
+    )
+
+
+EVEN = lambda: as_strategy(lambda v, r: v.slot % 2 == 0, "even")  # noqa: E731
+MOD3 = lambda: as_strategy(lambda v, r: v.slot % 3 == 0, "mod3")  # noqa: E731
+
+
+class TestAnyAll:
+    def test_any_of_is_union(self):
+        s = AnyOf(EVEN(), MOD3())
+        wants = [s.wants_jam(view(t), RNG) for t in range(6)]
+        assert wants == [True, False, True, True, True, False]
+
+    def test_all_of_is_intersection(self):
+        s = AllOf(EVEN(), MOD3())
+        wants = [s.wants_jam(view(t), RNG) for t in range(7)]
+        assert wants == [True, False, False, False, False, False, True]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnyOf()
+        with pytest.raises(ConfigurationError):
+            AllOf()
+
+
+class TestAlternating:
+    def test_phase_switching(self):
+        s = Alternating([SaturatingJammer(), NoJamming()], phase_length=2)
+        wants = [s.wants_jam(view(t), RNG) for t in range(8)]
+        assert wants == [True, True, False, False, True, True, False, False]
+
+    def test_bad_phase_length(self):
+        with pytest.raises(ConfigurationError):
+            Alternating([NoJamming()], phase_length=0)
+
+
+class TestMixture:
+    def test_degenerate_weight_selects_single_child(self):
+        s = Mixture([SaturatingJammer(), NoJamming()], weights=[0.0, 1.0])
+        assert not any(s.wants_jam(view(t), RNG) for t in range(20))
+
+    def test_uniform_mixture_rate(self):
+        s = Mixture([SaturatingJammer(), NoJamming()])
+        rng = np.random.default_rng(3)
+        rate = np.mean([s.wants_jam(view(t), rng) for t in range(4000)])
+        assert 0.45 < rate < 0.55
+
+    def test_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            Mixture([NoJamming()], weights=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            Mixture([NoJamming()], weights=[0.0])
+
+
+class TestNot:
+    def test_complement(self):
+        s = Not(EVEN())
+        assert not s.wants_jam(view(0), RNG)
+        assert s.wants_jam(view(1), RNG)
+
+
+class TestEndToEnd:
+    def test_composite_still_budget_bounded(self):
+        """Composition happens above the budget: the harness still clamps."""
+        strategy = AnyOf(SaturatingJammer(), Not(NoJamming()))
+        adv = Adversary(strategy, T=4, eps=0.5, seed=1)
+        trace = ChannelTrace()
+        granted = []
+        for slot in range(60):
+            v = AdversaryView(slot=slot, n=8, trace=trace, budget=adv.budget)
+            granted.append(adv.decide(v))
+            from repro.channel.channel import resolve_slot
+
+            out = resolve_slot(slot, 0, granted[-1])
+            trace.append(0, granted[-1], out.true_state, out.observed_state)
+        assert check_bounded(granted, 4, 0.5)
+
+    def test_lesk_survives_composite_attack(self):
+        """A union of the two strongest adaptive attacks is still harmless
+        to LESK (Thm 2.6 is adversary-universal)."""
+        from repro.adversary.adaptive import SilenceMasker, SingleSuppressor
+        from repro.protocols.lesk import LESKPolicy
+        from repro.sim.fast import simulate_uniform_fast
+
+        strategy = AnyOf(SingleSuppressor(), SilenceMasker())
+        adv = Adversary(strategy, T=16, eps=0.4, seed=2)
+        result = simulate_uniform_fast(
+            LESKPolicy(0.4), n=1024, adversary=adv, max_slots=100_000, seed=5
+        )
+        assert result.elected
+        from repro.analysis.bounds import lesk_exact_slot_bound
+
+        assert result.slots <= lesk_exact_slot_bound(1024, 0.4)
+
+    def test_reset_propagates(self):
+        inner = SaturatingJammer()
+        resets = []
+        inner.reset = lambda: resets.append(1)  # type: ignore[method-assign]
+        AnyOf(inner).reset()
+        Alternating([inner], 2).reset()
+        Mixture([inner]).reset()
+        Not(inner).reset()
+        assert len(resets) == 4

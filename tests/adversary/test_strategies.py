@@ -1,0 +1,241 @@
+"""Tests for the jamming strategies (oblivious and adaptive) and the
+Adversary harness / registry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.adaptive import (
+    EstimatorAttacker,
+    ReactiveJammer,
+    SilenceMasker,
+    SingleSuppressor,
+)
+from repro.adversary.base import Adversary, AdversaryView, as_strategy
+from repro.adversary.budget import JammingBudget
+from repro.adversary.oblivious import (
+    BurstJammer,
+    NoJamming,
+    PeriodicFrontJammer,
+    RandomJammer,
+    SaturatingJammer,
+)
+from repro.adversary.suite import STRATEGY_REGISTRY, make_adversary, strategy_names
+from repro.adversary.validation import check_bounded
+from repro.channel.channel import resolve_slot
+from repro.channel.trace import ChannelTrace
+from repro.errors import ConfigurationError
+from repro.types import ChannelState
+
+
+def make_view(slot=0, n=100, trace=None, budget=None, p=math.nan, u=math.nan):
+    return AdversaryView(
+        slot=slot,
+        n=n,
+        trace=trace if trace is not None else ChannelTrace(),
+        budget=budget if budget is not None else JammingBudget(8, 0.5),
+        transmit_probability=p,
+        protocol_u=u,
+    )
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestOblivious:
+    def test_no_jamming_never_wants(self):
+        s = NoJamming()
+        assert not any(s.wants_jam(make_view(slot=t), RNG) for t in range(50))
+
+    def test_periodic_front_pattern(self):
+        s = PeriodicFrontJammer(T=8, eps=0.5)
+        wants = [s.wants_jam(make_view(slot=t), RNG) for t in range(16)]
+        assert wants == [True] * 4 + [False] * 4 + [True] * 4 + [False] * 4
+
+    def test_periodic_front_small_eps_jams_most(self):
+        s = PeriodicFrontJammer(T=10, eps=0.1)
+        assert s.jam_prefix == 9
+
+    def test_periodic_front_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicFrontJammer(T=0, eps=0.5)
+        with pytest.raises(ConfigurationError):
+            PeriodicFrontJammer(T=8, eps=0.0)
+
+    def test_random_jammer_rate(self):
+        s = RandomJammer(rate=0.3)
+        rng = np.random.default_rng(1)
+        wants = [s.wants_jam(make_view(slot=t), rng) for t in range(4000)]
+        assert 0.25 < np.mean(wants) < 0.35
+
+    def test_random_jammer_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomJammer(rate=1.5)
+
+    def test_burst_jammer_cycle(self):
+        s = BurstJammer(burst=2, gap=3)
+        wants = [s.wants_jam(make_view(slot=t), RNG) for t in range(10)]
+        assert wants == [True, True, False, False, False] * 2
+
+    def test_burst_jammer_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstJammer(burst=0, gap=0)
+
+    def test_saturating_always_wants(self):
+        s = SaturatingJammer()
+        assert all(s.wants_jam(make_view(slot=t), RNG) for t in range(10))
+
+
+class TestAdaptive:
+    def test_reactive_triggers_on_previous_null(self):
+        s = ReactiveJammer()
+        trace = ChannelTrace()
+        out = resolve_slot(0, 0, False)  # Null
+        trace.append(0, False, out.true_state, out.observed_state)
+        assert s.wants_jam(make_view(slot=1, trace=trace), RNG)
+        out2 = resolve_slot(1, 3, False)  # Collision
+        trace.append(3, False, out2.true_state, out2.observed_state)
+        assert not s.wants_jam(make_view(slot=2, trace=trace), RNG)
+
+    def test_reactive_first_slot_never_jams(self):
+        assert not ReactiveJammer().wants_jam(make_view(slot=0), RNG)
+
+    def test_reactive_custom_triggers(self):
+        s = ReactiveJammer(triggers=(ChannelState.COLLISION,))
+        trace = ChannelTrace()
+        out = resolve_slot(0, 5, False)
+        trace.append(5, False, out.true_state, out.observed_state)
+        assert s.wants_jam(make_view(slot=1, trace=trace), RNG)
+
+    def test_single_suppressor_targets_dangerous_p(self):
+        s = SingleSuppressor(threshold=0.1)
+        n = 1000
+        # p = 1/n: P[Single] ~ 1/e, dangerous.
+        assert s.wants_jam(make_view(n=n, p=1.0 / n), RNG)
+        # p = 1 (everyone transmits): certain collision, harmless.
+        assert not s.wants_jam(make_view(n=n, p=1.0), RNG)
+        # p tiny: certain null, harmless.
+        assert not s.wants_jam(make_view(n=n, p=1e-9), RNG)
+
+    def test_single_suppressor_saturates_without_info(self):
+        assert SingleSuppressor().wants_jam(make_view(p=math.nan), RNG)
+
+    def test_estimator_attacker_band(self):
+        s = EstimatorAttacker(margin=2.0)
+        n = 1024  # log2 n = 10
+        assert s.wants_jam(make_view(n=n, u=10.0), RNG)
+        assert s.wants_jam(make_view(n=n, u=8.5), RNG)
+        assert not s.wants_jam(make_view(n=n, u=4.0), RNG)
+        assert not s.wants_jam(make_view(n=n, u=14.0), RNG)
+
+    def test_silence_masker_targets_likely_nulls(self):
+        s = SilenceMasker(threshold=0.5)
+        n = 1000
+        # p far below 1/n: Null almost certain.
+        assert s.wants_jam(make_view(n=n, p=1.0 / (100 * n)), RNG)
+        # p = 10/n: Null very unlikely.
+        assert not s.wants_jam(make_view(n=n, p=10.0 / n), RNG)
+
+
+class TestAdversaryHarness:
+    def test_decide_clamps_to_budget(self):
+        adv = Adversary(SaturatingJammer(), T=4, eps=0.5, seed=0)
+        trace = ChannelTrace()
+        granted = []
+        for slot in range(40):
+            view = make_view(slot=slot, trace=trace, budget=adv.budget)
+            granted.append(adv.decide(view))
+            out = resolve_slot(slot, 0, granted[-1])
+            trace.append(0, granted[-1], out.true_state, out.observed_state)
+        assert check_bounded(granted, 4, 0.5)
+        assert adv.budget.denied_requests > 0
+
+    def test_reset_restores_budget(self):
+        adv = Adversary(SaturatingJammer(), T=2, eps=0.5, seed=0)
+        adv.decide(make_view(budget=adv.budget))
+        adv.reset()
+        assert adv.budget.slot == 0
+        assert adv.budget.jams_granted == 0
+
+    def test_as_strategy_wrapper(self):
+        s = as_strategy(lambda view, rng: view.slot % 2 == 0, "alternate")
+        assert s.wants_jam(make_view(slot=0), RNG)
+        assert not s.wants_jam(make_view(slot=1), RNG)
+        assert s.name == "alternate"
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in strategy_names():
+            adv = make_adversary(name, T=8, eps=0.5, seed=1)
+            assert isinstance(adv, Adversary)
+            assert adv.T == 8
+
+    def test_registry_covers_expected_suite(self):
+        expected = {
+            "none",
+            "periodic-front",
+            "random",
+            "burst",
+            "saturating",
+            "reactive",
+            "single-suppressor",
+            "estimator-attacker",
+            "silence-masker",
+            "collision-forcer",
+        }
+        assert expected == set(STRATEGY_REGISTRY)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_adversary("nope", T=4, eps=0.5)
+
+
+class TestScriptedJammer:
+    def test_replays_script(self):
+        from repro.adversary.oblivious import ScriptedJammer
+
+        s = ScriptedJammer([True, False, True])
+        wants = [s.wants_jam(make_view(slot=t), RNG) for t in range(5)]
+        assert wants == [True, False, True, False, False]
+
+    def test_cycling(self):
+        from repro.adversary.oblivious import ScriptedJammer
+
+        s = ScriptedJammer([True, False], cycle=True)
+        wants = [s.wants_jam(make_view(slot=t), RNG) for t in range(6)]
+        assert wants == [True, False] * 3
+
+    def test_empty_rejected(self):
+        from repro.adversary.oblivious import ScriptedJammer
+
+        with pytest.raises(ConfigurationError):
+            ScriptedJammer([])
+
+    def test_replay_from_trace_reproduces_jams(self):
+        """The round-trip a bug report would use: record a run's jam
+        pattern, replay it as a script, observe the same jams."""
+        from repro.adversary.base import Adversary
+        from repro.adversary.oblivious import ScriptedJammer
+        from repro.protocols.lesk import LESKPolicy
+        from repro.sim.fast import simulate_uniform_fast
+
+        first = simulate_uniform_fast(
+            LESKPolicy(0.5),
+            n=128,
+            adversary=make_adversary("saturating", T=8, eps=0.5),
+            max_slots=10_000,
+            seed=3,
+            record_trace=True,
+        )
+        script = list(first.trace.jammed_array())
+        adv = Adversary(ScriptedJammer(script), T=8, eps=0.5, seed=0)
+        replay = simulate_uniform_fast(
+            LESKPolicy(0.5), n=128, adversary=adv, max_slots=10_000, seed=3,
+            record_trace=True,
+        )
+        assert list(replay.trace.jammed_array()) == script[: replay.slots]
+        assert replay.slots == first.slots

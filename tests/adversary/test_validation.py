@@ -1,0 +1,75 @@
+"""Tests for the post-hoc (T, 1-eps) checker (repro.adversary.validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary.validation import check_bounded, max_window_violation
+from repro.errors import ConfigurationError
+
+
+def brute_force_violation(jams, T, eps):
+    """O(L^2) reference implementation of the definition."""
+    jams = np.asarray(jams, dtype=int)
+    L = len(jams)
+    rate = 1.0 - eps
+    worst = None
+    for s in range(L):
+        for e in range(s + T, L + 1):
+            count = int(jams[s:e].sum())
+            if count > rate * (e - s) + 1e-9:
+                excess = count - rate * (e - s)
+                if worst is None or excess > worst[0]:
+                    worst = (excess, s, e, count)
+    return worst
+
+
+class TestBasics:
+    def test_empty_and_short_sequences_are_bounded(self):
+        assert check_bounded([], 4, 0.5)
+        assert check_bounded([True, True, True], 4, 0.5)  # shorter than T
+
+    def test_obvious_violation(self):
+        v = max_window_violation([True] * 8, 4, 0.5)
+        assert v is not None
+        assert v.jams > v.allowed
+        assert v.length >= 4
+
+    def test_exact_boundary_is_allowed(self):
+        # 2 jams in a 4-window with rate 0.5: exactly (1-eps)w, permitted.
+        assert check_bounded([True, True, False, False], 4, 0.5)
+
+    def test_violation_reports_real_window(self):
+        jams = [False, True, True, True, False, False]
+        v = max_window_violation(jams, 3, 0.5)
+        assert v is not None
+        assert sum(jams[v.start : v.end]) == v.jams
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            check_bounded([True], 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            check_bounded([True], 4, 0.0)
+
+
+@given(
+    jams=st.lists(st.booleans(), min_size=0, max_size=80),
+    T=st.integers(min_value=1, max_value=12),
+    eps=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_checker_matches_brute_force(jams, T, eps):
+    """The O(L) potential-based checker agrees with the O(L^2) definition."""
+    fast = max_window_violation(jams, T, eps)
+    slow = brute_force_violation(jams, T, eps)
+    if slow is None:
+        assert fast is None
+    else:
+        assert fast is not None
+        # Both identify a genuinely violating window of the same worst excess.
+        assert fast.jams > fast.allowed
+        assert fast.end - fast.start >= T
+        assert sum(jams[fast.start : fast.end]) == fast.jams
+        assert fast.jams - fast.allowed == pytest.approx(slow[0], abs=1e-6)

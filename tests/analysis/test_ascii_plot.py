@@ -1,0 +1,90 @@
+"""Tests for the terminal plotting helpers (repro.analysis.ascii_plot)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import histogram, line_chart, sparkline
+from repro.errors import ConfigurationError
+
+
+class TestSparkline:
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5], width=3) == "▁▁▁"
+
+    def test_monotone_series_rises(self):
+        s = sparkline(list(range(8)), width=8)
+        assert s[0] == "▁" and s[-1] == "█"
+        assert len(s) == 8
+
+    def test_resampling_caps_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_series_keeps_length(self):
+        assert len(sparkline([1, 2], width=60)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0, float("nan")])
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0], width=0)
+
+
+class TestLineChart:
+    def test_shape_and_labels(self):
+        chart = line_chart([0, 5, 10], width=3, height=5, y_max=10.0)
+        lines = chart.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + x-label
+        assert "10.0" in lines[0]
+        assert "0.0" in lines[4]
+        # Peak column reaches the top row.
+        assert "#" in lines[0]
+
+    def test_reference_marker(self):
+        chart = line_chart(
+            [1, 2, 3], width=3, height=4, y_max=3.0, reference=3.0,
+            reference_label="target",
+        )
+        assert "<- target" in chart.splitlines()[0]
+
+    def test_values_clipped_to_y_max(self):
+        chart = line_chart([100.0], width=1, height=4, y_max=10.0)
+        assert "#" in chart.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1.0], height=1)
+        with pytest.raises(ConfigurationError):
+            line_chart([1.0], y_max=0.0)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        data = np.arange(100, dtype=float)
+        out = histogram(data, bins=5)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in out.splitlines())
+        assert total == 100
+
+    def test_bar_lengths_scale(self):
+        out = histogram([1.0] * 90 + [2.0] * 10, bins=2, width=20)
+        first, second = out.splitlines()
+        assert first.count("#") == 20
+        assert 0 < second.count("#") < 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            histogram([1.0], bins=0)
+
+
+class TestWithRealTraces:
+    def test_lesk_trajectory_renders(self):
+        from repro.core.election import elect_leader
+
+        result = elect_leader(n=256, seed=4, record_trace=True)
+        chart = line_chart(result.trace.u_array(), reference=8.0, reference_label="log2 n")
+        assert "log2 n" in chart
+        spark = sparkline(result.trace.u_array())
+        assert len(spark) > 0

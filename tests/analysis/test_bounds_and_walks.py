@@ -1,0 +1,212 @@
+"""Tests for closed-form bounds, the Chernoff helper and drift analysis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    estimation_result_bounds,
+    estimation_time_bound,
+    lesk_exact_slot_bound,
+    lesk_time_bound,
+    lesu_regime,
+    lesu_time_bound,
+    lower_bound,
+    notification_time_bound,
+)
+from repro.analysis.chernoff import binomial_upper_tail, slots_for_regular_success
+from repro.analysis.walks import equilibrium_u, expected_drift
+from repro.errors import ConfigurationError
+
+
+class TestLESKBounds:
+    def test_T_dominates_when_large(self):
+        assert lesk_time_bound(1024, 0.5, 10_000) == 10_000
+
+    def test_log_term_dominates_when_T_small(self):
+        bound = lesk_time_bound(1024, 0.5, 1)
+        assert bound == pytest.approx(10.0 / (0.125 * math.log2(16.0)))
+
+    def test_monotone_in_n(self):
+        values = [lesk_time_bound(n, 0.5, 1) for n in (16, 256, 4096)]
+        assert values == sorted(values)
+
+    def test_exact_bound_dominates_shape(self):
+        """The proof's explicit constant formula is (much) bigger than the
+        constant-free shape."""
+        assert lesk_exact_slot_bound(1024, 0.5) > lesk_time_bound(1024, 0.5, 1)
+
+    def test_exact_bound_covers_measured_times(self):
+        """Theorem 2.6 end-to-end: LESK always finishes within the proof's
+        explicit slot count (beta = 1), for every adversary in the suite."""
+        from repro.adversary.suite import strategy_names
+        from repro.core.election import elect_leader
+
+        n, eps, T = 256, 0.5, 8
+        budget = int(lesk_exact_slot_bound(n, eps)) + T
+        for adversary in strategy_names():
+            for seed in range(5):
+                result = elect_leader(
+                    n=n, eps=eps, T=T, adversary=adversary, seed=seed,
+                    max_slots=budget,
+                )
+                assert result.elected, (adversary, seed)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lesk_time_bound(1, 0.5, 1)
+        with pytest.raises(ConfigurationError):
+            lesk_time_bound(16, 1.5, 1)
+
+
+class TestLESUBounds:
+    def test_regime_boundary(self):
+        n, eps = 1024, 0.5
+        threshold = math.log2(n) / (eps**3 * math.log2(8.0 / eps))
+        assert lesu_regime(n, eps, int(threshold)) == 1
+        assert lesu_regime(n, eps, int(threshold) + 1) == 2
+
+    def test_regime_1_scales_with_log_n(self):
+        t1 = lesu_time_bound(256, 0.5, 2)
+        t2 = lesu_time_bound(256**2, 0.5, 2)
+        assert t2 == pytest.approx(2.0 * t1)
+
+    def test_regime_2_scales_near_linearly_in_T(self):
+        t1 = lesu_time_bound(64, 0.5, 10_000)
+        t2 = lesu_time_bound(64, 0.5, 20_000)
+        assert 1.9 < t2 / t1 < 2.3
+
+
+class TestOtherBounds:
+    def test_notification_factor(self):
+        assert notification_time_bound(100.0) == 800.0
+        with pytest.raises(ConfigurationError):
+            notification_time_bound(0.0)
+
+    def test_lower_bound_shape(self):
+        assert lower_bound(1024, 0.5, 1) == pytest.approx(20.0)
+        assert lower_bound(1024, 0.5, 10_000) == 10_000
+
+    def test_estimation_bounds_bracket_loglog(self):
+        lo, hi = estimation_result_bounds(2**16, 1)
+        assert lo == pytest.approx(3.0)  # loglog 2^16 = 4, minus 1
+        assert hi == pytest.approx(5.0)
+
+    def test_estimation_bounds_T_cap(self):
+        _, hi = estimation_result_bounds(16, 2**10)
+        assert hi == pytest.approx(11.0)
+
+    def test_estimation_time(self):
+        assert estimation_time_bound(2**16, 4) == 16.0
+        assert estimation_time_bound(16, 400) == 400.0
+
+
+class TestChernoff:
+    def test_fact_1_value(self):
+        assert binomial_upper_tail(100, 0.5, 1.0) == pytest.approx(
+            math.exp(-100 * 0.5 / 3.0)
+        )
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            binomial_upper_tail(100, 0.5, 1.5)
+        with pytest.raises(ValueError):
+            binomial_upper_tail(100, 1.5, 0.5)
+
+    @given(
+        n=st.integers(min_value=1, max_value=2000),
+        p=st.floats(min_value=0.01, max_value=0.99),
+        delta=st.floats(min_value=0.0, max_value=1.49),
+    )
+    def test_fact_1_is_a_true_tail_bound(self, n, p, delta):
+        """Empirical check against the exact binomial tail (via scipy)."""
+        from scipy import stats
+
+        bound = binomial_upper_tail(n, p, delta)
+        exact = float(stats.binom.sf(math.floor((1 + delta) * n * p), n, p))
+        assert exact <= bound + 1e-9
+
+    def test_slots_for_regular_success(self):
+        needed = slots_for_regular_success(0.1, 0.01)
+        assert needed == pytest.approx(math.log(100.0) / 0.1)
+        # Indeed (1-C)^needed <= failure.
+        assert (1.0 - 0.1) ** needed <= 0.01 + 1e-12
+
+
+class TestDrift:
+    def test_drift_positive_at_low_u(self):
+        """Below log2 n collisions dominate: the walk climbs."""
+        assert expected_drift(1.0, 1024, 16.0) > 0.0
+
+    def test_drift_negative_at_high_u(self):
+        """Above log2 n silences dominate: the walk falls."""
+        assert expected_drift(20.0, 1024, 16.0) < 0.0
+
+    def test_equilibrium_near_log2n(self):
+        eq = equilibrium_u(1024, 16.0)
+        assert math.log2(1024) - 3.0 < eq < math.log2(1024)
+
+    def test_jamming_raises_equilibrium_boundedly(self):
+        """Jamming pushes the resting point up, but only by a bounded
+        amount -- the mechanism behind Theorem 2.6."""
+        eq0 = equilibrium_u(1024, 16.0, 0.0)
+        eq_jam = equilibrium_u(1024, 16.0, 0.5)
+        assert eq0 < eq_jam < eq0 + 3.0
+
+    def test_full_jam_has_no_equilibrium(self):
+        with pytest.raises(ConfigurationError):
+            equilibrium_u(1024, 16.0, 1.0)
+
+    def test_equilibrium_monotone_in_n(self):
+        eqs = [equilibrium_u(n, 16.0) for n in (64, 1024, 2**14)]
+        assert eqs == sorted(eqs)
+
+    def test_drift_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_drift(1.0, 0, 16.0)
+        with pytest.raises(ConfigurationError):
+            expected_drift(1.0, 16, 16.0, jam_fraction=2.0)
+
+
+class TestFluidModel:
+    """The deterministic-drift model predicts measured medians."""
+
+    @pytest.mark.parametrize("n", [64, 1024, 65536])
+    def test_matches_quiet_channel_medians(self, n):
+        import numpy as np
+
+        from repro.analysis.walks import predict_election_median
+        from repro.core.election import elect_leader
+
+        predicted = predict_election_median(n, 0.5)
+        measured = np.median(
+            [elect_leader(n=n, eps=0.5, T=8, seed=s).slots for s in range(60)]
+        )
+        assert predicted == pytest.approx(measured, rel=0.1)
+
+    def test_jamming_shifts_the_prediction(self):
+        from repro.analysis.walks import predict_election_median
+
+        quiet = predict_election_median(1024, 0.5, jam_fraction=0.0)
+        jammed = predict_election_median(1024, 0.5, jam_fraction=0.5)
+        assert jammed > quiet
+
+    def test_quantiles_are_ordered(self):
+        from repro.analysis.walks import predict_election_median
+
+        q25 = predict_election_median(1024, 0.5, quantile=0.25)
+        q50 = predict_election_median(1024, 0.5, quantile=0.5)
+        q90 = predict_election_median(1024, 0.5, quantile=0.9)
+        assert q25 < q50 < q90
+
+    def test_validation(self):
+        from repro.analysis.walks import predict_election_median
+
+        with pytest.raises(ConfigurationError):
+            predict_election_median(64, 0.5, quantile=0.0)
+        with pytest.raises(ConfigurationError):
+            predict_election_median(64, 0.5, jam_fraction=1.0)

@@ -1,0 +1,149 @@
+"""Tests for the empirical statistics toolkit (repro.analysis.estimators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.estimators import (
+    bootstrap_ci,
+    fit_linear,
+    fit_log2_scaling,
+    fit_power_law,
+    geometric_mean,
+    wilson_interval,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWilson:
+    def test_extremes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0 and hi < 0.05
+        lo, hi = wilson_interval(100, 100)
+        assert lo > 0.95 and hi == 1.0
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_narrows_with_more_trials(self):
+        w1 = wilson_interval(5, 10)
+        w2 = wilson_interval(500, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 3)
+
+    @given(
+        trials=st.integers(min_value=1, max_value=10_000),
+        data=st.data(),
+    )
+    def test_interval_is_ordered_and_in_unit_range(self, trials, data):
+        successes = data.draw(st.integers(min_value=0, max_value=trials))
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= successes / trials <= hi <= 1.0
+
+
+class TestBootstrap:
+    def test_tight_for_constant_data(self):
+        lo, hi = bootstrap_ci([5.0] * 20)
+        assert lo == hi == 5.0
+
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=200)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 10.0 < hi
+
+    def test_single_point(self):
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+
+
+class TestFits:
+    def test_exact_line_recovered(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [1, 3])
+        assert fit.predict([2])[0] == pytest.approx(5.0)
+
+    def test_log2_scaling_recovers_slope(self):
+        ns = [2**k for k in range(4, 12)]
+        times = [7.0 * np.log2(n) + 3.0 for n in ns]
+        fit = fit_log2_scaling(ns, times)
+        assert fit.slope == pytest.approx(7.0)
+
+    def test_power_law_recovers_exponent(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [5.0 * x**3 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.slope == pytest.approx(3.0)
+
+    def test_power_law_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, -1.0], [1.0, 1.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_linear([1.0], [2.0])
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestCensoring:
+    def test_exact_when_few_censored(self):
+        from repro.analysis.estimators import censored_median
+
+        value, exact = censored_median([1, 2, 3, 4, 100], cap=100)
+        assert exact and value == 3
+
+    def test_lower_bound_when_half_censored(self):
+        from repro.analysis.estimators import censored_median
+
+        value, exact = censored_median([1, 100, 100, 100], cap=100)
+        assert not exact and value == 100
+
+    def test_rejects_values_over_cap(self):
+        from repro.analysis.estimators import censored_median
+
+        with pytest.raises(ConfigurationError):
+            censored_median([1, 200], cap=100)
+
+    def test_empty_rejected(self):
+        from repro.analysis.estimators import censored_median
+
+        with pytest.raises(ConfigurationError):
+            censored_median([], cap=10)
+
+    def test_survival_curve_steps(self):
+        from repro.analysis.estimators import survival_curve
+
+        times, surv = survival_curve([1, 2, 2, 3, 100], cap=100)
+        assert list(times) == [1, 2, 3]
+        assert list(surv) == [0.8, 0.4, 0.2]
+
+    def test_survival_curve_all_censored(self):
+        from repro.analysis.estimators import survival_curve
+
+        times, surv = survival_curve([100, 100], cap=100)
+        assert times.size == 0 and surv.size == 0

@@ -1,0 +1,129 @@
+"""Tests for exact channel probabilities and Lemma 2.1 (repro.analysis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.probabilities import (
+    collision_upper_bound,
+    null_upper_bound,
+    p_collision,
+    p_null,
+    p_single,
+    regular_single_lower_bound,
+    single_lower_bound_exp,
+    single_lower_bound_poly,
+    single_probability_function,
+)
+
+
+class TestExactProbabilities:
+    def test_small_cases_by_hand(self):
+        # n=2, p=0.5: Null 0.25, Single 2*0.5*0.5 = 0.5, Collision 0.25.
+        assert p_null(2, 0.5) == pytest.approx(0.25)
+        assert p_single(2, 0.5) == pytest.approx(0.5)
+        assert p_collision(2, 0.5) == pytest.approx(0.25)
+
+    def test_degenerate_p(self):
+        assert p_null(10, 0.0) == 1.0
+        assert p_single(10, 0.0) == 0.0
+        assert p_null(10, 1.0) == 0.0
+        assert p_single(1, 1.0) == 1.0
+        assert p_single(2, 1.0) == 0.0
+        assert p_collision(2, 1.0) == 1.0
+
+    def test_single_station(self):
+        assert p_single(1, 0.3) == pytest.approx(0.3)
+        assert p_collision(1, 0.3) == 0.0
+
+    def test_vectorized(self):
+        ps = np.array([0.0, 0.1, 0.5, 1.0])
+        out = p_null(8, ps)
+        assert out.shape == ps.shape
+        assert out[0] == 1.0 and out[-1] == 0.0
+
+    def test_large_n_numerical_stability(self):
+        n = 10**12
+        p = 1.0 / n
+        assert p_null(n, p) == pytest.approx(math.exp(-1.0), rel=1e-6)
+        assert p_single(n, p) == pytest.approx(math.exp(-1.0), rel=1e-6)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10**9),
+    p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_probabilities_form_distribution(n, p):
+    total = p_null(n, p) + p_single(n, p) + p_collision(n, p)
+    assert total == pytest.approx(1.0, abs=1e-9)
+    for v in (p_null(n, p), p_single(n, p), p_collision(n, p)):
+        assert -1e-12 <= v <= 1.0 + 1e-12
+
+
+@given(
+    n=st.integers(min_value=2, max_value=10**7),
+    x=st.floats(min_value=0.01, max_value=1000.0),
+)
+def test_lemma_21_points_1_2_4(n, x):
+    """Lemma 2.1 (1), (2), (4) hold on the whole domain p = 1/(xn) <= 1."""
+    p = 1.0 / (x * n)
+    if p > 1.0:
+        return
+    assert p_null(n, p) <= null_upper_bound(x) + 1e-12
+    assert p_collision(n, p) <= collision_upper_bound(x) + 1e-12
+    assert p_single(n, p) >= single_lower_bound_poly(x) - 1e-12
+
+
+@given(
+    n=st.integers(min_value=2, max_value=10**7),
+    x=st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_lemma_21_point_3_on_x_geq_1(n, x):
+    """Lemma 2.1 (3) -- valid for x >= 1 (see T10 erratum for x < 1)."""
+    p = 1.0 / (x * n)
+    assert p_single(n, p) >= single_lower_bound_exp(x) - 1e-12
+
+
+def test_lemma_21_point_3_fails_below_one():
+    """Documented erratum: the stated bound is false for small x."""
+    n, x = 1000, 0.25
+    assert p_single(n, 1.0 / (x * n)) < single_lower_bound_exp(x)
+
+
+class TestLemma24Constant:
+    def test_requires_a_geq_8(self):
+        with pytest.raises(ValueError):
+            regular_single_lower_bound(4.0)
+
+    def test_value(self):
+        assert regular_single_lower_bound(16.0) == pytest.approx(
+            math.log(16.0) / 256.0
+        )
+
+    @pytest.mark.parametrize("a", [8.0, 16.0, 80.0])
+    @pytest.mark.parametrize("n", [115, 1024, 2**16])
+    def test_holds_over_regular_band(self, a, n):
+        """P[Single] >= ln(a)/a^2 throughout the band, for n >= 115."""
+        u0 = math.log2(n)
+        lo = u0 - math.log2(2.0 * math.log(a))
+        hi = u0 + 0.5 * math.log2(a) + 1.0
+        C = regular_single_lower_bound(a)
+        for u in np.linspace(max(lo, 0.0), hi, 100):
+            assert p_single(n, min(1.0, 2.0**-u)) >= C - 1e-12
+
+    def test_unimodality_of_f(self):
+        """The proof of Lemma 2.4 uses that f(p) = np(1-p)^(n-1) has a
+        single interior maximum (at p = 1/n)."""
+        n = 64
+        f = single_probability_function(n)
+        ps = np.linspace(1e-6, 1.0 - 1e-6, 2000)
+        values = f(ps)
+        peak = int(np.argmax(values))
+        assert ps[peak] == pytest.approx(1.0 / n, abs=2e-3)
+        assert np.all(np.diff(values[: peak + 1]) >= -1e-12)
+        assert np.all(np.diff(values[peak:]) <= 1e-12)

@@ -1,0 +1,89 @@
+"""Tests for the Lemma 2.2 / Lemma 2.5 / Theorem 2.6-chain checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.chernoff import lemma_2_5_holds
+from repro.analysis.probabilities import (
+    lemma_2_2_collision_slack,
+    lemma_2_2_silence_slack,
+)
+from repro.analysis.slot_classes import classify_trace, theorem_2_6_regular_floor
+from repro.core.election import elect_leader
+
+
+class TestLemma22:
+    @pytest.mark.parametrize("a", [8.0, 16.0, 32.0, 80.0])
+    @pytest.mark.parametrize("n", [16, 256, 4096, 2**20])
+    def test_silence_bound_holds(self, a, n):
+        """Irregular silences occur w.p. <= 1/a^2 at the band edge."""
+        assert lemma_2_2_silence_slack(n, a) >= -1e-12
+
+    @pytest.mark.parametrize("a", [8.0, 16.0, 32.0, 80.0])
+    @pytest.mark.parametrize("n", [16, 256, 4096, 2**20])
+    def test_collision_bound_holds(self, a, n):
+        """Irregular collisions occur w.p. <= 1/a at the band edge."""
+        assert lemma_2_2_collision_slack(n, a) >= -1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma_2_2_silence_slack(0, 8.0)
+        with pytest.raises(ValueError):
+            lemma_2_2_collision_slack(4, 0.5)
+
+    @given(
+        a=st.floats(min_value=8.0, max_value=200.0),
+        n=st.integers(min_value=8, max_value=10**7),
+    )
+    def test_bounds_hold_on_random_grid(self, a, n):
+        assert lemma_2_2_silence_slack(n, a) >= -1e-12
+        assert lemma_2_2_collision_slack(n, a) >= -1e-12
+
+
+class TestLemma25:
+    @given(
+        t=st.integers(min_value=0, max_value=200_000),
+        a=st.floats(min_value=8.0, max_value=100.0),
+        n=st.integers(min_value=2, max_value=10**6),
+    )
+    def test_implication_always_holds(self, t, a, n):
+        assert lemma_2_5_holds(t, a, n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma_2_5_holds(-1, 8.0, 16)
+        with pytest.raises(ValueError):
+            lemma_2_5_holds(10, 8.0, 1)
+
+
+class TestTheorem26Chain:
+    @pytest.mark.parametrize("adversary", ["none", "saturating", "silence-masker"])
+    def test_regular_floor_on_live_traces(self, adversary):
+        """Whenever a run's premises (jam fraction, Chernoff envelopes)
+        hold, the measured R clears the proof's floor."""
+        n, eps = 1024, 0.5
+        checked = 0
+        for seed in range(30):
+            result = elect_leader(
+                n=n, eps=eps, T=16, adversary=adversary, seed=seed,
+                record_trace=True,
+            )
+            counts = classify_trace(result.trace, n=n, a=8.0 / eps)
+            verdict = theorem_2_6_regular_floor(counts, n, eps)
+            assert verdict["satisfied"], (seed, verdict, counts)
+            checked += verdict["premises_hold"]
+        # The premises are the typical case, not a rarity.
+        assert checked >= 25
+
+    def test_floor_is_trivial_for_short_runs(self):
+        """For small t the a*log2(n) term dominates and the floor is
+        negative -- the chain only bites on long runs, as in the proof."""
+        from repro.analysis.slot_classes import SlotCounts
+
+        counts = SlotCounts(t=10, R=0, IS=0, IC=0, CS=0, CC=0, E=5, singles=5)
+        verdict = theorem_2_6_regular_floor(counts, 1024, 0.5)
+        assert verdict["floor"] < 0
+        assert verdict["satisfied"]

@@ -1,0 +1,134 @@
+"""Tests for IS/IC/CS/CC/E/R slot classification (repro.analysis.slot_classes)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.slot_classes import (
+    SlotClass,
+    band_thresholds,
+    classify_slots,
+    classify_trace,
+    counts_from_classes,
+    verify_lemma_2_3,
+)
+from repro.core.election import elect_leader
+from repro.errors import ConfigurationError
+from repro.types import ChannelState
+
+N = 1024
+A = 16.0  # eps = 0.5
+U0 = math.log2(N)
+LO, HI = band_thresholds(N, A)
+
+NULL, SINGLE, COLL = (
+    int(ChannelState.NULL),
+    int(ChannelState.SINGLE),
+    int(ChannelState.COLLISION),
+)
+
+
+def classify_one(u, observed, jammed):
+    return SlotClass(
+        classify_slots(
+            np.array([u]), np.array([observed]), np.array([jammed]), n=N, a=A
+        )[0]
+    )
+
+
+class TestThresholds:
+    def test_paper_formulas(self):
+        assert LO == pytest.approx(U0 - math.log2(2.0 * math.log(A)))
+        assert HI == pytest.approx(U0 + 0.5 * math.log2(A))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            band_thresholds(0, A)
+        with pytest.raises(ConfigurationError):
+            band_thresholds(N, 1.0)
+
+
+class TestClassification:
+    def test_jammed_slot_is_E_regardless(self):
+        for u in (0.0, U0, U0 + 10):
+            assert classify_one(u, COLL, True) is SlotClass.JAMMED
+
+    def test_irregular_silence(self):
+        assert classify_one(LO - 1.0, NULL, False) is SlotClass.IRREGULAR_SILENCE
+
+    def test_irregular_collision(self):
+        assert classify_one(HI + 0.5, COLL, False) is SlotClass.IRREGULAR_COLLISION
+
+    def test_correcting_silence(self):
+        assert classify_one(HI + 1.5, NULL, False) is SlotClass.CORRECTING_SILENCE
+
+    def test_correcting_collision(self):
+        assert classify_one(LO - 0.5, COLL, False) is SlotClass.CORRECTING_COLLISION
+
+    def test_regular_band(self):
+        assert classify_one(U0, NULL, False) is SlotClass.REGULAR
+        assert classify_one(U0, COLL, False) is SlotClass.REGULAR
+        # Null between the bands: regular (only u >= hi+1 is a CS).
+        assert classify_one(HI + 0.5, NULL, False) is SlotClass.REGULAR
+
+    def test_single_slot_class(self):
+        assert classify_one(U0, SINGLE, False) is SlotClass.SINGLE
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_slots(np.zeros(3), np.zeros(2), np.zeros(3, dtype=bool), N, A)
+
+
+class TestCounts:
+    def test_partition_property(self):
+        classes = np.array(
+            [int(SlotClass.REGULAR), int(SlotClass.JAMMED), int(SlotClass.SINGLE)]
+        )
+        counts = counts_from_classes(classes)
+        assert counts.check_partition()
+        assert (counts.R, counts.E, counts.singles) == (1, 1, 1)
+
+
+@given(
+    u=st.lists(st.floats(min_value=0.0, max_value=30.0), min_size=1, max_size=80),
+    data=st.data(),
+)
+def test_every_slot_gets_exactly_one_class(u, data):
+    states = data.draw(
+        st.lists(
+            st.sampled_from([NULL, SINGLE, COLL]), min_size=len(u), max_size=len(u)
+        )
+    )
+    jammed = data.draw(
+        st.lists(st.booleans(), min_size=len(u), max_size=len(u))
+    )
+    # A jammed slot is always observed as a Collision.
+    states = [COLL if j else s for s, j in zip(states, jammed)]
+    classes = classify_slots(
+        np.array(u), np.array(states), np.array(jammed), n=N, a=A
+    )
+    counts = counts_from_classes(classes)
+    assert counts.check_partition()
+    # E equals the number of jammed slots exactly.
+    assert counts.E == sum(jammed)
+
+
+class TestOnRealTraces:
+    @pytest.mark.parametrize("adversary", ["none", "saturating", "silence-masker"])
+    def test_lemma_2_3_on_live_runs(self, adversary):
+        result = elect_leader(
+            n=N, eps=0.5, T=16, adversary=adversary, seed=31, record_trace=True
+        )
+        counts = classify_trace(result.trace, n=N, a=A)
+        verdicts = verify_lemma_2_3(counts, N, A)
+        assert all(verdicts.values()), (counts, verdicts)
+
+    def test_requires_recorded_u(self):
+        result = elect_leader(n=32, seed=1)  # no trace
+        with pytest.raises(Exception):
+            classify_trace(result.trace, n=32, a=A)  # trace is None -> error

@@ -1,0 +1,75 @@
+"""Tests for CD-mode feedback delivery (repro.channel.feedback)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.feedback import (
+    feedback_for,
+    perceived_by_listener,
+    perceived_by_transmitter,
+)
+from repro.types import CDMode, ChannelState, PerceivedState
+
+
+class TestListenerPerception:
+    @pytest.mark.parametrize("mode", [CDMode.STRONG, CDMode.WEAK])
+    def test_cd_listener_sees_all_three_states(self, mode):
+        assert perceived_by_listener(ChannelState.NULL, mode) is PerceivedState.NULL
+        assert perceived_by_listener(ChannelState.SINGLE, mode) is PerceivedState.SINGLE
+        assert (
+            perceived_by_listener(ChannelState.COLLISION, mode)
+            is PerceivedState.COLLISION
+        )
+
+    def test_no_cd_listener_sees_single_vs_no_single(self):
+        """no-CD: the channel has only two distinguishable states (Sec 1.1)."""
+        assert (
+            perceived_by_listener(ChannelState.SINGLE, CDMode.NO_CD)
+            is PerceivedState.SINGLE
+        )
+        assert (
+            perceived_by_listener(ChannelState.NULL, CDMode.NO_CD)
+            is PerceivedState.NO_SINGLE
+        )
+        assert (
+            perceived_by_listener(ChannelState.COLLISION, CDMode.NO_CD)
+            is PerceivedState.NO_SINGLE
+        )
+
+
+class TestTransmitterPerception:
+    def test_strong_cd_transmitter_hears_channel(self):
+        """Strong-CD: simultaneous transmit+listen; the successful
+        transmitter hears its own Single -- that is how the leader learns."""
+        assert (
+            perceived_by_transmitter(ChannelState.SINGLE, CDMode.STRONG)
+            is PerceivedState.SINGLE
+        )
+        assert (
+            perceived_by_transmitter(ChannelState.COLLISION, CDMode.STRONG)
+            is PerceivedState.COLLISION
+        )
+
+    @pytest.mark.parametrize("mode", [CDMode.WEAK, CDMode.NO_CD])
+    @pytest.mark.parametrize(
+        "state", [ChannelState.NULL, ChannelState.SINGLE, ChannelState.COLLISION]
+    )
+    def test_weak_and_nocd_transmitter_learns_nothing(self, mode, state):
+        assert perceived_by_transmitter(state, mode) is PerceivedState.UNKNOWN
+
+
+class TestFeedbackAssembly:
+    def test_feedback_carries_transmit_flag(self):
+        fb = feedback_for(True, ChannelState.COLLISION, CDMode.WEAK)
+        assert fb.transmitted
+        assert fb.perceived is PerceivedState.UNKNOWN
+
+    def test_heard_single_property(self):
+        listener = feedback_for(False, ChannelState.SINGLE, CDMode.WEAK)
+        assert listener.heard_single
+        # In strong-CD the transmitter perceives its Single but did not
+        # "hear" it as a listener.
+        transmitter = feedback_for(True, ChannelState.SINGLE, CDMode.STRONG)
+        assert not transmitter.heard_single
+        assert transmitter.perceived is PerceivedState.SINGLE

@@ -1,0 +1,71 @@
+"""Tests for channel state resolution (repro.channel.channel, repro.types)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.channel import Channel, resolve_slot
+from repro.types import ChannelState
+
+
+class TestChannelStateFromCount:
+    def test_zero_transmitters_is_null(self):
+        assert ChannelState.from_transmitter_count(0) is ChannelState.NULL
+
+    def test_one_transmitter_is_single(self):
+        assert ChannelState.from_transmitter_count(1) is ChannelState.SINGLE
+
+    @pytest.mark.parametrize("k", [2, 3, 10, 10_000])
+    def test_many_transmitters_is_collision(self, k):
+        assert ChannelState.from_transmitter_count(k) is ChannelState.COLLISION
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelState.from_transmitter_count(-1)
+
+
+class TestResolveSlot:
+    def test_clear_slot_observed_equals_true(self):
+        for k, state in [(0, ChannelState.NULL), (1, ChannelState.SINGLE), (5, ChannelState.COLLISION)]:
+            outcome = resolve_slot(7, k, jammed=False)
+            assert outcome.true_state is state
+            assert outcome.observed_state is state
+            assert outcome.slot == 7
+            assert outcome.transmitters == k
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 100])
+    def test_jammed_slot_always_observed_collision(self, k):
+        """Jamming is indistinguishable from >= 2 transmitters (Sec 1.1)."""
+        outcome = resolve_slot(0, k, jammed=True)
+        assert outcome.observed_state is ChannelState.COLLISION
+        assert outcome.true_state is ChannelState.from_transmitter_count(k)
+
+    def test_successful_single_requires_clear_slot(self):
+        assert resolve_slot(0, 1, jammed=False).successful_single
+        assert not resolve_slot(0, 1, jammed=True).successful_single
+        assert not resolve_slot(0, 0, jammed=False).successful_single
+        assert not resolve_slot(0, 2, jammed=False).successful_single
+
+    def test_adversary_cannot_fabricate_null_or_single(self):
+        """The one-sided-error property LESK's asymmetry relies on."""
+        for k in range(5):
+            observed = resolve_slot(0, k, jammed=True).observed_state
+            assert observed is ChannelState.COLLISION
+
+
+class TestChannelWrapper:
+    def test_step_advances_slots(self):
+        ch = Channel()
+        assert ch.slot == 0
+        out0 = ch.step(0)
+        out1 = ch.step(1, jammed=True)
+        assert (out0.slot, out1.slot) == (0, 1)
+        assert ch.slot == 2
+        assert ch.last_outcome is out1
+
+    def test_reset(self):
+        ch = Channel()
+        ch.step(3)
+        ch.reset()
+        assert ch.slot == 0
+        assert ch.last_outcome is None

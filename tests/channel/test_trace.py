@@ -1,0 +1,150 @@
+"""Tests for trace recording (repro.channel.trace)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.channel import resolve_slot
+from repro.channel.trace import ChannelTrace
+from repro.types import ChannelState
+
+
+def record(trace: ChannelTrace, k: int, jammed: bool, p: float = math.nan, u: float = math.nan):
+    outcome = resolve_slot(len(trace), k, jammed)
+    trace.append(k, jammed, outcome.true_state, outcome.observed_state, p, u)
+    return outcome
+
+
+class TestCounters:
+    def test_incremental_counters(self):
+        trace = ChannelTrace()
+        record(trace, 0, False)  # null
+        record(trace, 1, True)  # jammed single -> observed collision
+        record(trace, 5, False)  # collision
+        record(trace, 1, False)  # successful single
+        assert trace.observed_nulls == 1
+        assert trace.observed_collisions == 2
+        assert trace.observed_singles == 1
+        assert trace.jam_count == 1
+        assert trace.successful_singles == 1
+        assert trace.first_single_slot == 3
+
+    def test_jammed_single_is_not_successful(self):
+        trace = ChannelTrace()
+        record(trace, 1, True)
+        assert trace.successful_singles == 0
+        assert trace.first_single_slot is None
+
+    def test_jam_fraction(self):
+        trace = ChannelTrace()
+        assert trace.jam_fraction() == 0.0
+        record(trace, 0, True)
+        record(trace, 0, False)
+        assert trace.jam_fraction() == 0.5
+
+
+class TestAccess:
+    def test_getitem_and_negative_index(self):
+        trace = ChannelTrace()
+        record(trace, 2, False, p=0.25, u=2.0)
+        record(trace, 0, True, p=0.125, u=3.0)
+        rec = trace[0]
+        assert rec.transmitters == 2
+        assert rec.true_state is ChannelState.COLLISION
+        assert rec.probability == 0.25
+        last = trace[-1]
+        assert last.slot == 1
+        assert last.jammed
+        assert last.observed_state is ChannelState.COLLISION
+        assert last.true_state is ChannelState.NULL
+
+    def test_iteration_matches_len(self):
+        trace = ChannelTrace()
+        for k in [0, 1, 2, 3]:
+            record(trace, k, False)
+        assert len(list(trace)) == len(trace) == 4
+
+    def test_observed_state_query(self):
+        trace = ChannelTrace()
+        record(trace, 0, False)
+        record(trace, 1, True)
+        assert trace.observed_state(0) is ChannelState.NULL
+        assert trace.observed_state(1) is ChannelState.COLLISION
+        assert trace.was_jammed(1)
+
+    def test_tail_observed(self):
+        trace = ChannelTrace()
+        for k in [0, 1, 2]:
+            record(trace, k, False)
+        tail = trace.tail_observed(2)
+        assert tail == [ChannelState.SINGLE, ChannelState.COLLISION]
+        assert trace.tail_observed(10) == [
+            ChannelState.NULL,
+            ChannelState.SINGLE,
+            ChannelState.COLLISION,
+        ]
+
+
+class TestExport:
+    def test_columnar_arrays(self):
+        trace = ChannelTrace()
+        record(trace, 0, False, p=1.0, u=0.0)
+        record(trace, 3, True, p=0.5, u=1.0)
+        np.testing.assert_array_equal(trace.transmitters_array(), [0, 3])
+        np.testing.assert_array_equal(trace.jammed_array(), [False, True])
+        np.testing.assert_array_equal(trace.true_states_array(), [0, 2])
+        np.testing.assert_array_equal(trace.observed_states_array(), [0, 2])
+        np.testing.assert_allclose(trace.probability_array(), [1.0, 0.5])
+        np.testing.assert_allclose(trace.u_array(), [0.0, 1.0])
+
+    def test_to_rows(self):
+        trace = ChannelTrace()
+        record(trace, 1, False, p=0.5, u=1.0)
+        rows = trace.to_rows()
+        assert rows == [
+            {
+                "slot": 0,
+                "transmitters": 1,
+                "jammed": False,
+                "true_state": "SINGLE",
+                "observed_state": "SINGLE",
+                "probability": 0.5,
+                "u": 1.0,
+            }
+        ]
+
+    def test_probability_recording_disabled(self):
+        trace = ChannelTrace(record_probabilities=False)
+        record(trace, 1, False, p=0.5, u=1.0)
+        assert math.isnan(trace[0].probability)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.booleans()),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_counter_consistency_property(slots):
+    """Counters always agree with a recount over the stored columns."""
+    trace = ChannelTrace()
+    for k, jammed in slots:
+        record(trace, k, jammed)
+    observed = trace.observed_states_array()
+    assert trace.observed_nulls == int(np.sum(observed == 0))
+    assert trace.observed_singles == int(np.sum(observed == 1))
+    assert trace.observed_collisions == int(np.sum(observed == 2))
+    assert trace.jam_count == int(np.sum(trace.jammed_array()))
+    clear_singles = (trace.true_states_array() == 1) & ~trace.jammed_array()
+    assert trace.successful_singles == int(np.sum(clear_singles))
+    expected_first = np.flatnonzero(clear_singles)
+    if expected_first.size:
+        assert trace.first_single_slot == int(expected_first[0])
+    else:
+        assert trace.first_single_slot is None

@@ -1,0 +1,24 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: deterministic, no deadline (simulation steps
+# can be slow on CI), and enough examples to exercise the invariants.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests that need ad-hoc randomness."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,85 @@
+"""Tests for ElectionConfig and slot budgets (repro.core.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PROTOCOLS, ElectionConfig, default_slot_budget
+from repro.errors import ConfigurationError
+from repro.types import CDMode
+
+
+class TestElectionConfig:
+    def test_protocol_table(self):
+        assert set(PROTOCOLS) == {"lesk", "lesu", "lewk", "lewu"}
+
+    @pytest.mark.parametrize(
+        "protocol,cd,knows",
+        [
+            ("lesk", CDMode.STRONG, True),
+            ("lesu", CDMode.STRONG, False),
+            ("lewk", CDMode.WEAK, True),
+            ("lewu", CDMode.WEAK, False),
+        ],
+    )
+    def test_modes_and_knowledge(self, protocol, cd, knows):
+        config = ElectionConfig(n=4, protocol=protocol)
+        assert config.cd_mode is cd
+        assert config.knows_eps is knows
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElectionConfig(n=4, protocol="raft")
+
+    @pytest.mark.parametrize("bad", [dict(n=0), dict(eps=0.0), dict(eps=1.0), dict(T=0)])
+    def test_invalid_parameters_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ElectionConfig(**{"n": 4, **bad})
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElectionConfig(n=4, engine="warp")
+
+    def test_engine_resolution(self):
+        assert ElectionConfig(n=4, protocol="lesk").resolved_engine() == "fast"
+        assert ElectionConfig(n=4, protocol="lewk").resolved_engine() == "faithful"
+        assert (
+            ElectionConfig(n=4, protocol="lesk", engine="faithful").resolved_engine()
+            == "faithful"
+        )
+
+    def test_slot_budget_override(self):
+        assert ElectionConfig(n=4, max_slots=77).slot_budget() == 77
+
+
+class TestDefaultSlotBudget:
+    def test_monotone_in_n(self):
+        budgets = [default_slot_budget(n, 0.5, 16) for n in (16, 256, 4096, 2**16)]
+        assert budgets == sorted(budgets)
+
+    def test_monotone_in_T(self):
+        budgets = [default_slot_budget(1024, 0.5, T) for T in (16, 256, 4096)]
+        assert budgets == sorted(budgets)
+
+    def test_grows_as_eps_shrinks(self):
+        assert default_slot_budget(1024, 0.1, 16) > default_slot_budget(1024, 0.8, 16)
+
+    def test_weak_protocols_get_notification_factor(self):
+        strong = default_slot_budget(1024, 0.5, 16, "lesk")
+        weak = default_slot_budget(1024, 0.5, 16, "lewk")
+        assert weak == pytest.approx(8 * strong, rel=0.01)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            default_slot_budget(0, 0.5, 16)
+
+    def test_budget_is_actually_sufficient(self):
+        """The budget must be generous: LESK succeeds within it for every
+        registry adversary at a representative size."""
+        from repro.core.election import elect_leader
+
+        for adversary in ("saturating", "single-suppressor", "periodic-front"):
+            result = elect_leader(
+                n=512, protocol="lesk", eps=0.4, T=64, adversary=adversary, seed=9
+            )
+            assert result.elected, adversary

@@ -1,0 +1,105 @@
+"""Tests for the public elect_leader API (repro.core.election)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ElectionConfig
+from repro.core.election import elect_leader, run_config, run_selection_resolution
+from repro.errors import ConfigurationError
+from repro.protocols.baselines.willard import WillardPolicy
+
+
+class TestElectLeader:
+    @pytest.mark.parametrize("protocol", ["lesk", "lesu", "lewk", "lewu"])
+    def test_all_protocols_elect(self, protocol):
+        result = elect_leader(
+            n=24, protocol=protocol, eps=0.5, T=8, adversary="saturating", seed=1
+        )
+        assert result.elected
+        assert result.leaders_count == 1
+
+    def test_leader_id_in_range(self):
+        result = elect_leader(n=40, seed=2)
+        assert result.leader is not None and 0 <= result.leader < 40
+
+    def test_seed_reproducibility_through_api(self):
+        a = elect_leader(n=100, adversary="saturating", seed=7)
+        b = elect_leader(n=100, adversary="saturating", seed=7)
+        assert (a.slots, a.leader, a.jams) == (b.slots, b.leader, b.jams)
+
+    def test_record_trace_flag(self):
+        result = elect_leader(n=16, seed=3, record_trace=True)
+        assert result.trace is not None
+        assert len(result.trace) == result.slots
+        assert elect_leader(n=16, seed=3).trace is None
+
+    def test_weak_protocol_on_fast_engine(self):
+        """engine='fast' on a weak-CD protocol uses the aggregate-state
+        Notification simulator (n >= 3 required)."""
+        result = elect_leader(n=8, protocol="lewk", engine="fast", seed=1)
+        assert result.elected and result.leaders_count == 1
+        with pytest.raises(ConfigurationError):
+            elect_leader(n=2, protocol="lewk", engine="fast")
+
+    def test_explicit_faithful_engine_for_strong(self):
+        result = elect_leader(n=16, protocol="lesk", engine="faithful", seed=4)
+        assert result.elected
+
+    def test_max_slots_respected(self):
+        result = elect_leader(n=1024, max_slots=3, seed=5)
+        assert result.slots <= 3
+        assert not result.elected
+
+    def test_lesu_c_is_threaded_through(self):
+        # A huge c makes t0 huge; with a tiny slot cap the estimation phase
+        # alone fits but behaviour must stay valid.
+        result = elect_leader(n=16, protocol="lesu", lesu_c=50.0, seed=6)
+        assert result.elected
+
+
+class TestRunConfig:
+    def test_equivalent_to_elect_leader(self):
+        config = ElectionConfig(n=64, protocol="lesk", adversary="saturating", seed=11)
+        a = run_config(config)
+        b = elect_leader(n=64, protocol="lesk", adversary="saturating", seed=11)
+        assert (a.slots, a.leader) == (b.slots, b.leader)
+
+
+class TestRunSelectionResolution:
+    def test_custom_policy(self):
+        result = run_selection_resolution(
+            WillardPolicy(), n=512, eps=0.5, T=8, adversary="none", seed=8
+        )
+        assert result.elected
+
+    def test_respects_max_slots(self):
+        result = run_selection_resolution(
+            WillardPolicy(), n=512, eps=0.5, T=8, adversary="none", seed=8, max_slots=1
+        )
+        assert result.slots == 1
+
+
+class TestCustomStrategyObjects:
+    def test_elect_leader_accepts_strategy_instance(self):
+        from repro.adversary.base import as_strategy
+
+        strategy = as_strategy(lambda view, rng: view.slot % 2 == 0, "odd-even")
+        result = elect_leader(
+            n=128, eps=0.5, T=8, adversary=strategy, seed=4, record_trace=True
+        )
+        assert result.elected
+        jams = result.trace.jammed_array()
+        # Jams only ever on even slots (clamped subset of the intent).
+        import numpy as np
+
+        assert not np.any(jams[1::2])
+
+    def test_strategy_instance_is_reset_between_runs(self):
+        from repro.adversary.combinators import AnyOf
+        from repro.adversary.oblivious import SaturatingJammer
+
+        strategy = AnyOf(SaturatingJammer())
+        a = elect_leader(n=64, eps=0.5, T=8, adversary=strategy, seed=5)
+        b = elect_leader(n=64, eps=0.5, T=8, adversary=strategy, seed=5)
+        assert (a.slots, a.jams) == (b.slots, b.jams)

@@ -1,0 +1,203 @@
+"""Content tests: each experiment's table carries the claim it makes.
+
+The smoke tests check structure; these pin the *semantics* at the small
+preset -- success rates, monotonicities, and verdicts that must hold for
+the reproduction to be telling the truth.  Tables are computed once per
+session (they are deterministic).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.run_all import EXPERIMENT_MODULES, run_experiment
+
+_cache: dict[str, object] = {}
+
+
+@pytest.fixture
+def table(request):
+    """Session-cached small-preset table for the experiment id in the
+    test's parametrization."""
+    exp_id = request.param
+    if exp_id not in _cache:
+        _cache[exp_id] = run_experiment(exp_id, "small")
+    return _cache[exp_id]
+
+
+def with_table(exp_id):
+    return pytest.mark.parametrize("table", [exp_id], indirect=True)
+
+
+@with_table("T1")
+def test_t1_lesk_always_elects_and_scales(table):
+    assert all(r["success_rate"] == 1.0 for r in table.rows)
+    assert all(r["per_log2n"] < 30 for r in table.rows)
+    adversaries = {r["adversary"] for r in table.rows}
+    assert len(adversaries) >= 3
+
+
+@with_table("T2")
+def test_t2_time_grows_as_eps_shrinks(table):
+    rows = sorted(table.rows, key=lambda r: -r["eps"])
+    medians = [r["median_slots"] for r in rows]
+    assert medians == sorted(medians)
+    assert all(r["success_rate"] == 1.0 for r in table.rows)
+
+
+@with_table("T3")
+def test_t3_hard_floor_never_violated(table):
+    assert all(r["floor_ok"] for r in table.rows)
+    assert all(r["success_rate"] == 1.0 for r in table.rows)
+
+
+@with_table("T4")
+def test_t4_bracket_containment(table):
+    for r in table.rows:
+        # Either the run elected via a Single or the bracket held.
+        assert r["in_bracket"] == 1.0 or r["singles"] == 1.0
+
+
+@with_table("T5")
+def test_t5_both_regimes_succeed(table):
+    assert {r["regime"] for r in table.rows} == {1, 2}
+    assert all(r["success_rate"] == 1.0 for r in table.rows)
+    # Upper bound: measured never exceeds the bound shape by more than a
+    # small constant.
+    assert all(r["ratio"] < 4.0 for r in table.rows)
+
+
+@with_table("T6")
+def test_t6_exactly_one_leader_always(table):
+    assert all(r["unique_leader"] == 1.0 for r in table.rows)
+    assert all(r["terminated"] == 1.0 for r in table.rows)
+    assert all(r["overhead"] < 24.0 for r in table.rows)
+
+
+@with_table("T7")
+def test_t7_both_protocols_elect(table):
+    assert all(r["lesk_success"] == 1.0 for r in table.rows)
+    assert all(r["ars_success"] == 1.0 for r in table.rows)
+
+
+@with_table("T8")
+def test_t8_lesk_unbothered_sweep_not(table):
+    assert all(r["lesk_success"] == 1.0 for r in table.rows)
+    by_name = {r["strategy"]: r for r in table.rows}
+    # The adaptive suppressor must hurt the non-robust baseline.
+    assert by_name["single-suppressor"]["sweep_success"] < 0.5
+    assert by_name["none"]["sweep_success"] == 1.0
+
+
+@with_table("T9")
+def test_t9_lesk_energy_is_the_climb_constant(table):
+    for r in table.rows:
+        assert r["lesk_tx"] == pytest.approx(23.6, abs=3.0)
+
+
+@with_table("T10")
+def test_t10_all_expected_checks_hold(table):
+    for r in table.rows:
+        if r["holds"] == "known-neg":
+            assert r["worst_slack"] < 0  # the documented erratum
+        else:
+            assert r["holds"] is True, r
+
+
+@with_table("F1")
+def test_f1_lesk_bounded_symmetric_diverges(table):
+    lesk = [r["u_lesk"] for r in table.rows]
+    symm = [r["u_symmetric"] for r in table.rows]
+    assert max(lesk) < 20.0
+    assert symm[-1] > 100.0
+
+
+@with_table("F2")
+def test_f2_success_curve_rises_to_whp(table):
+    rates = [r["success_rate"] for r in table.rows]
+    assert rates[0] <= 0.2
+    assert rates[-1] >= 0.9
+
+
+@with_table("A1")
+def test_a1_safe_weights_succeed(table):
+    for r in table.rows:
+        if r["m"] >= 2.0:
+            assert r["success_rate"] == 1.0
+    # Climb cost grows with m among the safe weights.
+    safe = [r for r in table.rows if r["m"] >= 1.0]
+    medians = [r["median_slots"] for r in sorted(safe, key=lambda r: r["m"])]
+    assert medians == sorted(medians)
+
+
+@with_table("A2")
+def test_a2_lesu_self_corrects_for_any_c(table):
+    assert all(r["success_rate"] == 1.0 for r in table.rows)
+
+
+@with_table("A3")
+def test_a3_both_survive_but_nocd_grows_faster(table):
+    assert all(r["nocd_success"] == 1.0 for r in table.rows)
+    assert all(r["lesk_success"] == 1.0 for r in table.rows)
+    ratios = [r["ratio"] for r in sorted(table.rows, key=lambda r: r["n"])]
+    assert ratios[-1] > ratios[0]
+
+
+@with_table("A4")
+def test_a4_ars_throughput_plateau(table):
+    assert all(r["late"] > 0.2 for r in table.rows)
+
+
+@with_table("A5")
+def test_a5_building_blocks_work_under_jamming(table):
+    for r in table.rows:
+        assert r["size_in_bracket"] == 1.0
+        assert r["fairness"] > 0.9
+        assert r["size_err"] < 2.0
+
+
+@with_table("A6")
+def test_a6_confirmation_jammer_denies_tournament_only(table):
+    for r in table.rows:
+        assert r["lesk_jam_success"] == 1.0
+        assert r["geo_confirm_success"] == 0.0
+        assert r["saving"] > 3.0
+
+
+@with_table("A7")
+def test_a7_lesu_succeeds_and_overhead_below_worst_case(table):
+    for r in table.rows:
+        assert r["lesu_success"] == 1.0
+        assert r["overhead"] < r["predicted"]
+
+
+def test_every_experiment_has_a_content_test():
+    import inspect
+    import sys
+
+    module = sys.modules[__name__]
+    covered = set()
+    for _, fn in inspect.getmembers(module, inspect.isfunction):
+        for mark in getattr(fn, "pytestmark", []):
+            if mark.name == "parametrize" and mark.args[0] == "table":
+                covered.update(mark.args[1])
+    assert covered == set(EXPERIMENT_MODULES), (
+        f"missing content tests for {set(EXPERIMENT_MODULES) - covered}"
+    )
+
+
+@with_table("A8")
+def test_a8_searched_attacks_stay_within_bound(table):
+    for r in table.rows:
+        assert r["within"] is True
+        assert r["slowdown"] < 3.0
+
+
+@with_table("A9")
+def test_a9_doubling_survives_fixed_does_not(table):
+    rows = {(r["partition"].split()[0], r["environment"]): r for r in table.rows}
+    assert rows[("doubling", "C3-killer jammer")]["success_rate"] == 1.0
+    assert rows[("fixed", "C3-killer jammer")]["success_rate"] == 0.0
+    # Both work on a quiet channel (L was chosen above t(n)).
+    assert rows[("doubling", "quiet")]["success_rate"] == 1.0
+    assert rows[("fixed", "quiet")]["success_rate"] == 1.0

@@ -1,0 +1,45 @@
+"""Tests for the CSV quick-look renderer (repro.experiments.figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import load_numeric_columns, main, render_csv
+
+CSV = "slot,u,label\n0,1.5,a\n1,2.5,b\n2,3.5,c\n"
+
+
+class TestLoad:
+    def test_numeric_columns_only(self):
+        cols = load_numeric_columns(CSV)
+        assert set(cols) == {"slot", "u"}
+        assert cols["u"] == [1.5, 2.5, 3.5]
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_numeric_columns("")
+
+
+class TestRender:
+    def test_renders_all_numeric_columns(self):
+        out = render_csv(CSV)
+        assert "-- slot" in out and "-- u " in out
+
+    def test_no_numeric_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_csv("a,b\nx,y\nz,w\n")
+
+    def test_cli(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        path.write_text(CSV)
+        assert main([str(path), "--height", "4"]) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out
+
+    def test_on_real_experiment_csv(self, tmp_path):
+        from repro.experiments.run_all import run_experiment
+
+        table = run_experiment("F1", "small")
+        out = render_csv(table.to_csv())
+        assert "u_lesk" in out and "u_symmetric" in out

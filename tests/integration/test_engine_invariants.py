@@ -1,0 +1,88 @@
+"""Property-based end-to-end invariants of whole simulated elections.
+
+For arbitrary small configurations (n, eps, T, strategy, seed) drawn by
+hypothesis, a full run must satisfy the model's structural invariants:
+
+* at most one leader, and `elected` implies a successful Single occurred;
+* the jam sequence respects the (T, 1-eps) definition;
+* energy accounting is internally consistent with the trace;
+* per-slot: a jammed slot is observed as Collision and a Single has
+  exactly one transmitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.suite import strategy_names
+from repro.adversary.validation import check_bounded
+from repro.core.election import elect_leader
+from repro.types import ChannelState
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    eps=st.floats(min_value=0.15, max_value=0.9),
+    T=st.integers(min_value=1, max_value=64),
+    strategy=st.sampled_from(sorted(strategy_names())),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_strong_cd_run_invariants(n, eps, T, strategy, seed):
+    result = elect_leader(
+        n=n,
+        protocol="lesk",
+        eps=eps,
+        T=T,
+        adversary=strategy,
+        seed=seed,
+        record_trace=True,
+    )
+    trace = result.trace
+
+    # Leader bookkeeping.
+    assert result.leaders_count in (0, 1)
+    if result.elected:
+        assert result.leader is not None and 0 <= result.leader < n
+        assert trace.successful_singles >= 1
+        assert result.first_single_slot == result.slots - 1
+    else:
+        assert result.timed_out
+
+    # Adversary legality.
+    jams = trace.jammed_array()
+    assert check_bounded(jams, T, eps)
+    assert result.jams == int(jams.sum())
+
+    # Channel physics.
+    k = trace.transmitters_array()
+    observed = trace.observed_states_array()
+    true = trace.true_states_array()
+    assert np.all(k <= n)
+    assert np.all(observed[jams] == int(ChannelState.COLLISION))
+    assert np.all(true[k == 0] == int(ChannelState.NULL))
+    assert np.all(true[k == 1] == int(ChannelState.SINGLE))
+    assert np.all(true[k >= 2] == int(ChannelState.COLLISION))
+    assert np.all(observed[~jams] == true[~jams])
+
+    # Energy.
+    assert result.energy.transmissions == int(k.sum())
+    assert result.energy.transmissions + result.energy.listening == n * result.slots
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=24),
+    strategy=st.sampled_from(["none", "saturating", "single-suppressor"]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_weak_cd_notification_invariants(n, strategy, seed):
+    result = elect_leader(
+        n=n, protocol="lewk", eps=0.5, T=8, adversary=strategy, seed=seed
+    )
+    assert result.elected
+    assert result.leaders_count == 1
+    assert result.all_terminated
+    assert 0 <= result.leader < n

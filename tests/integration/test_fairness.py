@@ -1,0 +1,46 @@
+"""Symmetry/fairness: the elected leader is uniform over stations.
+
+Stations are anonymous and run identical code with independent coins, so
+by symmetry every station must win with probability exactly 1/n.  A bug
+that leaks the station id into behaviour (e.g. seeding order, tie-breaks)
+would skew this; we chi-square the leader histogram on the *faithful*
+engine (the fast engine samples the winner uniformly by construction, so
+testing it would be circular).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.core.election import elect_leader
+
+
+def leader_histogram(protocol: str, n: int, runs: int, **kw) -> np.ndarray:
+    counts = np.zeros(n, dtype=int)
+    for seed in range(runs):
+        result = elect_leader(n=n, protocol=protocol, seed=seed, **kw)
+        assert result.elected
+        counts[result.leader] += 1
+    return counts
+
+
+def test_lesk_leader_is_uniform_faithful_engine():
+    n, runs = 8, 400
+    counts = leader_histogram(
+        "lesk", n, runs, eps=0.5, T=8, adversary="none", engine="faithful"
+    )
+    chi = stats.chisquare(counts)
+    assert chi.pvalue > 1e-4, counts
+
+    # Jamming cannot skew who wins either (it only delays elections).
+    counts = leader_histogram(
+        "lesk", n, runs, eps=0.5, T=8, adversary="saturating", engine="faithful"
+    )
+    assert stats.chisquare(counts).pvalue > 1e-4, counts
+
+
+def test_notification_leader_is_uniform():
+    n, runs = 6, 240
+    counts = leader_histogram("lewk", n, runs, eps=0.5, T=8, adversary="none")
+    assert stats.chisquare(counts).pvalue > 1e-4, counts

@@ -1,0 +1,82 @@
+"""Cross-validation of the vectorized ARS simulator against the
+per-station ARSMACStation implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.adversary.suite import make_adversary
+from repro.errors import ConfigurationError
+from repro.protocols.baselines.ars_fast import simulate_ars_fast
+from repro.protocols.baselines.ars_mac import ARSMACStation, ars_gamma
+from repro.sim.engine import simulate_stations
+from repro.types import CDMode
+
+N = 48
+T = 8
+EPS = 0.5
+GAMMA = ars_gamma(N, T)
+
+
+def fast_times(adversary, reps=80):
+    out = []
+    for seed in range(reps):
+        result = simulate_ars_fast(
+            N,
+            GAMMA,
+            make_adversary(adversary, T=T, eps=EPS),
+            max_slots=500_000,
+            seed=seed,
+        )
+        assert result.elected
+        out.append(result.slots)
+    return np.asarray(out, dtype=float)
+
+
+def faithful_times(adversary, reps=80):
+    out = []
+    for seed in range(reps):
+        stations = [ARSMACStation(GAMMA) for _ in range(N)]
+        result = simulate_stations(
+            stations,
+            adversary=make_adversary(adversary, T=T, eps=EPS),
+            cd_mode=CDMode.STRONG,
+            max_slots=500_000,
+            seed=20_000 + seed,
+            stop_on_first_single=True,
+        )
+        assert result.elected
+        out.append(result.slots)
+    return np.asarray(out, dtype=float)
+
+
+@pytest.mark.parametrize("adversary", ["none", "saturating"])
+def test_distributions_agree(adversary):
+    fast = fast_times(adversary)
+    faithful = faithful_times(adversary)
+    ks = stats.ks_2samp(fast, faithful)
+    assert ks.pvalue > 1e-4, (
+        f"ARS fast vs faithful diverge under {adversary}: p={ks.pvalue:.2e}, "
+        f"medians {np.median(fast):.0f} vs {np.median(faithful):.0f}"
+    )
+
+
+def test_validation():
+    adv = make_adversary("none", T=4, eps=0.5)
+    with pytest.raises(ConfigurationError):
+        simulate_ars_fast(0, 0.1, adv, 10)
+    with pytest.raises(ConfigurationError):
+        simulate_ars_fast(4, 0.0, adv, 10)
+    with pytest.raises(ConfigurationError):
+        simulate_ars_fast(4, 0.1, adv, 0)
+
+
+def test_leader_and_reproducibility():
+    adv = make_adversary("saturating", T=T, eps=EPS)
+    a = simulate_ars_fast(N, GAMMA, adv, max_slots=500_000, seed=3)
+    adv2 = make_adversary("saturating", T=T, eps=EPS)
+    b = simulate_ars_fast(N, GAMMA, adv2, max_slots=500_000, seed=3)
+    assert a.elected and 0 <= a.leader < N
+    assert (a.slots, a.leader, a.jams) == (b.slots, b.leader, b.jams)

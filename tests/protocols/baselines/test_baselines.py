@@ -1,0 +1,252 @@
+"""Tests for the baseline protocols (ARS MAC, Willard, sweeps, strawman)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.suite import make_adversary
+from repro.core.election import run_selection_resolution
+from repro.errors import ConfigurationError
+from repro.protocols.baselines.ars_mac import ARSMACStation, P_MAX, ars_gamma
+from repro.protocols.baselines.nakano_olariu import NoCDSweepPolicy, UniformSweepPolicy
+from repro.protocols.baselines.symmetric_walk import SymmetricWalkPolicy
+from repro.protocols.baselines.willard import WillardPolicy
+from repro.sim.engine import simulate_stations
+from repro.types import CDMode, ChannelState, PerceivedState, SlotFeedback
+
+
+def fb(transmitted: bool, perceived: PerceivedState) -> SlotFeedback:
+    return SlotFeedback(transmitted=transmitted, perceived=perceived)
+
+
+class TestARSGamma:
+    def test_formula(self):
+        assert ars_gamma(2**16, 2) == pytest.approx(1.0 / (1.0 + 4.0))
+
+    def test_scale(self):
+        assert ars_gamma(2**16, 2, scale=0.5) == pytest.approx(0.1)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ars_gamma(1, 4)
+
+
+class TestARSMACStation:
+    def make(self, gamma=0.1, **kw):
+        st = ARSMACStation(gamma, **kw)
+        st.reset(0, np.random.default_rng(3))
+        return st
+
+    def test_initial_state(self):
+        st = self.make()
+        assert st.p == P_MAX and st.T_v == 1 and st.c_v == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ARSMACStation(0.0)
+        with pytest.raises(ConfigurationError):
+            ARSMACStation(0.1, p_start=0.5)  # above p_max
+
+    def test_idle_increases_p_capped(self):
+        st = self.make(p_start=P_MAX / 2)
+        st.begin_slot(0)
+        st.end_slot(0, fb(False, PerceivedState.NULL))
+        assert st.p == pytest.approx(1.1 * P_MAX / 2)
+        for slot in range(1, 40):
+            st.begin_slot(slot)
+            st.end_slot(slot, fb(False, PerceivedState.NULL))
+        assert st.p == P_MAX  # capped
+
+    def test_election_mode_single_terminates(self):
+        st = self.make()
+        st.begin_slot(0)
+        st.end_slot(0, fb(False, PerceivedState.SINGLE))
+        assert st.done and st.is_leader is False
+        st2 = self.make()
+        st2.begin_slot(0)
+        st2.end_slot(0, fb(True, PerceivedState.SINGLE))
+        assert st2.done and st2.is_leader is True
+
+    def test_mac_mode_single_backs_off(self):
+        st = self.make(gamma=0.1, terminate_on_single=False)
+        st.T_v = 5
+        st.begin_slot(0)
+        st.end_slot(0, fb(False, PerceivedState.SINGLE))
+        assert not st.done
+        assert st.p == pytest.approx(P_MAX / 1.1)
+        assert st.T_v == 4
+
+    def test_no_idle_window_decreases_p_and_grows_T(self):
+        """The multiplicative back-off driven by c_v/T_v: with only
+        collisions sensed, p halves (by (1+gamma) steps) every T_v slots
+        and T_v grows by 2 each time."""
+        st = self.make(gamma=0.5)
+        p0 = st.p
+        st.begin_slot(0)
+        st.end_slot(0, fb(False, PerceivedState.COLLISION))
+        # c_v exceeded T_v = 1 with no idle seen: back off.
+        assert st.p == pytest.approx(p0 / 1.5)
+        assert st.T_v == 3
+
+    def test_transmit_hint(self):
+        st = self.make()
+        assert st.transmit_probability_hint() == P_MAX
+
+
+class TestARSElection:
+    def test_elects_against_jamming(self):
+        n = 64
+        stations = [ARSMACStation(ars_gamma(n, 8)) for _ in range(n)]
+        adv = make_adversary("saturating", T=8, eps=0.5)
+        result = simulate_stations(
+            stations,
+            adversary=adv,
+            cd_mode=CDMode.STRONG,
+            max_slots=500_000,
+            seed=4,
+            stop_on_first_single=True,
+        )
+        assert result.elected
+        assert result.leader is not None
+
+
+class TestWillard:
+    def test_probe_doubles_exponent(self):
+        p = WillardPolicy()
+        assert p.transmit_probability(0) == 0.5  # u = 1
+        p.observe(0, ChannelState.COLLISION)
+        assert p.u == 2.0
+        p.observe(1, ChannelState.COLLISION)
+        assert p.u == 4.0
+
+    def test_null_starts_bisection(self):
+        p = WillardPolicy()
+        p.observe(0, ChannelState.COLLISION)  # u: 1 -> 2
+        p.observe(1, ChannelState.COLLISION)  # u: 2 -> 4
+        p.observe(2, ChannelState.NULL)  # bracket [2, 4]
+        assert p.phase == "bisect"
+        assert p.u == pytest.approx(3.0)
+
+    def test_bisection_converges_to_settle(self):
+        p = WillardPolicy()
+        for i in range(3):
+            p.observe(i, ChannelState.COLLISION)
+        p.observe(3, ChannelState.NULL)  # bracket [4, 8]
+        p.observe(4, ChannelState.COLLISION)  # -> [6, 8]
+        p.observe(5, ChannelState.NULL)  # -> [6, 7]: width 1 -> settle
+        assert p.phase == "settle"
+        assert 6.0 <= p.u <= 7.0
+
+    def test_single_completes(self):
+        p = WillardPolicy()
+        p.observe(0, ChannelState.SINGLE)
+        assert p.completed
+
+    def test_settle_restart_after_patience(self):
+        p = WillardPolicy()
+        p._phase = "settle"
+        for i in range(WillardPolicy.SETTLE_PATIENCE):
+            p.observe(i, ChannelState.COLLISION)
+        assert p.phase == "probe"
+        assert p._restarts == 1
+
+    def test_fast_without_adversary(self):
+        result = run_selection_resolution(
+            WillardPolicy(), n=2**14, eps=0.5, T=8, adversary="none", seed=1
+        )
+        assert result.elected
+        assert result.slots < 60  # O(log log n) + settle attempts
+
+
+class TestSweeps:
+    def test_uniform_sweep_sawtooth(self):
+        p = UniformSweepPolicy()
+        exps = []
+        for i in range(7):
+            exps.append(p.u)
+            p.observe(i, ChannelState.COLLISION)
+        assert exps == [0.0, 1.0, 0.0, 1.0, 2.0, 0.0, 1.0]
+        assert p.ceiling == 4
+
+    def test_uniform_sweep_elects(self):
+        result = run_selection_resolution(
+            UniformSweepPolicy(), n=1024, eps=0.5, T=8, adversary="none", seed=3
+        )
+        assert result.elected
+        assert result.slots < 400
+
+    def test_no_cd_sweep_repeats_each_exponent(self):
+        p = NoCDSweepPolicy(initial_ceiling=2)
+        seen = []
+        for i in range(6):
+            seen.append(p.u)
+            p.observe(i, ChannelState.COLLISION)
+        # ceiling 2: exponent 0 twice, 1 twice, 2 twice...
+        assert seen == [0.0, 0.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_no_cd_sweep_elects(self):
+        result = run_selection_resolution(
+            NoCDSweepPolicy(), n=256, eps=0.5, T=8, adversary="none", seed=5,
+            max_slots=50_000,
+        )
+        assert result.elected
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformSweepPolicy(initial_ceiling=0)
+        with pytest.raises(ConfigurationError):
+            NoCDSweepPolicy(initial_ceiling=0)
+
+
+class TestSymmetricWalkStrawman:
+    def test_updates_are_symmetric(self):
+        p = SymmetricWalkPolicy()
+        p.observe(0, ChannelState.COLLISION)
+        assert p.u == 1.0
+        p.observe(1, ChannelState.NULL)
+        assert p.u == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SymmetricWalkPolicy(collision_delta=0.0)
+
+    def test_walk_diverges_under_collision_forcer(self):
+        """Section 2.1: with eps < 1/2 the adversary can push a symmetric
+        estimate to infinity.  The collision-forcer jams every slot whose
+        natural outcome would not be a Collision; at eps = 0.3 it owns 70%
+        of every window and the +1/-1 walk drifts up without return."""
+        import numpy as np
+
+        from repro.adversary.suite import make_adversary
+        from repro.sim.fast import simulate_uniform_fast
+
+        adv = make_adversary("collision-forcer", T=16, eps=0.3, seed=1)
+        result = simulate_uniform_fast(
+            SymmetricWalkPolicy(),
+            n=256,
+            adversary=adv,
+            max_slots=4_000,
+            seed=7,
+            record_trace=True,
+            halt_on_single=False,
+        )
+        u = result.trace.u_array()
+        # Monotone escape: after the initial climb the walk never returns
+        # to the election band around log2(256) = 8.
+        assert u[-1] > 200.0
+        assert np.all(u[200:] > 20.0)
+
+    def test_lesk_survives_same_attack(self):
+        from repro.protocols.lesk import LESKPolicy
+
+        result = run_selection_resolution(
+            LESKPolicy(0.3),
+            n=256,
+            eps=0.3,
+            T=16,
+            adversary="collision-forcer",
+            seed=7,
+            max_slots=20_000,
+        )
+        assert result.elected

@@ -1,0 +1,161 @@
+"""Tests for the protocol interfaces and the per-station adapter
+(repro.protocols.base, repro.protocols.broadcast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocols.base import (
+    UniformStationAdapter,
+    probability_from_exponent,
+)
+from repro.protocols.broadcast import broadcast_feedback, transmit_probability
+from repro.protocols.lesk import LESKPolicy
+from repro.types import Action, CDMode, ChannelState, SlotFeedback, PerceivedState
+
+
+class TestProbabilityFromExponent:
+    def test_basic_values(self):
+        assert probability_from_exponent(0.0) == 1.0
+        assert probability_from_exponent(1.0) == 0.5
+        assert probability_from_exponent(10.0) == pytest.approx(2.0**-10)
+
+    def test_negative_clamps_to_one(self):
+        assert probability_from_exponent(-3.0) == 1.0
+
+    def test_huge_exponent_clamps_to_zero(self):
+        assert probability_from_exponent(2000.0) == 0.0
+
+
+class TestBroadcastSemantics:
+    def test_transmit_probability_matches(self):
+        assert transmit_probability(3.0) == pytest.approx(0.125)
+
+    def test_strong_cd_returns_channel_state(self):
+        for state in ChannelState:
+            assert broadcast_feedback(True, state, CDMode.STRONG) is state
+            assert broadcast_feedback(False, state, CDMode.STRONG) is state
+
+    def test_weak_cd_transmitter_assumes_collision(self):
+        """Function 3: 'if transmitted then return Collision'."""
+        for state in ChannelState:
+            assert (
+                broadcast_feedback(True, state, CDMode.WEAK)
+                is ChannelState.COLLISION
+            )
+
+    def test_weak_cd_listener_hears_channel(self):
+        for state in ChannelState:
+            assert broadcast_feedback(False, state, CDMode.WEAK) is state
+
+    def test_no_cd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            broadcast_feedback(False, ChannelState.NULL, CDMode.NO_CD)
+
+
+def fb(transmitted: bool, perceived: PerceivedState) -> SlotFeedback:
+    return SlotFeedback(transmitted=transmitted, perceived=perceived)
+
+
+class TestAdapterLifecycle:
+    def make(self, cd=CDMode.STRONG, eps=0.5):
+        adapter = UniformStationAdapter(LESKPolicy(eps), cd_mode=cd)
+        adapter.reset(0, np.random.default_rng(7))
+        return adapter
+
+    def test_requires_reset(self):
+        adapter = UniformStationAdapter(LESKPolicy(0.5))
+        with pytest.raises(ProtocolError):
+            adapter.begin_slot(0)
+
+    def test_double_begin_rejected(self):
+        adapter = self.make()
+        adapter.begin_slot(0)
+        with pytest.raises(ProtocolError):
+            adapter.begin_slot(1)
+
+    def test_end_without_begin_rejected(self):
+        adapter = self.make()
+        with pytest.raises(ProtocolError):
+            adapter.end_slot(0, fb(False, PerceivedState.NULL))
+
+    def test_no_cd_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            UniformStationAdapter(LESKPolicy(0.5), cd_mode=CDMode.NO_CD)
+
+    def test_u_zero_always_transmits(self):
+        adapter = self.make()
+        assert adapter.begin_slot(0) is Action.TRANSMIT
+
+    def test_done_station_listens(self):
+        adapter = self.make()
+        adapter.begin_slot(0)
+        adapter.end_slot(0, fb(True, PerceivedState.SINGLE))  # strong-CD win
+        assert adapter.done and adapter.is_leader is True
+        assert adapter.begin_slot(1) is Action.LISTEN
+        assert adapter.transmit_probability_hint() == 0.0
+
+
+class TestAdapterStrongCD:
+    def make(self):
+        adapter = UniformStationAdapter(LESKPolicy(0.5), cd_mode=CDMode.STRONG)
+        adapter.reset(0, np.random.default_rng(7))
+        return adapter
+
+    def test_transmitter_single_becomes_leader(self):
+        adapter = self.make()
+        adapter.begin_slot(0)
+        adapter.end_slot(0, fb(True, PerceivedState.SINGLE))
+        assert adapter.is_leader is True and adapter.done
+
+    def test_listener_single_becomes_non_leader(self):
+        adapter = self.make()
+        adapter.policy._u = 5.0  # make listening plausible
+        action = adapter.begin_slot(0)
+        adapter.end_slot(0, fb(False, PerceivedState.SINGLE))
+        assert adapter.is_leader is False and adapter.done
+        assert action in (Action.TRANSMIT, Action.LISTEN)
+
+    def test_collision_updates_policy(self):
+        adapter = self.make()
+        adapter.begin_slot(0)
+        adapter.end_slot(0, fb(True, PerceivedState.COLLISION))
+        assert adapter.policy.u == pytest.approx(1.0 / 16.0)
+
+    def test_null_updates_policy(self):
+        adapter = self.make()
+        adapter.policy._u = 4.0
+        adapter.begin_slot(0)
+        adapter.end_slot(0, fb(False, PerceivedState.NULL))
+        assert adapter.policy.u == pytest.approx(3.0)
+
+
+class TestAdapterWeakCD:
+    def make(self):
+        adapter = UniformStationAdapter(LESKPolicy(0.5), cd_mode=CDMode.WEAK)
+        adapter.reset(0, np.random.default_rng(7))
+        return adapter
+
+    def test_transmitter_assumes_collision_even_on_true_single(self):
+        """The weak-CD transmitter cannot know it won: it applies the
+        Collision update and keeps running (the Notification wrapper's
+        whole reason to exist)."""
+        adapter = self.make()
+        adapter.begin_slot(0)
+        adapter.end_slot(0, fb(True, PerceivedState.UNKNOWN))
+        assert not adapter.done
+        assert adapter.policy.u == pytest.approx(1.0 / 16.0)
+
+    def test_listener_single_terminates(self):
+        adapter = self.make()
+        adapter.policy._u = 5.0
+        adapter.begin_slot(0)
+        adapter.end_slot(0, fb(False, PerceivedState.SINGLE))
+        assert adapter.done and adapter.is_leader is False
+
+    def test_hints_expose_policy_state(self):
+        adapter = self.make()
+        assert adapter.transmit_probability_hint() == 1.0
+        assert adapter.u_hint() == 0.0

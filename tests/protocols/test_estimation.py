@@ -1,0 +1,117 @@
+"""Tests for Estimation(L) (Function 2) -- repro.protocols.estimation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.protocols.estimation import EstimationPolicy
+from repro.types import ChannelState
+
+
+def drive(policy: EstimationPolicy, states):
+    for i, s in enumerate(states):
+        policy.observe(i, s)
+
+
+class TestRoundStructure:
+    def test_round_r_has_2_to_r_slots(self):
+        p = EstimationPolicy(L=2)
+        assert p.current_round == 1
+        drive(p, [ChannelState.COLLISION] * 2)  # round 1: 2 slots, no nulls
+        assert p.current_round == 2
+        drive(p, [ChannelState.COLLISION] * 4)  # round 2: 4 slots
+        assert p.current_round == 3
+
+    def test_probability_is_2_to_minus_2_to_round(self):
+        p = EstimationPolicy()
+        assert p.transmit_probability(0) == pytest.approx(2.0**-2)
+        drive(p, [ChannelState.COLLISION] * 2)
+        assert p.transmit_probability(2) == pytest.approx(2.0**-4)
+        drive(p, [ChannelState.COLLISION] * 4)
+        assert p.transmit_probability(6) == pytest.approx(2.0**-8)
+
+    def test_returns_round_when_L_nulls_seen(self):
+        p = EstimationPolicy(L=2)
+        drive(p, [ChannelState.COLLISION] * 2)  # round 1 fails
+        drive(
+            p,
+            [
+                ChannelState.NULL,
+                ChannelState.COLLISION,
+                ChannelState.NULL,
+                ChannelState.COLLISION,
+            ],
+        )  # round 2: two nulls
+        assert p.completed
+        assert p.result == 2
+
+    def test_nulls_do_not_carry_across_rounds(self):
+        p = EstimationPolicy(L=2)
+        drive(p, [ChannelState.NULL, ChannelState.COLLISION])  # round 1: 1 null
+        assert not p.completed
+        drive(p, [ChannelState.NULL] + [ChannelState.COLLISION] * 3)  # round 2: 1 null
+        assert not p.completed
+
+    def test_single_counts_as_non_null(self):
+        p = EstimationPolicy(L=1)
+        drive(p, [ChannelState.SINGLE, ChannelState.SINGLE])
+        assert not p.completed
+
+    def test_L_one_returns_immediately_on_null(self):
+        p = EstimationPolicy(L=1)
+        drive(p, [ChannelState.NULL, ChannelState.COLLISION])
+        assert p.completed
+        assert p.result == 1
+
+    def test_observe_after_completion_is_noop(self):
+        p = EstimationPolicy(L=1)
+        drive(p, [ChannelState.NULL, ChannelState.NULL])
+        steps = p.total_steps
+        p.observe(99, ChannelState.NULL)
+        assert p.total_steps == steps
+
+    def test_max_round_cap(self):
+        p = EstimationPolicy(L=1, max_round=3)
+        drive(p, [ChannelState.COLLISION] * (2 + 4 + 8))
+        assert p.completed
+        assert p.result == 3
+
+
+class TestValidation:
+    def test_rejects_bad_L(self):
+        with pytest.raises(ConfigurationError):
+            EstimationPolicy(L=0)
+
+    def test_rejects_bad_max_round(self):
+        with pytest.raises(ConfigurationError):
+            EstimationPolicy(max_round=0)
+
+    def test_clone(self):
+        p = EstimationPolicy(L=3, max_round=10)
+        drive(p, [ChannelState.COLLISION] * 2)
+        q = p.clone()
+        assert q.L == 3 and q.max_round == 10 and q.current_round == 1
+
+
+@given(
+    null_round=st.integers(min_value=1, max_value=6),
+    # L <= 2 so even the first (2-slot) round can reach the threshold.
+    L=st.integers(min_value=1, max_value=2),
+)
+def test_total_steps_is_geometric_sum(null_round, L):
+    """If the first round with >= L nulls is r, the total step count is
+    2 + 4 + ... + 2^r = 2^(r+1) - 2 -- the Lemma 2.8 runtime structure."""
+    p = EstimationPolicy(L=L)
+    for r in range(1, null_round + 1):
+        size = 2**r
+        if r < null_round:
+            states = [ChannelState.COLLISION] * size
+        else:
+            states = [ChannelState.NULL] * L + [ChannelState.COLLISION] * (size - L)
+        drive(p, states)
+    assert p.completed
+    assert p.result == null_round
+    assert p.total_steps == 2 ** (null_round + 1) - 2

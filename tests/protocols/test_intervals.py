@@ -1,0 +1,123 @@
+"""Tests for the C1/C2/C3 interval partition -- repro.protocols.intervals."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.protocols.intervals import (
+    interval_bounds,
+    interval_of_slot,
+    first_slot_of_interval,
+    slots_of_interval,
+)
+
+
+class TestPaperValues:
+    def test_first_block_matches_paper(self):
+        """C^1_1 = {3,4}, C^1_2 = {5,6}, C^1_3 = {7,8}."""
+        assert list(slots_of_interval(1, 1)) == [3, 4]
+        assert list(slots_of_interval(1, 2)) == [5, 6]
+        assert list(slots_of_interval(1, 3)) == [7, 8]
+
+    def test_second_block(self):
+        """C^2_1 = {9..12} etc."""
+        assert list(slots_of_interval(2, 1)) == [9, 10, 11, 12]
+        assert list(slots_of_interval(2, 3)) == [17, 18, 19, 20]
+
+    def test_interval_size_is_2_to_i(self):
+        for i in range(1, 12):
+            for j in (1, 2, 3):
+                start, end = interval_bounds(i, j)
+                assert end - start == 2**i
+
+    def test_slots_before_three_are_unassigned(self):
+        for slot in range(3):
+            assert interval_of_slot(slot) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interval_bounds(0, 1)
+        with pytest.raises(ConfigurationError):
+            interval_bounds(1, 4)
+        with pytest.raises(ConfigurationError):
+            interval_of_slot(-1)
+
+    def test_first_slot_helper(self):
+        assert first_slot_of_interval(1, 1) == 3
+        assert first_slot_of_interval(3, 2) == 4 * 8 - 3
+
+
+class TestTiling:
+    def test_partition_tiles_timeline_without_gaps(self):
+        """Every slot >= 3 lies in exactly one interval, contiguously."""
+        expected = []
+        for i in range(1, 7):
+            for j in (1, 2, 3):
+                expected.extend((i, j, off) for off in range(2**i))
+        for slot_index, (i, j, off) in enumerate(expected):
+            iv = interval_of_slot(slot_index + 3)
+            assert (iv.i, iv.j, iv.offset) == (i, j, off)
+
+
+@given(slot=st.integers(min_value=3, max_value=10**12))
+def test_locator_agrees_with_bounds(slot):
+    """Property: interval_of_slot inverts interval_bounds at any scale."""
+    iv = interval_of_slot(slot)
+    assert iv is not None
+    start, end = interval_bounds(iv.i, iv.j)
+    assert start <= slot < end
+    assert iv.offset == slot - start
+    assert iv.size == 2**iv.i
+
+
+class TestFixedPartition:
+    def test_tiling_from_slot_zero(self):
+        from repro.protocols.intervals import fixed_partition
+
+        locate = fixed_partition(4)
+        iv0 = locate(0)
+        assert (iv0.i, iv0.j, iv0.offset, iv0.size) == (1, 1, 0, 4)
+        iv11 = locate(11)
+        assert (iv11.i, iv11.j, iv11.offset) == (1, 3, 3)
+        iv12 = locate(12)
+        assert (iv12.i, iv12.j) == (2, 1)
+
+    def test_constant_size(self):
+        from repro.protocols.intervals import fixed_partition
+
+        locate = fixed_partition(7)
+        assert all(locate(s).size == 7 for s in range(0, 100, 13))
+
+    def test_validation(self):
+        from repro.protocols.intervals import fixed_partition
+
+        with pytest.raises(ConfigurationError):
+            fixed_partition(0)
+        with pytest.raises(ConfigurationError):
+            fixed_partition(4)(-1)
+
+    def test_notification_runs_on_fixed_partition(self):
+        """The state machine is partition-agnostic: with a fixed partition
+        large enough for A, LEWK still elects on a quiet channel."""
+        from repro.adversary.suite import make_adversary
+        from repro.protocols.intervals import fixed_partition
+        from repro.protocols.lesk import LESKPolicy
+        from repro.protocols.notification import NotificationStation
+        from repro.sim.engine import simulate_stations
+        from repro.types import CDMode
+
+        stations = [
+            NotificationStation(lambda: LESKPolicy(0.5), partition=fixed_partition(256))
+            for _ in range(6)
+        ]
+        result = simulate_stations(
+            stations,
+            adversary=make_adversary("none", T=8, eps=0.5),
+            cd_mode=CDMode.WEAK,
+            max_slots=20_000,
+            seed=3,
+        )
+        assert result.elected and result.leaders_count == 1

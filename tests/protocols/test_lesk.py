@@ -1,0 +1,126 @@
+"""Tests for LESK (Algorithm 1) -- repro.protocols.lesk."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.protocols.lesk import LESKPolicy, lesk_parameter_a
+from repro.types import ChannelState
+
+
+class TestParameters:
+    def test_a_is_8_over_eps(self):
+        assert lesk_parameter_a(0.5) == 16.0
+        assert lesk_parameter_a(0.1) == pytest.approx(80.0)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_eps_rejected(self, eps):
+        with pytest.raises(ConfigurationError):
+            lesk_parameter_a(eps)
+
+    def test_negative_initial_u_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LESKPolicy(0.5, initial_u=-1.0)
+
+
+class TestUpdates:
+    def test_initial_probability_is_one(self):
+        """u starts at 0: Broadcast(0) transmits with probability 1."""
+        assert LESKPolicy(0.5).transmit_probability(0) == 1.0
+
+    def test_collision_increments_by_1_over_a(self):
+        p = LESKPolicy(0.5)  # a = 16
+        p.observe(0, ChannelState.COLLISION)
+        assert p.u == pytest.approx(1.0 / 16.0)
+        assert p.collisions_seen == 1
+
+    def test_null_decrements_by_one_with_floor(self):
+        p = LESKPolicy(0.5, initial_u=0.5)
+        p.observe(0, ChannelState.NULL)
+        assert p.u == 0.0  # max(u - 1, 0)
+        p2 = LESKPolicy(0.5, initial_u=3.0)
+        p2.observe(0, ChannelState.NULL)
+        assert p2.u == 2.0
+        assert p2.nulls_seen == 1
+
+    def test_floor_can_be_disabled(self):
+        p = LESKPolicy(0.5, floor_at_zero=False)
+        p.observe(0, ChannelState.NULL)
+        assert p.u == -1.0
+
+    def test_single_marks_completed(self):
+        p = LESKPolicy(0.5)
+        assert not p.completed
+        p.observe(0, ChannelState.SINGLE)
+        assert p.completed
+
+    def test_asymmetry_ratio(self):
+        """One Null neutralizes a = 8/eps Collisions (Sec 2.1 intuition)."""
+        eps = 0.25
+        p = LESKPolicy(eps, initial_u=5.0)
+        for i in range(int(8 / eps)):
+            p.observe(i, ChannelState.COLLISION)
+        assert p.u == pytest.approx(6.0)
+        p.observe(99, ChannelState.NULL)
+        assert p.u == pytest.approx(5.0)
+
+    def test_probability_tracks_u(self):
+        p = LESKPolicy(0.5, initial_u=3.0)
+        assert p.transmit_probability(0) == pytest.approx(0.125)
+
+    def test_extreme_u_does_not_underflow(self):
+        p = LESKPolicy(0.5, initial_u=5000.0)
+        assert p.transmit_probability(0) == 0.0
+
+    def test_clone_resets_state(self):
+        p = LESKPolicy(0.3, initial_u=1.0)
+        p.observe(0, ChannelState.COLLISION)
+        q = p.clone()
+        assert q.u == 1.0
+        assert q.eps == 0.3
+        assert not q.completed
+
+
+class TestRegularBand:
+    def test_band_contains_log2n(self):
+        p = LESKPolicy(0.5)
+        lo, hi = p.regular_band(1024)
+        assert lo < math.log2(1024) < hi
+
+    def test_band_matches_paper_formulas(self):
+        eps = 0.5
+        a = 16.0
+        p = LESKPolicy(eps)
+        lo, hi = p.regular_band(256)
+        u0 = 8.0
+        assert lo == pytest.approx(u0 - math.log2(2 * math.log(a)))
+        assert hi == pytest.approx(u0 + 0.5 * math.log2(a) + 1.0)
+
+
+@given(
+    states=st.lists(
+        st.sampled_from([ChannelState.NULL, ChannelState.COLLISION]),
+        min_size=0,
+        max_size=200,
+    ),
+    eps=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_u_matches_closed_form_recurrence(states, eps):
+    """Property: u equals the fold of the Algorithm 1 update rule."""
+    policy = LESKPolicy(eps)
+    a = 8.0 / eps
+    expected = 0.0
+    for i, state in enumerate(states):
+        policy.observe(i, state)
+        if state is ChannelState.NULL:
+            expected = max(expected - 1.0, 0.0)
+        else:
+            expected += 1.0 / a
+    assert policy.u == pytest.approx(expected, abs=1e-9)
+    assert policy.u >= 0.0
+    assert 0.0 <= policy.transmit_probability(len(states)) <= 1.0

@@ -1,0 +1,117 @@
+"""Tests for LESU (Algorithm 2) -- repro.protocols.lesu."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.lesu import DEFAULT_C, LESUPolicy, lesu_schedule
+from repro.types import ChannelState
+
+
+class TestSchedule:
+    def test_diagonal_order(self):
+        subs = [s for _, s in zip(range(6), lesu_schedule(t0=8.0))]
+        assert [(s.i, s.j) for s in subs] == [
+            (1, 1),
+            (2, 1),
+            (2, 2),
+            (3, 1),
+            (3, 2),
+            (3, 3),
+        ]
+
+    def test_eps_j_is_2_to_minus_j_thirds(self):
+        subs = list(zip(range(10), lesu_schedule(t0=4.0)))
+        for _, s in subs:
+            assert s.eps == pytest.approx(2.0 ** (-s.j / 3.0))
+
+    def test_duration_formula(self):
+        """duration = ceil(3 * 2^i * t0 / j) = ceil(t_i * i / j) with
+        t_i = t0/(eps_i^3 log2(1/eps_i))."""
+        t0 = 10.0
+        for _, s in zip(range(12), lesu_schedule(t0)):
+            t_i = t0 / ((2.0 ** (-s.i / 3.0)) ** 3 * (s.i / 3.0))
+            assert s.duration == math.ceil(t_i * s.i / s.j)
+
+    def test_bad_t0_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(lesu_schedule(0.0))
+
+
+class TestPolicyPhases:
+    def test_starts_in_estimation(self):
+        p = LESUPolicy()
+        assert p.phase == "estimation"
+        assert p.transmit_probability(0) == pytest.approx(2.0**-2)
+
+    def test_transitions_to_election_after_estimation(self):
+        p = LESUPolicy(c=2.0)
+        # Round 1 of Estimation(2): two Nulls complete it immediately.
+        p.observe(0, ChannelState.NULL)
+        p.observe(1, ChannelState.NULL)
+        assert p.phase == "election"
+        assert p.t0 == pytest.approx(2.0 * 2.0 ** (1 + 1))
+        assert p.current_subrun is not None
+        assert (p.current_subrun.i, p.current_subrun.j) == (1, 1)
+
+    def test_subruns_advance_after_duration(self):
+        p = LESUPolicy(c=0.25)  # small t0 for short sub-runs
+        p.observe(0, ChannelState.NULL)
+        p.observe(1, ChannelState.NULL)
+        first = p.current_subrun
+        for step in range(first.duration):
+            p.observe(step, ChannelState.COLLISION)
+        assert p.current_subrun != first
+        assert p.subruns_started == 2
+
+    def test_lesk_state_resets_between_subruns(self):
+        p = LESUPolicy(c=0.25)
+        p.observe(0, ChannelState.NULL)
+        p.observe(1, ChannelState.NULL)
+        for step in range(p.current_subrun.duration):
+            p.observe(step, ChannelState.COLLISION)
+        # A fresh LESK sub-run starts at u = 0 -> probability 1.
+        assert p.transmit_probability(0) == 1.0
+
+    def test_single_completes_policy(self):
+        p = LESUPolicy()
+        p.observe(0, ChannelState.SINGLE)
+        assert p.completed
+
+    def test_u_exposes_broadcast_exponent(self):
+        p = LESUPolicy()
+        assert p.u == 2.0  # estimation round 1 -> Broadcast(2^1)
+        p.observe(0, ChannelState.NULL)
+        p.observe(1, ChannelState.NULL)
+        assert p.u == 0.0  # fresh LESK sub-run
+
+    def test_bad_c_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LESUPolicy(c=0.0)
+
+    def test_clone_restarts(self):
+        p = LESUPolicy(c=3.0)
+        p.observe(0, ChannelState.NULL)
+        p.observe(1, ChannelState.NULL)
+        q = p.clone()
+        assert q.phase == "estimation"
+        assert q.c == 3.0
+
+    def test_default_c_is_documented_value(self):
+        assert LESUPolicy().c == DEFAULT_C
+
+
+class TestScheduleCoverage:
+    def test_schedule_eventually_tries_small_eps_long_enough(self):
+        """Theorem 2.9's mechanism: for any true eps there is a sub-run with
+        eps/2 <= eps_j <= eps whose duration exceeds the Theorem 2.6 need."""
+        t0 = 8.0
+        eps_true = 0.21
+        needed = 5000.0
+        for _, s in zip(range(500), lesu_schedule(t0)):
+            if eps_true / 2.0 <= s.eps <= eps_true and s.duration >= needed:
+                return
+        pytest.fail("schedule never covered the target (eps, duration)")

@@ -1,0 +1,112 @@
+"""Tests for the fast vectorized engine (repro.sim.fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.suite import make_adversary
+from repro.adversary.validation import check_bounded
+from repro.errors import ConfigurationError
+from repro.protocols.estimation import EstimationPolicy
+from repro.protocols.lesk import LESKPolicy
+from repro.sim.fast import simulate_uniform_fast
+
+
+def run_lesk(n=256, eps=0.5, T=8, adversary="none", seed=0, **kw):
+    return simulate_uniform_fast(
+        LESKPolicy(eps),
+        n=n,
+        adversary=make_adversary(adversary, T=T, eps=eps),
+        max_slots=kw.pop("max_slots", 100_000),
+        seed=seed,
+        **kw,
+    )
+
+
+class TestValidation:
+    def test_needs_positive_n(self):
+        with pytest.raises(ConfigurationError):
+            simulate_uniform_fast(
+                LESKPolicy(0.5), n=0, adversary=make_adversary("none", 8, 0.5), max_slots=10
+            )
+
+    def test_needs_positive_slots(self):
+        with pytest.raises(ConfigurationError):
+            simulate_uniform_fast(
+                LESKPolicy(0.5), n=4, adversary=make_adversary("none", 8, 0.5), max_slots=0
+            )
+
+
+class TestElection:
+    def test_elects_and_reports(self):
+        result = run_lesk(seed=11)
+        assert result.elected
+        assert result.leader is not None and 0 <= result.leader < 256
+        assert result.first_single_slot == result.slots - 1
+        assert result.all_terminated
+        assert result.leaders_count == 1
+
+    def test_single_station(self):
+        result = run_lesk(n=1, seed=0)
+        assert result.elected and result.slots == 1
+
+    def test_timeout(self):
+        result = run_lesk(max_slots=2, seed=1)
+        assert not result.elected and result.timed_out
+
+    def test_reproducible(self):
+        a = run_lesk(adversary="saturating", seed=21, record_trace=True)
+        b = run_lesk(adversary="saturating", seed=21, record_trace=True)
+        assert a.slots == b.slots and a.leader == b.leader
+        assert list(a.trace.transmitters_array()) == list(b.trace.transmitters_array())
+
+    def test_different_seeds_differ(self):
+        outcomes = {run_lesk(seed=s).slots for s in range(8)}
+        assert len(outcomes) > 1
+
+    def test_jams_are_bounded(self):
+        result = run_lesk(adversary="saturating", T=4, seed=2, record_trace=True)
+        assert check_bounded(result.trace.jammed_array(), 4, 0.5)
+
+    def test_energy_totals(self):
+        result = run_lesk(seed=3, record_trace=True)
+        n = result.n
+        assert result.energy.transmissions == int(result.trace.transmitters_array().sum())
+        assert result.energy.transmissions + result.energy.listening == n * result.slots
+
+
+class TestPolicyCompletion:
+    def test_estimation_completes_without_single(self):
+        result = simulate_uniform_fast(
+            EstimationPolicy(L=2),
+            n=4096,
+            adversary=make_adversary("none", 8, 0.5),
+            max_slots=100_000,
+            seed=4,
+            halt_on_single=False,
+        )
+        assert result.policy_result is not None
+        assert not result.elected
+        assert result.all_terminated
+        assert not result.timed_out
+
+    def test_halt_on_single_false_passes_singles_to_policy(self):
+        policy = LESKPolicy(0.5)
+        result = simulate_uniform_fast(
+            policy,
+            n=64,
+            adversary=make_adversary("none", 8, 0.5),
+            max_slots=100_000,
+            seed=5,
+            halt_on_single=False,
+        )
+        # LESK marks itself completed on observing its first Single.
+        assert policy.completed
+        assert not result.elected
+
+    def test_trace_u_series_recorded(self):
+        result = run_lesk(seed=6, record_trace=True)
+        u = result.trace.u_array()
+        assert len(u) == result.slots
+        assert u[0] == 0.0
+        assert (u >= 0.0).all()

@@ -1,0 +1,70 @@
+"""Property-based invariants of the fast uniform engine.
+
+Mirror of ``tests/integration/test_engine_invariants.py`` for the
+binomial-sampling path: arbitrary small configurations must satisfy the
+model's structural guarantees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.suite import make_adversary, strategy_names
+from repro.adversary.validation import check_bounded
+from repro.protocols.lesk import LESKPolicy
+from repro.protocols.lesu import LESUPolicy
+from repro.sim.fast import simulate_uniform_fast
+from repro.types import ChannelState
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    eps=st.floats(min_value=0.15, max_value=0.9),
+    T=st.integers(min_value=1, max_value=64),
+    strategy=st.sampled_from(sorted(strategy_names())),
+    lesu=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_fast_run_invariants(n, eps, T, strategy, lesu, seed):
+    policy = LESUPolicy() if lesu else LESKPolicy(eps)
+    result = simulate_uniform_fast(
+        policy,
+        n=n,
+        adversary=make_adversary(strategy, T=T, eps=eps),
+        max_slots=60_000,
+        seed=seed,
+        record_trace=True,
+    )
+    trace = result.trace
+
+    if result.elected:
+        assert 0 <= result.leader < n
+        assert result.leaders_count == 1
+        # The final slot is the election: one transmitter, not jammed.
+        last = trace[-1]
+        assert last.transmitters == 1 and not last.jammed
+        assert result.first_single_slot == result.slots - 1
+    else:
+        assert result.timed_out
+        assert result.leader is None
+
+    jams = trace.jammed_array()
+    assert check_bounded(jams, T, eps)
+    assert result.jams == int(jams.sum())
+
+    k = trace.transmitters_array()
+    observed = trace.observed_states_array()
+    assert np.all(k <= n)
+    assert np.all(observed[jams] == int(ChannelState.COLLISION))
+    assert result.energy.transmissions == int(k.sum())
+    assert result.energy.transmissions + result.energy.listening == n * result.slots
+
+    # The recorded p/u series must be consistent: p = 2**-u wherever u is
+    # finite and the policy exposes an estimator.
+    u = trace.u_array()
+    p = trace.probability_array()
+    finite = np.isfinite(u) & np.isfinite(p) & (u < 900)
+    np.testing.assert_allclose(p[finite], 2.0 ** -u[finite], rtol=1e-9)

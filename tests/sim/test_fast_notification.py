@@ -1,0 +1,132 @@
+"""Cross-validation of the aggregate-state Notification simulator against
+the faithful per-station engine (repro.sim.fast_notification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.adversary.suite import make_adversary
+from repro.errors import ConfigurationError
+from repro.protocols.lesk import LESKPolicy
+from repro.protocols.notification import NotificationStation
+from repro.sim.engine import simulate_stations
+from repro.sim.fast_notification import simulate_notification_fast
+from repro.types import CDMode
+
+N = 12
+EPS = 0.5
+T = 8
+
+
+def fast_times(adversary: str, reps: int = 80) -> np.ndarray:
+    out = []
+    for seed in range(reps):
+        result = simulate_notification_fast(
+            lambda: LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary(adversary, T=T, eps=EPS),
+            max_slots=200_000,
+            seed=seed,
+        )
+        assert result.elected
+        out.append(result.slots)
+    return np.asarray(out, dtype=float)
+
+
+def faithful_times(adversary: str, reps: int = 80) -> np.ndarray:
+    out = []
+    for seed in range(reps):
+        stations = [NotificationStation(lambda: LESKPolicy(EPS)) for _ in range(N)]
+        result = simulate_stations(
+            stations,
+            adversary=make_adversary(adversary, T=T, eps=EPS),
+            cd_mode=CDMode.WEAK,
+            max_slots=200_000,
+            seed=30_000 + seed,
+        )
+        assert result.elected
+        out.append(result.slots)
+    return np.asarray(out, dtype=float)
+
+
+@pytest.mark.parametrize("adversary", ["none", "saturating", "periodic-front"])
+def test_completion_time_distributions_agree(adversary):
+    fast = fast_times(adversary)
+    faithful = faithful_times(adversary)
+    ks = stats.ks_2samp(fast, faithful)
+    assert ks.pvalue > 1e-4, (
+        f"fast vs faithful Notification diverge under {adversary}: "
+        f"p={ks.pvalue:.2e}, medians {np.median(fast):.0f} vs "
+        f"{np.median(faithful):.0f}"
+    )
+
+
+class TestValidation:
+    def test_requires_three_stations(self):
+        with pytest.raises(ConfigurationError):
+            simulate_notification_fast(
+                lambda: LESKPolicy(0.5),
+                n=2,
+                adversary=make_adversary("none", T=4, eps=0.5),
+                max_slots=100,
+            )
+
+    def test_requires_positive_slots(self):
+        with pytest.raises(ConfigurationError):
+            simulate_notification_fast(
+                lambda: LESKPolicy(0.5),
+                n=4,
+                adversary=make_adversary("none", T=4, eps=0.5),
+                max_slots=0,
+            )
+
+
+class TestSemantics:
+    def test_elects_exactly_one_leader(self):
+        result = simulate_notification_fast(
+            lambda: LESKPolicy(EPS),
+            n=100,
+            adversary=make_adversary("single-suppressor", T=T, eps=EPS),
+            max_slots=200_000,
+            seed=7,
+        )
+        assert result.elected
+        assert result.leaders_count == 1
+        assert result.all_terminated
+
+    def test_scales_to_large_n(self):
+        """O(1)/slot: n = 10^5 stays fast and still completes."""
+        result = simulate_notification_fast(
+            lambda: LESKPolicy(EPS),
+            n=100_000,
+            adversary=make_adversary("saturating", T=T, eps=EPS),
+            max_slots=500_000,
+            seed=8,
+        )
+        assert result.elected
+
+    def test_reproducible(self):
+        runs = [
+            simulate_notification_fast(
+                lambda: LESKPolicy(EPS),
+                n=N,
+                adversary=make_adversary("saturating", T=T, eps=EPS),
+                max_slots=200_000,
+                seed=9,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].slots == runs[1].slots
+        assert runs[0].jams == runs[1].jams
+
+    def test_timeout_reported(self):
+        result = simulate_notification_fast(
+            lambda: LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary("none", T=T, eps=EPS),
+            max_slots=4,
+            seed=1,
+        )
+        assert not result.elected and result.timed_out

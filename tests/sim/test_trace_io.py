@@ -1,0 +1,101 @@
+"""Tests for trace CSV round-tripping (repro.sim.trace_io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.election import elect_leader
+from repro.errors import ConfigurationError
+from repro.sim.trace_io import load_trace, save_trace, trace_from_csv, trace_to_csv
+
+
+def make_trace():
+    result = elect_leader(
+        n=64, eps=0.5, T=8, adversary="saturating", seed=5, record_trace=True
+    )
+    return result.trace
+
+
+class TestRoundTrip:
+    def test_csv_round_trip_preserves_columns(self):
+        trace = make_trace()
+        clone = trace_from_csv(trace_to_csv(trace))
+        assert len(clone) == len(trace)
+        np.testing.assert_array_equal(
+            clone.transmitters_array(), trace.transmitters_array()
+        )
+        np.testing.assert_array_equal(clone.jammed_array(), trace.jammed_array())
+        np.testing.assert_array_equal(
+            clone.observed_states_array(), trace.observed_states_array()
+        )
+        np.testing.assert_allclose(clone.u_array(), trace.u_array())
+
+    def test_counters_rebuilt(self):
+        trace = make_trace()
+        clone = trace_from_csv(trace_to_csv(trace))
+        assert clone.jam_count == trace.jam_count
+        assert clone.successful_singles == trace.successful_singles
+        assert clone.first_single_slot == trace.first_single_slot
+        assert clone.observed_nulls == trace.observed_nulls
+
+    def test_file_round_trip(self, tmp_path):
+        trace = make_trace()
+        path = save_trace(trace, tmp_path / "trace.csv")
+        clone = load_trace(path)
+        assert len(clone) == len(trace)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ConfigurationError):
+            trace_from_csv("a,b,c\n1,2,3\n")
+
+    def test_out_of_order_rows_rejected(self):
+        trace = make_trace()
+        lines = trace_to_csv(trace).splitlines()
+        swapped = "\n".join([lines[0], lines[2], lines[1], *lines[3:]]) + "\n"
+        with pytest.raises(ConfigurationError):
+            trace_from_csv(swapped)
+
+
+class TestCLI:
+    def test_elect_command(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["elect", "--n", "64", "--seed", "1"])
+        assert rc == 0
+        assert "leader: station" in capsys.readouterr().out
+
+    def test_elect_with_trace(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "t.csv"
+        rc = main(["elect", "--n", "32", "--seed", "2", "--trace", str(path)])
+        assert rc == 0
+        assert load_trace(path).successful_singles >= 1
+
+    def test_elect_timeout_exit_code(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["elect", "--n", "1024", "--seed", "1", "--max-slots", "2"])
+        assert rc == 1
+
+    def test_estimate_command(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["estimate", "--n", "256", "--seed", "3"])
+        assert rc == 0
+        assert "estimate:" in capsys.readouterr().out
+
+    def test_kselect_command(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["kselect", "--n", "128", "--k", "2", "--seed", "4"])
+        assert rc == 0
+        assert "leaders:" in capsys.readouterr().out
+
+    def test_experiments_forwarding(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["experiments", "--preset", "small", "--only", "T10"])
+        assert rc == 0
+        assert "T10" in capsys.readouterr().out

@@ -1,0 +1,28 @@
+"""Executable documentation: run doctests in modules that carry them.
+
+Keeps the README-style snippets in module docstrings honest; add a module
+here when giving it ``>>>`` examples.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.protocols.broadcast
+import repro.protocols.intervals
+import repro.rng
+
+MODULES = [
+    repro.protocols.intervals,
+    repro.protocols.broadcast,
+    repro.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"{module.__name__} listed here but has no doctests"
