@@ -9,13 +9,18 @@ enforcement hot path.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.adversary.budget import JammingBudget
 from repro.adversary.suite import make_adversary
+from repro.adversary.vector import make_batched_adversary
 from repro.core.config import ElectionConfig
 from repro.core.election import make_protocol_stations
 from repro.protocols.lesk import LESKPolicy
+from repro.protocols.vector import VectorLESKPolicy
+from repro.sim.batched import simulate_uniform_batched
 from repro.sim.engine import simulate_stations
 from repro.sim.fast import simulate_uniform_fast
 from repro.types import CDMode
@@ -97,6 +102,63 @@ def test_ars_fast_engine(benchmark):
 
     result = benchmark(run)
     assert result.elected
+
+
+def test_batched_engine_lesk(benchmark):
+    """One call electing R=256 replications in lockstep."""
+
+    def run():
+        return simulate_uniform_batched(
+            lambda reps: VectorLESKPolicy(EPS, reps),
+            N,
+            lambda reps: make_batched_adversary("saturating", T=T, eps=EPS, reps=reps),
+            reps=256,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    batch = benchmark(run)
+    assert batch.elected.all()
+
+
+def test_batched_vs_scalar_throughput():
+    """The batched engine must deliver >= 5x replication throughput over a
+    scalar-fast loop on the same R=256 LESK workload (acceptance criterion;
+    measured numbers are printed for the docs table)."""
+    reps = 256
+
+    start = time.perf_counter()
+    for seed in range(reps):
+        simulate_uniform_fast(
+            LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary("saturating", T=T, eps=EPS),
+            max_slots=100_000,
+            seed=seed,
+        )
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = simulate_uniform_batched(
+        lambda r: VectorLESKPolicy(EPS, r),
+        N,
+        lambda r: make_batched_adversary("saturating", T=T, eps=EPS, reps=r),
+        reps=reps,
+        max_slots=100_000,
+        root_seed=11,
+    )
+    batched_s = time.perf_counter() - start
+
+    assert batch.elected.all()
+    speedup = scalar_s / batched_s
+    print(
+        f"\nR={reps}, n={N}, saturating: scalar {scalar_s:.3f}s, "
+        f"batched {batched_s:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"batched engine only {speedup:.1f}x faster than scalar "
+        f"({scalar_s:.3f}s vs {batched_s:.3f}s); acceptance floor is 5x"
+    )
 
 
 def test_geometric_fast_engine(benchmark):

@@ -14,7 +14,14 @@ the simulation engines consume.
 
 from repro.adversary.base import Adversary, AdversaryView, JammingStrategy
 from repro.adversary.combinators import AllOf, Alternating, AnyOf, Mixture, Not
-from repro.adversary.budget import JammingBudget
+from repro.adversary.budget import JammingBudget, JammingBudgetArray
+from repro.adversary.vector import (
+    BatchedAdversary,
+    BatchAdversaryView,
+    VectorJammingStrategy,
+    is_batchable,
+    make_batched_adversary,
+)
 from repro.adversary.oblivious import (
     BurstJammer,
     NoJamming,
@@ -39,6 +46,12 @@ __all__ = [
     "AdversaryView",
     "JammingStrategy",
     "JammingBudget",
+    "JammingBudgetArray",
+    "BatchedAdversary",
+    "BatchAdversaryView",
+    "VectorJammingStrategy",
+    "is_batchable",
+    "make_batched_adversary",
     "AnyOf",
     "AllOf",
     "Alternating",

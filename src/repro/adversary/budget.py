@@ -43,9 +43,11 @@ from __future__ import annotations
 import math
 from collections import deque
 
+import numpy as np
+
 from repro.errors import BudgetViolationError, ConfigurationError
 
-__all__ = ["JammingBudget"]
+__all__ = ["JammingBudget", "JammingBudgetArray"]
 
 
 class JammingBudget:
@@ -198,4 +200,125 @@ class JammingBudget:
         return (
             f"JammingBudget(T={self.T}, eps={self.eps}, slot={self._slot}, "
             f"jams={self._jams})"
+        )
+
+
+class JammingBudgetArray:
+    """:class:`JammingBudget` lifted to ``reps`` independent replications.
+
+    All replications share the same ``(T, eps)`` parameters and advance in
+    lockstep (the batched engine decides one global slot for every
+    replication per :meth:`grant` call), but each column tracks its own jam
+    history.  The enforcement rule is the same (A)/(B) pair of O(1) checks
+    as the scalar class -- the rolling prefix buffer and the lagged-min
+    ``phi`` recursion -- applied elementwise to ``(reps,)`` arrays, so a
+    column's decisions are *identical* to a scalar :class:`JammingBudget`
+    fed the same want-sequence (asserted exhaustively in
+    ``tests/adversary/test_budget_array.py``).
+    """
+
+    def __init__(self, T: int, eps: float, reps: int, strict: bool = False) -> None:
+        if T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {T}")
+        if not (0.0 < eps <= 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+        if reps < 1:
+            raise ConfigurationError(f"reps must be >= 1, got {reps}")
+        self.T = int(T)
+        self.eps = float(eps)
+        self.reps = int(reps)
+        self.strict = strict
+        self._rate = 1.0 - self.eps
+        self._slot = 0
+        self._jams = np.zeros(self.reps, dtype=np.int64)
+        self._denied = np.zeros(self.reps, dtype=np.int64)
+        # Rolling buffer of prefix-count columns J[s], s in [slot-T+1, slot].
+        self._recent_prefix: deque[np.ndarray] = deque(
+            [np.zeros(self.reps, dtype=np.int64)], maxlen=self.T
+        )
+        self._min_phi_lagged = np.full(self.reps, math.inf)
+        self._pending_phi: deque[np.ndarray] = deque(
+            [np.zeros(self.reps, dtype=np.float64)]
+        )
+        self._folded = 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        """Index of the next slot to be decided (shared by all columns)."""
+        return self._slot
+
+    @property
+    def jams_granted(self) -> np.ndarray:
+        """Per-replication jam counts, shape ``(reps,)``."""
+        return self._jams
+
+    @property
+    def denied_requests(self) -> np.ndarray:
+        """Per-replication clamped-request counts, shape ``(reps,)``."""
+        return self._denied
+
+    def can_jam(self) -> np.ndarray:
+        """Boolean mask of columns whose jam request would be granted now."""
+        return self._allowed()
+
+    def grant(self, want_jam: np.ndarray) -> np.ndarray:
+        """Decide the current slot for every column and advance.
+
+        ``want_jam`` is a ``(reps,)`` boolean mask of jam requests; the
+        returned mask is the budget-clamped grants.  Must be called exactly
+        once per slot, in slot order.
+        """
+        want = np.asarray(want_jam, dtype=bool)
+        if want.shape != (self.reps,):
+            raise ConfigurationError(
+                f"want_jam must have shape ({self.reps},), got {want.shape}"
+            )
+        granted = want & self._allowed()
+        refused = want & ~granted
+        if self.strict and refused.any():
+            rep = int(np.flatnonzero(refused)[0])
+            raise BudgetViolationError(
+                f"jam request at slot {self._slot} (replication {rep}) exceeds "
+                f"(T={self.T}, 1-eps={self._rate:.4g}) budget"
+            )
+        self._denied += refused
+        self._jams += granted
+        self._slot += 1
+        self._recent_prefix.append(self._jams.copy())
+        self._pending_phi.append(self._jams - self._rate * self._slot)
+        return granted
+
+    # -- internals ----------------------------------------------------------
+
+    def _allowed(self) -> np.ndarray:
+        """Elementwise conditions (A) and (B) for jamming the current slot."""
+        t = self._slot
+        new_prefix = self._jams + 1  # J[t+1] if the jam were granted
+        # (A) padded trailing window.
+        ok = (new_prefix - self._recent_prefix[0]) <= self._rate * self.T + 1e-12
+        # (B) all full windows ending at t+1.
+        phi_new = new_prefix - self._rate * (t + 1)
+        ok &= phi_new <= self._lagged_min_for_end(t + 1) + 1e-12
+        return ok
+
+    def _lagged_min_for_end(self, end: int):
+        """Columnwise min over s <= end - T of phi[s]; +inf with no full window."""
+        if end < self.T:
+            return math.inf
+        horizon = end - self.T
+        while self._pending_phi and self._folded <= horizon:
+            np.minimum(
+                self._min_phi_lagged,
+                self._pending_phi.popleft(),
+                out=self._min_phi_lagged,
+            )
+            self._folded += 1
+        return self._min_phi_lagged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JammingBudgetArray(T={self.T}, eps={self.eps}, reps={self.reps}, "
+            f"slot={self._slot})"
         )

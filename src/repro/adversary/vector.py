@@ -1,0 +1,246 @@
+"""Vectorized (batched) adversaries: one jam decision per replication per slot.
+
+The batched simulation engine (:mod:`repro.sim.batched`) advances ``R``
+independent replications in lockstep, so the adversary must produce a
+``(R,)`` boolean want-mask per global slot.  This module mirrors the scalar
+strategy/budget split of :mod:`repro.adversary.base`:
+
+* :class:`VectorJammingStrategy` -- intent, as a ``(R,)`` mask;
+* :class:`~repro.adversary.budget.JammingBudgetArray` -- per-replication
+  (T, 1-eps) enforcement;
+* :class:`BatchedAdversary` -- the combination the engine consumes.
+
+Only *oblivious* strategies (plus the saturating jammer) are vectorized:
+their intent depends on the slot index and private randomness alone, never
+on the channel history, so the per-replication masks are trivially
+independent.  Adaptive strategies (single-suppressor, ...) condition on the
+per-replication trace and stay on the scalar path; experiments fall back to
+:func:`repro.experiments.harness.replicate` for them (see
+:func:`is_batchable`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversary.budget import JammingBudgetArray
+from repro.errors import ConfigurationError
+from repro.rng import make_rng
+
+__all__ = [
+    "BatchAdversaryView",
+    "VectorJammingStrategy",
+    "VectorNoJamming",
+    "VectorSaturatingJammer",
+    "VectorPeriodicFrontJammer",
+    "VectorRandomJammer",
+    "VectorBurstJammer",
+    "BatchedAdversary",
+    "BATCHED_STRATEGY_REGISTRY",
+    "is_batchable",
+    "make_batched_adversary",
+]
+
+
+@dataclass(slots=True)
+class BatchAdversaryView:
+    """Per-slot information a batched adversary may condition on.
+
+    The batched engine exposes the same public quantities as the scalar
+    :class:`~repro.adversary.base.AdversaryView`, lifted to ``(reps,)``
+    arrays, minus the per-slot trace (oblivious strategies never read it).
+    """
+
+    #: Index of the (global) slot about to be decided.
+    slot: int
+    #: Number of honest stations.
+    n: int
+    #: Number of replications in the batch.
+    reps: int
+    #: Per-replication budget state.
+    budget: JammingBudgetArray
+    #: Per-replication transmission probabilities for the current slot.
+    transmit_probabilities: np.ndarray | None = None
+    #: Per-replication estimator values ``u``.
+    protocol_u: np.ndarray | None = None
+    #: Mask of replications still running (retired columns are ignored).
+    active: np.ndarray | None = None
+    #: Extra engine-specific information.
+    extra: dict[str, object] = field(default_factory=dict)
+
+
+class VectorJammingStrategy(abc.ABC):
+    """Batched jam intent: a ``(reps,)`` boolean mask per slot."""
+
+    name: str = "vector-strategy"
+
+    @abc.abstractmethod
+    def wants_jam_batch(
+        self, view: BatchAdversaryView, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Want-mask for the current slot, shape ``(view.reps,)``."""
+
+    def reset(self) -> None:
+        """Clear any internal state before a new batch (default: stateless)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class VectorNoJamming(VectorJammingStrategy):
+    """Never jams any replication."""
+
+    name = "none"
+
+    def wants_jam_batch(self, view, rng):
+        return np.zeros(view.reps, dtype=bool)
+
+
+class VectorSaturatingJammer(VectorJammingStrategy):
+    """Requests a jam in every slot of every replication (budget-clamped)."""
+
+    name = "saturating"
+
+    def wants_jam_batch(self, view, rng):
+        return np.ones(view.reps, dtype=bool)
+
+
+class VectorPeriodicFrontJammer(VectorJammingStrategy):
+    """Lemma 2.7 front jammer: the pattern is a function of the slot index
+    only, hence identical across replications."""
+
+    name = "periodic-front"
+
+    def __init__(self, T: int, eps: float) -> None:
+        if T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {T}")
+        if not (0.0 < eps <= 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+        self.T = int(T)
+        self.jam_prefix = int((1.0 - eps) * self.T)
+
+    def wants_jam_batch(self, view, rng):
+        want = (view.slot % self.T) < self.jam_prefix
+        return np.full(view.reps, want, dtype=bool)
+
+
+class VectorRandomJammer(VectorJammingStrategy):
+    """Independent Bernoulli(rate) jam requests per replication per slot."""
+
+    name = "random"
+
+    def __init__(self, rate: float) -> None:
+        if not (0.0 <= rate <= 1.0):
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+
+    def wants_jam_batch(self, view, rng):
+        return rng.random(view.reps) < self.rate
+
+
+class VectorBurstJammer(VectorJammingStrategy):
+    """Deterministic burst/gap duty cycle, identical across replications."""
+
+    name = "burst"
+
+    def __init__(self, burst: int, gap: int, offset: int = 0) -> None:
+        if burst < 0 or gap < 0 or burst + gap == 0:
+            raise ConfigurationError(
+                f"need burst >= 0, gap >= 0, burst+gap > 0; got {burst}, {gap}"
+            )
+        self.burst = int(burst)
+        self.gap = int(gap)
+        self.offset = int(offset)
+
+    def wants_jam_batch(self, view, rng):
+        phase = (view.slot + self.offset) % (self.burst + self.gap)
+        return np.full(view.reps, phase < self.burst, dtype=bool)
+
+
+class BatchedAdversary:
+    """A vector strategy bound to a per-replication budget and one RNG.
+
+    The batched counterpart of :class:`~repro.adversary.base.Adversary`:
+    one :meth:`decide` call per global slot, returning the budget-clamped
+    ``(reps,)`` grant mask.
+    """
+
+    def __init__(
+        self,
+        strategy: VectorJammingStrategy,
+        T: int,
+        eps: float,
+        reps: int,
+        seed: int | np.random.Generator | None = None,
+        strict: bool = False,
+    ) -> None:
+        self.strategy = strategy
+        self.T = int(T)
+        self.eps = float(eps)
+        self.reps = int(reps)
+        self._strict = strict
+        self._rng = make_rng(seed)
+        self.budget = JammingBudgetArray(self.T, self.eps, self.reps, strict=strict)
+
+    def reset(self, seed: int | np.random.Generator | None = None) -> None:
+        """Prepare for a fresh batch (new budget, reset strategy state)."""
+        if seed is not None:
+            self._rng = make_rng(seed)
+        self.budget = JammingBudgetArray(
+            self.T, self.eps, self.reps, strict=self._strict
+        )
+        self.strategy.reset()
+
+    def decide(self, view: BatchAdversaryView) -> np.ndarray:
+        """Budget-checked jam mask for the current slot, shape ``(reps,)``."""
+        want = self.strategy.wants_jam_batch(view, self._rng)
+        return self.budget.grant(want)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedAdversary({self.strategy!r}, T={self.T}, eps={self.eps}, "
+            f"reps={self.reps})"
+        )
+
+
+# Factories take (T, eps), mirroring the scalar suite registry -- including
+# its parameter choices (random rate, burst/gap split), so a batched run is
+# distributionally interchangeable with the scalar run of the same name.
+BATCHED_STRATEGY_REGISTRY = {
+    "none": lambda T, eps: VectorNoJamming(),
+    "saturating": lambda T, eps: VectorSaturatingJammer(),
+    "periodic-front": lambda T, eps: VectorPeriodicFrontJammer(T, eps),
+    "random": lambda T, eps: VectorRandomJammer(rate=min(1.0, 1.0 - eps + 0.05)),
+    "burst": lambda T, eps: VectorBurstJammer(
+        burst=max(1, int((1.0 - eps) * T)), gap=max(1, T - int((1.0 - eps) * T))
+    ),
+}
+
+
+def is_batchable(name: str) -> bool:
+    """Whether the named strategy has a vectorized implementation."""
+    return name in BATCHED_STRATEGY_REGISTRY
+
+
+def make_batched_adversary(
+    name: str,
+    T: int,
+    eps: float,
+    reps: int,
+    seed: int | None = None,
+    strict: bool = False,
+) -> BatchedAdversary:
+    """Build a batched budget-enforced adversary from a registry name."""
+    try:
+        factory = BATCHED_STRATEGY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(BATCHED_STRATEGY_REGISTRY))
+        raise ConfigurationError(
+            f"strategy {name!r} has no batched implementation; known: {known}"
+        ) from None
+    return BatchedAdversary(
+        factory(T, eps), T=T, eps=eps, reps=reps, seed=seed, strict=strict
+    )

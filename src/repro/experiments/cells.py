@@ -1,0 +1,77 @@
+"""Shared experiment cells: replicated LESK runs with engine selection.
+
+E01/E02/E12 (and future LESK sweeps) all fill table cells with "reps
+replications of LESK(n, eps, T) against a named adversary".  This module
+picks the fastest engine that can run the cell:
+
+* the batched cross-replication engine (:mod:`repro.sim.batched`) when the
+  preset-level switch (:data:`repro.experiments.harness.BATCHED_PRESETS`)
+  is on *and* the adversary has a vectorized implementation;
+* the scalar fast-engine loop via :func:`repro.experiments.harness.replicate`
+  otherwise (adaptive adversaries condition on each replication's trace and
+  cannot be batched).
+
+Both paths derive their seeds from ``(root_seed, *path)`` with
+:func:`repro.rng.derive_seed` and return plain ``RunResult`` lists, so the
+downstream ``summarize_times`` summaries are engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.vector import is_batchable, make_batched_adversary
+from repro.core.config import default_slot_budget
+from repro.core.election import elect_leader
+from repro.experiments.harness import replicate, replicate_batched
+from repro.protocols.vector import VectorLESKPolicy
+
+__all__ = ["lesk_cell"]
+
+
+def lesk_cell(
+    n: int,
+    eps: float,
+    T: int,
+    adversary: str,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    batched: bool = True,
+    max_slots: int | None = None,
+) -> list:
+    """Replicated LESK elections for one table cell.
+
+    With ``batched=True`` and a vectorizable adversary, all *reps*
+    replications advance together through the batched engine; otherwise
+    each replication is a scalar :func:`repro.core.election.elect_leader`
+    call.  ``max_slots=None`` selects the same
+    :func:`~repro.core.config.default_slot_budget` either way.
+    """
+    if batched and is_batchable(adversary):
+        budget = (
+            max_slots
+            if max_slots is not None
+            else default_slot_budget(n, eps, T, "lesk")
+        )
+        return replicate_batched(
+            lambda reps_: VectorLESKPolicy(eps, reps_),
+            n,
+            lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
+            reps,
+            root_seed,
+            *path,
+            max_slots=budget,
+        )
+    return replicate(
+        lambda s: elect_leader(
+            n=n,
+            protocol="lesk",
+            eps=eps,
+            T=T,
+            adversary=adversary,
+            seed=s,
+            max_slots=max_slots,
+        ),
+        reps,
+        root_seed,
+        *path,
+    )

@@ -13,16 +13,30 @@ import math
 
 from repro.analysis.estimators import fit_log2_scaling
 from repro.analysis.walks import predict_election_median
-from repro.core.election import elect_leader
-from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
+from repro.experiments.cells import lesk_cell
+from repro.experiments.harness import (
+    Column,
+    Table,
+    batched_enabled,
+    preset_value,
+    summarize_times,
+)
 
 EXPERIMENT = "T1"
 
 ADVERSARIES = ("none", "saturating", "single-suppressor", "estimator-attacker")
 
 
-def run(preset: str = "small", seed: int = 2015) -> Table:
-    """Run experiment T1 at *preset* scale and return its table."""
+def run(preset: str = "small", seed: int = 2015, batched: bool | None = None) -> Table:
+    """Run experiment T1 at *preset* scale and return its table.
+
+    ``batched=None`` follows the preset-level engine switch
+    (:func:`~repro.experiments.harness.batched_enabled`): oblivious-adversary
+    cells then run on the batched cross-replication engine, while the
+    adaptive adversaries stay on the scalar fast engine.
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     ns = preset_value(preset, [64, 256, 1024], [16, 64, 256, 1024, 4096, 16384, 65536])
     reps = preset_value(preset, 20, 200)
     eps = 0.5
@@ -45,15 +59,17 @@ def run(preset: str = "small", seed: int = 2015) -> Table:
     for adversary in ADVERSARIES:
         xs, ys = [], []
         for ni, n in enumerate(ns):
-            results = replicate(
-                lambda s: elect_leader(
-                    n=n, protocol="lesk", eps=eps, T=T, adversary=adversary, seed=s
-                ),
+            results = lesk_cell(
+                n,
+                eps,
+                T,
+                adversary,
                 reps,
                 seed,
                 1,
                 ADVERSARIES.index(adversary),
                 ni,
+                batched=batched,
             )
             stats = summarize_times(results)
             table.add_row(

@@ -11,14 +11,26 @@ after normalization to the weakest-adversary row).
 from __future__ import annotations
 
 from repro.analysis.bounds import lesk_time_bound
-from repro.core.election import elect_leader
-from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
+from repro.experiments.cells import lesk_cell
+from repro.experiments.harness import (
+    Column,
+    Table,
+    batched_enabled,
+    preset_value,
+    summarize_times,
+)
 
 EXPERIMENT = "T2"
 
 
-def run(preset: str = "small", seed: int = 2016) -> Table:
-    """Run experiment T2 at *preset* scale and return its table."""
+def run(preset: str = "small", seed: int = 2016, batched: bool | None = None) -> Table:
+    """Run experiment T2 at *preset* scale and return its table.
+
+    ``batched=None`` follows the preset-level engine switch; the saturating
+    jammer is oblivious, so every cell runs on the batched engine when on.
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     eps_values = preset_value(
         preset, [0.8, 0.5, 0.3], [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15]
     )
@@ -42,14 +54,8 @@ def run(preset: str = "small", seed: int = 2016) -> Table:
         ],
     )
     for ei, eps in enumerate(eps_values):
-        results = replicate(
-            lambda s: elect_leader(
-                n=n, protocol="lesk", eps=eps, T=T, adversary=adversary, seed=s
-            ),
-            reps,
-            seed,
-            2,
-            ei,
+        results = lesk_cell(
+            n, eps, T, adversary, reps, seed, 2, ei, batched=batched
         )
         stats = summarize_times(results)
         bound = lesk_time_bound(n, eps, T)

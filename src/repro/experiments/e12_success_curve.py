@@ -12,14 +12,20 @@ bound-width contributes an independent chance of a regular-slot Single).
 from __future__ import annotations
 
 from repro.analysis.bounds import lesk_time_bound
-from repro.core.election import elect_leader
-from repro.experiments.harness import Column, Table, preset_value, replicate
+from repro.experiments.cells import lesk_cell
+from repro.experiments.harness import Column, Table, batched_enabled, preset_value
 
 EXPERIMENT = "F2"
 
 
-def run(preset: str = "small", seed: int = 2026) -> Table:
-    """Run experiment F2 at *preset* scale and return its table."""
+def run(preset: str = "small", seed: int = 2026, batched: bool | None = None) -> Table:
+    """Run experiment F2 at *preset* scale and return its table.
+
+    ``batched=None`` follows the preset-level engine switch; truncated
+    budgets map directly to the batched engine's ``max_slots``.
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     n = 1024
     eps = 0.5
     T = 32
@@ -46,15 +52,9 @@ def run(preset: str = "small", seed: int = 2026) -> Table:
 
     for mi, mult in enumerate(multipliers):
         budget = max(4, int(mult * bound))
-        results = replicate(
-            lambda s: elect_leader(
-                n=n, protocol="lesk", eps=eps, T=T, adversary=adversary,
-                seed=s, max_slots=budget,
-            ),
-            reps,
-            seed,
-            12,
-            mi,
+        results = lesk_cell(
+            n, eps, T, adversary, reps, seed, 12, mi,
+            batched=batched, max_slots=budget,
         )
         successes = sum(1 for r in results if r.elected)
         lo, hi = wilson_interval(successes, len(results))

@@ -23,7 +23,27 @@ from repro.analysis.estimators import wilson_interval
 from repro.errors import ConfigurationError
 from repro.rng import derive_seed
 
-__all__ = ["Column", "Table", "replicate", "summarize_times", "preset_value"]
+__all__ = [
+    "Column",
+    "Table",
+    "replicate",
+    "replicate_batched",
+    "batched_enabled",
+    "summarize_times",
+    "preset_value",
+]
+
+#: Preset-level switch for the batched cross-replication engine: presets
+#: mapped to True run their batchable (protocol, adversary) cells through
+#: :func:`replicate_batched`; others use the scalar :func:`replicate` loop.
+#: Flip a preset here (or pass ``batched=`` to an experiment's ``run``) to
+#: force the scalar path, e.g. when bisecting a statistics regression.
+BATCHED_PRESETS: dict[str, bool] = {"small": True, "full": True}
+
+
+def batched_enabled(preset: str) -> bool:
+    """Whether the batched engine is enabled for *preset*."""
+    return BATCHED_PRESETS.get(preset, False)
 
 
 def preset_value(preset: str, small, full):
@@ -116,6 +136,44 @@ def replicate(
     if reps < 1:
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
     return [fn(derive_seed(root_seed, *path, r)) for r in range(reps)]
+
+
+def replicate_batched(
+    policy_factory: Callable,
+    n: int,
+    adversary_factory: Callable,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    max_slots: int,
+) -> list:
+    """Batched counterpart of :func:`replicate` for uniform protocols.
+
+    Runs all *reps* replications in one
+    :func:`repro.sim.batched.simulate_uniform_batched` call and returns the
+    per-replication :class:`~repro.sim.metrics.RunResult` list, so the same
+    ``summarize_times`` summary dicts come out as from the scalar loop.
+
+    Seeding is path-stable via :func:`repro.rng.derive_seed` exactly like
+    :func:`replicate`: the batch seed derives from ``(root_seed, *path)``,
+    so a table cell reproduces bit-for-bit regardless of execution order.
+    (Per-replication bitstreams differ from the scalar loop's -- the batch
+    interleaves its draws -- but the run-law is identical; see
+    ``tests/sim/test_batched.py``.)
+    """
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    from repro.sim.batched import simulate_uniform_batched
+
+    batch = simulate_uniform_batched(
+        policy_factory,
+        n,
+        adversary_factory,
+        reps=reps,
+        max_slots=max_slots,
+        root_seed=derive_seed(root_seed, *path),
+    )
+    return batch.results()
 
 
 def summarize_times(

@@ -42,6 +42,26 @@ def run_seeded(args: tuple[Callable, int, tuple]) -> object:
     return fn(seed, *extra)
 
 
+def _check_picklable_fn(fn: Callable) -> None:
+    """Reject lambdas and closures before they kill the worker pool.
+
+    Pool dispatch pickles the work function by *reference* (module + qualified
+    name), so a lambda or a function defined inside another function cannot
+    cross the process boundary -- without this check the pool dies with an
+    opaque ``PicklingError`` deep inside multiprocessing.
+    """
+    name = getattr(fn, "__name__", "")
+    qualname = getattr(fn, "__qualname__", name)
+    if name == "<lambda>" or "<locals>" in qualname:
+        kind = "a lambda" if name == "<lambda>" else f"defined inside {qualname.split('.<locals>')[0]}()"
+        raise ConfigurationError(
+            f"replicate_parallel needs a picklable work function, but {fn!r} "
+            f"is {kind} and cannot be sent to worker processes. Move it to "
+            "module level (bind parameters via extra_args or functools."
+            "partial), or use the serial replicate() / jobs=1 instead."
+        )
+
+
 def replicate_parallel(
     fn: Callable,
     reps: int,
@@ -75,6 +95,7 @@ def replicate_parallel(
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or reps == 1:
         return [fn(seed, *extra) for seed in seeds]
+    _check_picklable_fn(fn)
     items = [(fn, seed, extra) for seed in seeds]
     # 'fork' keeps the warm imported state on POSIX; chunk to cut IPC.
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)

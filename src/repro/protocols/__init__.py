@@ -25,6 +25,11 @@ from repro.protocols.intervals import (
 from repro.protocols.lesk import LESKPolicy
 from repro.protocols.lesu import LESUPolicy, lesu_schedule
 from repro.protocols.notification import NotificationStation, Phase
+from repro.protocols.vector import (
+    VectorLESKPolicy,
+    VectorSweepPolicy,
+    VectorUniformPolicy,
+)
 
 __all__ = [
     "UniformPolicy",
@@ -33,6 +38,9 @@ __all__ = [
     "broadcast_feedback",
     "LESKPolicy",
     "EstimationPolicy",
+    "VectorUniformPolicy",
+    "VectorLESKPolicy",
+    "VectorSweepPolicy",
     "LESUPolicy",
     "lesu_schedule",
     "NotificationStation",

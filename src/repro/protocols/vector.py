@@ -1,0 +1,186 @@
+"""Vectorized uniform policies: one shared-state column per replication.
+
+The batched engine (:mod:`repro.sim.batched`) advances ``R`` independent
+replications per NumPy step, so it needs the :class:`UniformPolicy`
+contract lifted to ``(R,)`` arrays: array-valued ``transmit_probabilities``
+and a masked ``observe_batch`` that only updates the still-active columns.
+
+Each column evolves by exactly the scalar policy's update rule, driven by
+its own observation sequence -- the per-column state trajectory (hence the
+election-time distribution) is identical to running the scalar policy
+under :func:`repro.sim.fast.simulate_uniform_fast`, which is what the
+KS cross-validation in ``tests/sim/test_batched.py`` asserts.
+
+Implemented policies:
+
+* :class:`VectorLESKPolicy` -- Algorithm 1 (the paper's headline protocol);
+* :class:`VectorSweepPolicy` -- the Nakano--Olariu geometric
+  doubling-sweep baseline (``repro.protocols.baselines.nakano_olariu``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.protocols.lesk import lesk_parameter_a
+from repro.types import ChannelState
+
+__all__ = ["VectorUniformPolicy", "VectorLESKPolicy", "VectorSweepPolicy"]
+
+#: Largest exponent for which ``2**-u`` is a positive double (matches
+#: ``repro.protocols.base.probability_from_exponent``).
+_MAX_EXPONENT = 1074.0
+
+_NULL = int(ChannelState.NULL)
+_SINGLE = int(ChannelState.SINGLE)
+_COLLISION = int(ChannelState.COLLISION)
+
+
+def probabilities_from_exponents(u: np.ndarray) -> np.ndarray:
+    """Vectorized ``probability_from_exponent``: ``2**-u`` elementwise,
+    clamped to exactly 1.0 for ``u <= 0`` and exactly 0.0 for huge ``u``."""
+    p = np.exp2(-np.clip(u, 0.0, _MAX_EXPONENT))
+    p[u >= _MAX_EXPONENT] = 0.0
+    return p
+
+
+class VectorUniformPolicy(abc.ABC):
+    """Shared-state uniform protocol over ``reps`` independent columns.
+
+    The batched engine calls, for each global step ``s = 0, 1, 2, ...``:
+
+    1. ``p = policy.transmit_probabilities(s)`` -- shape ``(reps,)``;
+    2. (channel resolves per column) ;
+    3. ``policy.observe_batch(s, states, active)`` with the per-column
+       observed :class:`~repro.types.ChannelState` codes and the mask of
+       columns that should actually advance (columns retired by a
+       successful ``Single`` are excluded, mirroring the scalar engines
+       not calling ``observe`` for the halting slot).
+    """
+
+    def __init__(self, reps: int) -> None:
+        if reps < 1:
+            raise ConfigurationError(f"reps must be >= 1, got {reps}")
+        self.reps = int(reps)
+
+    @abc.abstractmethod
+    def transmit_probabilities(self, step: int) -> np.ndarray:
+        """Common per-station transmission probability, per column."""
+
+    @abc.abstractmethod
+    def observe_batch(
+        self, step: int, states: np.ndarray, active: np.ndarray
+    ) -> None:
+        """Advance the columns selected by ``active`` given their observed
+        channel-state codes (``states``, int array of shape ``(reps,)``)."""
+
+    @property
+    def u(self) -> np.ndarray:
+        """Per-column estimator values (NaN where not applicable)."""
+        return np.full(self.reps, np.nan)
+
+    @property
+    def completed(self) -> np.ndarray:
+        """Mask of columns that finished of their own accord."""
+        return np.zeros(self.reps, dtype=bool)
+
+
+class VectorLESKPolicy(VectorUniformPolicy):
+    """Batched Algorithm 1: the LESK estimator walk, one column per rep.
+
+    Update rule per column (identical to
+    :class:`~repro.protocols.lesk.LESKPolicy`): ``Null`` steps ``u`` down
+    by 1 (floored at 0), ``Collision`` steps it up by ``1/a`` with
+    ``a = 8/eps``, ``Single`` marks the column completed.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        reps: int,
+        initial_u: float = 0.0,
+        floor_at_zero: bool = True,
+    ) -> None:
+        super().__init__(reps)
+        if initial_u < 0.0:
+            raise ConfigurationError(f"initial_u must be >= 0, got {initial_u}")
+        self.eps = float(eps)
+        self.a = lesk_parameter_a(eps)
+        self.initial_u = float(initial_u)
+        self.floor_at_zero = floor_at_zero
+        self._u = np.full(self.reps, self.initial_u)
+        self._completed = np.zeros(self.reps, dtype=bool)
+        self.nulls_seen = np.zeros(self.reps, dtype=np.int64)
+        self.collisions_seen = np.zeros(self.reps, dtype=np.int64)
+
+    def transmit_probabilities(self, step: int) -> np.ndarray:
+        return probabilities_from_exponents(self._u)
+
+    def observe_batch(self, step, states, active):
+        nulls = active & (states == _NULL)
+        collisions = active & (states == _COLLISION)
+        singles = active & (states == _SINGLE)
+        self.nulls_seen += nulls
+        self.collisions_seen += collisions
+        self._u[nulls] -= 1.0
+        if self.floor_at_zero:
+            np.maximum(self._u, 0.0, out=self._u, where=nulls)
+        self._u[collisions] += 1.0 / self.a
+        self._completed |= singles
+
+    @property
+    def u(self) -> np.ndarray:
+        return self._u
+
+    @property
+    def completed(self) -> np.ndarray:
+        return self._completed
+
+    def __repr__(self) -> str:
+        return f"VectorLESKPolicy(eps={self.eps}, reps={self.reps})"
+
+
+class VectorSweepPolicy(VectorUniformPolicy):
+    """Batched geometric doubling-sweep baseline (Nakano--Olariu, CD model).
+
+    Per column (identical to
+    :class:`~repro.protocols.baselines.nakano_olariu.UniformSweepPolicy`):
+    sawtooth sweeps ``u = 0, 1, ..., K`` with the ceiling ``K`` doubling
+    after each sweep; a ``Single`` marks the column completed.
+    """
+
+    def __init__(self, reps: int, initial_ceiling: int = 1) -> None:
+        super().__init__(reps)
+        if initial_ceiling < 1:
+            raise ConfigurationError(
+                f"initial_ceiling must be >= 1, got {initial_ceiling}"
+            )
+        self._u = np.zeros(self.reps, dtype=np.int64)
+        self._ceiling = np.full(self.reps, int(initial_ceiling), dtype=np.int64)
+        self._completed = np.zeros(self.reps, dtype=bool)
+
+    def transmit_probabilities(self, step: int) -> np.ndarray:
+        return probabilities_from_exponents(self._u.astype(np.float64))
+
+    def observe_batch(self, step, states, active):
+        singles = active & (states == _SINGLE)
+        self._completed |= singles
+        advance = active & ~singles
+        self._u[advance] += 1
+        wrap = advance & (self._u > self._ceiling)
+        self._u[wrap] = 0
+        self._ceiling[wrap] *= 2
+
+    @property
+    def u(self) -> np.ndarray:
+        return self._u.astype(np.float64)
+
+    @property
+    def completed(self) -> np.ndarray:
+        return self._completed
+
+    def __repr__(self) -> str:
+        return f"VectorSweepPolicy(reps={self.reps})"

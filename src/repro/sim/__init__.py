@@ -7,6 +7,9 @@
   (O(1) per slot, independent of n).
 * :mod:`repro.sim.fast_notification` -- aggregate-state engine for weak-CD
   Notification runs (the Lemma 3.1 proof structure as code; O(1) per slot).
+* :mod:`repro.sim.batched` -- cross-replication engine: R independent
+  replications of a uniform protocol advanced per NumPy step (O(1/R)
+  interpreter overhead per run-slot; the Monte Carlo workhorse).
 
 (The baselines package adds vectorized ARS and tournament simulators.)
 Cross-validation tests assert every fast engine is distributionally
@@ -14,6 +17,7 @@ indistinguishable from the faithful one; ``docs/engines.md`` gives the
 equivalence arguments.
 """
 
+from repro.sim.batched import BatchRunResult, simulate_uniform_batched
 from repro.sim.engine import simulate_stations
 from repro.sim.fast import simulate_uniform_fast
 from repro.sim.fast_notification import simulate_notification_fast
@@ -23,6 +27,8 @@ __all__ = [
     "simulate_stations",
     "simulate_uniform_fast",
     "simulate_notification_fast",
+    "simulate_uniform_batched",
+    "BatchRunResult",
     "RunResult",
     "EnergyStats",
 ]

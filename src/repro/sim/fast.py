@@ -20,8 +20,6 @@ selection-resolution time.
 
 from __future__ import annotations
 
-import math
-
 from repro.adversary.base import Adversary, AdversaryView
 from repro.channel.channel import resolve_slot
 from repro.channel.trace import ChannelTrace
@@ -72,7 +70,10 @@ def simulate_uniform_fast(
 
     rng = make_rng(seed)
     adversary.reset(seed=rng.spawn(1)[0])
-    trace = ChannelTrace(record_probabilities=True)
+    # The trace doubles as the adversary's observed history even when the
+    # caller does not want it back; the probability/u columns are only
+    # stored when tracing, keeping the hot path free of per-slot appends.
+    trace = ChannelTrace(record_probabilities=record_trace)
     energy = EnergyStats()
     elected = False
     leader: int | None = None
@@ -102,26 +103,14 @@ def simulate_uniform_fast(
         energy.listening += n - k
 
         outcome = resolve_slot(slot, k, jammed)
-        if record_trace:
-            trace.append(
-                transmitters=k,
-                jammed=jammed,
-                true_state=outcome.true_state,
-                observed_state=outcome.observed_state,
-                probability=p,
-                u=u,
-            )
-        else:
-            # The adversary still needs the observed history: record into
-            # the same trace object (columns are cheap Python lists).
-            trace.append(
-                transmitters=k,
-                jammed=jammed,
-                true_state=outcome.true_state,
-                observed_state=outcome.observed_state,
-                probability=math.nan,
-                u=math.nan,
-            )
+        trace.append(
+            transmitters=k,
+            jammed=jammed,
+            true_state=outcome.true_state,
+            observed_state=outcome.observed_state,
+            probability=p,
+            u=u,
+        )
 
         slots_run = slot + 1
         if outcome.successful_single and halt_on_single:

@@ -49,3 +49,19 @@ class TestValidation:
 
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+    def test_lambda_rejected_with_actionable_message(self):
+        with pytest.raises(ConfigurationError, match="picklable"):
+            replicate_parallel(lambda s: s, 4, 1, jobs=2)
+
+    def test_closure_rejected_with_actionable_message(self):
+        def local_fn(seed):
+            return seed
+
+        with pytest.raises(ConfigurationError, match="module level"):
+            replicate_parallel(local_fn, 4, 1, jobs=2)
+
+    def test_lambda_still_fine_on_the_serial_path(self):
+        assert replicate_parallel(lambda s: s, 4, 5, jobs=1) == replicate(
+            lambda s: s, 4, 5
+        )

@@ -1,0 +1,77 @@
+"""Fixed-seed regression pins for every scalar engine.
+
+These tests exist to catch *unintended* behavioural drift in the
+engines' sampling paths (RNG call order, channel resolution, budget
+decisions).  Each pins the exact ``RunResult`` fields produced by a
+fixed seed.  If a deliberate change to an engine's sampling order
+breaks one of these, re-pin the values in the same commit and say so
+in the commit message -- a silent change here means every published
+experiment table silently changed too.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.suite import make_adversary
+from repro.core.config import ElectionConfig
+from repro.core.election import make_protocol_stations
+from repro.protocols.baselines.ars_fast import simulate_ars_fast
+from repro.protocols.baselines.ars_mac import ars_gamma
+from repro.protocols.lesk import LESKPolicy
+from repro.sim.engine import simulate_stations
+from repro.sim.fast import simulate_uniform_fast
+from repro.sim.fast_notification import simulate_notification_fast
+from repro.types import CDMode
+
+SEED = 123
+EPS = 0.5
+T = 8
+
+
+def _saturating():
+    return make_adversary("saturating", T=T, eps=EPS)
+
+
+def test_simulate_stations_pinned():
+    config = ElectionConfig(n=16, protocol="lesk", eps=EPS, T=T)
+    result = simulate_stations(
+        make_protocol_stations(config),
+        adversary=_saturating(),
+        cd_mode=CDMode.STRONG,
+        max_slots=100_000,
+        seed=SEED,
+        stop_on_first_single=True,
+    )
+    assert (result.slots, result.elected, result.jams) == (38, True, 17)
+
+
+def test_simulate_uniform_fast_pinned():
+    result = simulate_uniform_fast(
+        LESKPolicy(EPS),
+        n=64,
+        adversary=_saturating(),
+        max_slots=100_000,
+        seed=SEED,
+    )
+    assert (result.slots, result.elected, result.jams) == (58, True, 26)
+
+
+def test_simulate_notification_fast_pinned():
+    result = simulate_notification_fast(
+        lambda: LESKPolicy(EPS),
+        n=64,
+        adversary=_saturating(),
+        max_slots=200_000,
+        seed=SEED,
+    )
+    assert (result.slots, result.elected, result.jams) == (767, True, 341)
+
+
+def test_simulate_ars_fast_pinned():
+    result = simulate_ars_fast(
+        64,
+        ars_gamma(64, T),
+        _saturating(),
+        max_slots=1_000_000,
+        seed=SEED,
+    )
+    assert (result.slots, result.elected, result.jams) == (5, True, 4)
