@@ -8,6 +8,8 @@ __all__ = [
     "BudgetViolationError",
     "SimulationError",
     "ProtocolError",
+    "ExperimentTimeoutError",
+    "ChecksumMismatchError",
 ]
 
 
@@ -37,3 +39,23 @@ class SimulationError(ReproError):
 class ProtocolError(ReproError):
     """Raised when a protocol object is driven incorrectly (e.g. feedback
     delivered for a slot that was never started)."""
+
+
+class ExperimentTimeoutError(ReproError):
+    """Raised when a supervised experiment exceeds its wall-clock timeout.
+
+    The fault-tolerant runner kills the worker process and records the
+    experiment as timed out; by default timeouts are not retried (a hung
+    worker would very likely hang again), but ``RetryPolicy.retry_timeouts``
+    opts back in.
+    """
+
+
+class ChecksumMismatchError(ReproError):
+    """Raised when a checkpointed result fails integrity verification.
+
+    Every checkpoint embeds a SHA-256 over its canonical payload; a
+    mismatch means the file was truncated or corrupted on disk.  The
+    runner treats such a checkpoint as absent and recomputes the
+    experiment on ``--resume``.
+    """

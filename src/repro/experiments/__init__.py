@@ -30,7 +30,11 @@ A9    ablation: why Notification's intervals double (e21)
 
 Every experiment module exposes ``run(preset="small"|"full", seed=...)``
 returning one or more :class:`repro.experiments.harness.Table` objects;
-``python -m repro.experiments.run_all`` regenerates everything.
+``python -m repro.experiments.run_all`` regenerates everything.  The CLI
+runs each experiment as a supervised unit of work -- process isolation,
+timeout, retry with backoff, atomic checkpointing and ``--resume`` -- via
+:mod:`repro.experiments.runner` (see docs/runner.md), chaos-tested with
+the deterministic fault injection in :mod:`repro.experiments.faults`.
 """
 
 from repro.experiments.harness import Table, replicate, summarize_times

@@ -1,0 +1,142 @@
+"""Deterministic fault injection for chaos-testing the experiment runner.
+
+A :class:`FaultPlan` names, ahead of time, exactly which fault fires on
+which attempt of which experiment -- no probabilistic triggering -- so a
+chaos test replays bit-for-bit.  The plan is plain picklable data and
+crosses the worker-process boundary with the work item; the runner
+consults it at two points:
+
+* **before** running an attempt (:meth:`FaultPlan.fire`): ``raise`` /
+  ``config`` / ``hang`` faults trigger here, exercising the retry,
+  no-retry, and timeout paths respectively;
+* **after** checkpointing a finished table
+  (:meth:`FaultPlan.should_corrupt`): ``corrupt`` faults flip bytes in
+  the just-written checkpoint so a later ``--resume`` must detect the
+  bad checksum and recompute.
+
+Fault kinds:
+
+``raise``
+    Raise :class:`InjectedFaultError` (a transient crash; the runner
+    retries it with backoff).
+``config``
+    Raise :class:`~repro.errors.ConfigurationError` (a permanent,
+    never-retried failure).
+``hang``
+    Sleep until the supervisor's wall-clock timeout kills the worker.
+``corrupt``
+    Let the attempt succeed, then corrupt its on-disk checkpoint.
+
+The compact spec syntax used by ``run_all --inject-faults`` is
+``ID:KIND@ATTEMPT`` joined by commas, e.g. ``"T1:raise@1,T7:hang@2"``
+(``@ATTEMPT`` defaults to 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Fault", "FaultPlan", "InjectedFaultError", "FAULT_KINDS"]
+
+FAULT_KINDS = ("raise", "config", "hang", "corrupt")
+
+#: How long a ``hang`` fault sleeps per poll; the loop below never exits,
+#: short naps just keep the worker promptly killable.
+_HANG_NAP_S = 0.05
+
+
+class InjectedFaultError(RuntimeError):
+    """The transient crash raised by a ``raise`` fault (retried)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One planned fault: *kind* fires on the *attempt*-th try of *exp_id*."""
+
+    exp_id: str
+    kind: str
+    attempt: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.attempt < 1:
+            raise ConfigurationError(
+                f"fault attempt must be >= 1, got {self.attempt}"
+            )
+
+    def to_spec(self) -> str:
+        """Render as one ``ID:KIND@ATTEMPT`` spec atom."""
+        return f"{self.exp_id}:{self.kind}@{self.attempt}"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An immutable, seeded schedule of faults keyed by (experiment, attempt).
+
+    *seed* feeds the byte pattern of ``corrupt`` faults (see
+    :func:`repro.experiments.checkpoint.corrupt_checkpoint`), keeping even
+    the corruption deterministic.
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse ``"T1:raise@1,T7:hang"`` (``@attempt`` defaults to 1)."""
+        faults = []
+        for atom in spec.split(","):
+            atom = atom.strip()
+            if not atom:
+                continue
+            try:
+                exp_id, rest = atom.split(":", 1)
+                kind, _, attempt = rest.partition("@")
+                faults.append(
+                    Fault(exp_id.strip(), kind.strip(), int(attempt) if attempt else 1)
+                )
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad fault spec {atom!r}; expected ID:KIND[@ATTEMPT] with "
+                    f"KIND in {FAULT_KINDS}"
+                ) from exc
+        return cls(faults=tuple(faults), seed=seed)
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`from_spec`."""
+        return ",".join(f.to_spec() for f in self.faults)
+
+    def fault_for(self, exp_id: str, attempt: int) -> Fault | None:
+        """The fault planned for this (experiment, attempt), if any."""
+        for fault in self.faults:
+            if fault.exp_id == exp_id and fault.attempt == attempt:
+                return fault
+        return None
+
+    def fire(self, exp_id: str, attempt: int) -> None:
+        """Trigger any pre-run fault for this attempt (called in the worker)."""
+        fault = self.fault_for(exp_id, attempt)
+        if fault is None or fault.kind == "corrupt":
+            return
+        if fault.kind == "raise":
+            raise InjectedFaultError(
+                f"injected transient crash ({exp_id} attempt {attempt})"
+            )
+        if fault.kind == "config":
+            raise ConfigurationError(
+                f"injected permanent config failure ({exp_id} attempt {attempt})"
+            )
+        if fault.kind == "hang":
+            while True:  # hold the worker until the supervisor kills it
+                time.sleep(_HANG_NAP_S)
+
+    def should_corrupt(self, exp_id: str, attempt: int) -> bool:
+        """Whether to corrupt the checkpoint written by this attempt."""
+        fault = self.fault_for(exp_id, attempt)
+        return fault is not None and fault.kind == "corrupt"

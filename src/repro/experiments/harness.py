@@ -13,6 +13,8 @@ Design goals:
 
 from __future__ import annotations
 
+import csv
+import io
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -114,16 +116,65 @@ class Table:
         return "\n".join(lines)
 
     def to_csv(self) -> str:
-        """Export rows as CSV keyed by column keys."""
+        """Export rows as CSV keyed by column keys.
+
+        Values containing commas, quotes or newlines are quoted per the
+        :mod:`csv` module's rules, so claim-note strings promoted into
+        cells round-trip instead of silently corrupting the file.
+        """
         keys = [c.key for c in self.columns]
-        out = [",".join(keys)]
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(keys)
         for row in self.rows:
-            out.append(",".join(str(row.get(k, "")) for k in keys))
-        return "\n".join(out)
+            writer.writerow([str(row.get(k, "")) for k in keys])
+        return buf.getvalue()[:-1]  # drop the terminator of the last row
 
     def column_values(self, key: str) -> list:
         """All row values for one column key."""
         return [row.get(key) for row in self.rows]
+
+    def to_jsonable(self) -> dict:
+        """A plain-data dict that round-trips through JSON.
+
+        NumPy scalars are demoted to native Python numbers; rendering and
+        CSV export are unaffected (``format``/``str`` agree on both), so a
+        table restored with :meth:`from_jsonable` reproduces ``render()``
+        and ``to_csv()`` byte-for-byte.  This is the checkpoint payload of
+        the fault-tolerant runner (:mod:`repro.experiments.checkpoint`).
+        """
+        return {
+            "name": self.name,
+            "title": self.title,
+            "claim": self.claim,
+            "columns": [
+                {"key": c.key, "header": c.header, "fmt": c.fmt}
+                for c in self.columns
+            ],
+            "rows": [
+                {k: _plain_scalar(v) for k, v in row.items()} for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Table":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            name=data["name"],
+            title=data["title"],
+            claim=data["claim"],
+            columns=[Column(**c) for c in data["columns"]],
+            rows=[dict(r) for r in data["rows"]],
+            notes=list(data["notes"]),
+        )
+
+
+def _plain_scalar(value):
+    """Demote NumPy scalars to native Python types for JSON export."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 def replicate(
@@ -187,6 +238,8 @@ def summarize_times(
     timeouts at their full budget -- conservative), plus the success rate
     and its 95% Wilson interval.
     """
+    if len(results) == 0:
+        raise ConfigurationError("no results to summarize")
     slots = np.asarray([slots_of(r) for r in results], dtype=np.float64)
     successes = int(sum(bool(elected_of(r)) for r in results))
     lo, hi = wilson_interval(successes, len(results))

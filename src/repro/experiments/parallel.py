@@ -25,12 +25,31 @@ from typing import Callable, Sequence
 from repro.errors import ConfigurationError
 from repro.rng import derive_seed
 
-__all__ = ["replicate_parallel", "default_jobs", "run_seeded"]
+__all__ = ["replicate_parallel", "default_jobs", "run_seeded", "subprocess_context"]
 
 
 def default_jobs() -> int:
     """A sensible process count: physical-ish core count, at least 1."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+def subprocess_context(threadsafe: bool = False) -> mp.context.BaseContext:
+    """The preferred multiprocessing context for worker dispatch.
+
+    ``fork`` keeps the warm imported state on POSIX and is the default.
+    Pass ``threadsafe=True`` when the *caller* dispatches from multiple
+    threads (as the fault-tolerant runner does with ``--jobs N``): forking
+    a multi-threaded process can deadlock the child on locks held mid-fork
+    (BLAS thread pools are the classic case), so that path prefers
+    ``forkserver``, then ``spawn``.
+    """
+    methods = mp.get_all_start_methods()
+    if not threadsafe and "fork" in methods:
+        return mp.get_context("fork")
+    for method in ("forkserver", "spawn"):
+        if method in methods:
+            return mp.get_context(method)
+    return mp.get_context()
 
 
 def run_seeded(args: tuple[Callable, int, tuple]) -> object:
@@ -97,8 +116,7 @@ def replicate_parallel(
         return [fn(seed, *extra) for seed in seeds]
     _check_picklable_fn(fn)
     items = [(fn, seed, extra) for seed in seeds]
-    # 'fork' keeps the warm imported state on POSIX; chunk to cut IPC.
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
+    ctx = subprocess_context()  # warm forked state; chunk to cut IPC
     chunksize = max(1, reps // (jobs * 4))
     with ctx.Pool(processes=jobs) as pool:
         return pool.map(run_seeded, items, chunksize=chunksize)

@@ -3,19 +3,50 @@
 Options::
 
     --preset small|full   (default: full)
-    --out DIR             write per-experiment .txt and .csv under DIR
+    --out DIR             checkpointed run directory: per-experiment .txt
+                          and .csv, plus checkpoints/, journal.jsonl and
+                          manifest.json (see docs/runner.md)
+    --resume DIR          continue an interrupted --out run: restore valid
+                          checkpoints, recompute only what is missing
     --only T1,T5,F1       run a subset by experiment id
-    --jobs N              run experiments in N parallel processes
+    --jobs N              run experiments in N parallel workers
                           (results identical: seeds are pre-derived)
+    --seed N              root seed forwarded to every experiment
+                          (default: each module's published default)
+    --timeout S           wall-clock budget per attempt; a hung worker is
+                          killed and recorded, not waited on forever
+    --retries N           max attempts per experiment (default 3);
+                          transient crashes retry with backoff + jitter,
+                          ReproError config failures and timeouts do not
+    --backoff S           base backoff delay between retries (default 0.5)
+    --keep-going          collect failures and keep running (default);
+    --no-keep-going       abort dispatch at the first failure
+    --inject-faults SPEC  chaos testing: deterministic faults, e.g.
+                          "T1:raise@1,T7:hang@2" (see repro.experiments.faults)
+
+Exit status: 0 every table produced, 2 partial success (some experiments
+failed but the rest completed and were checkpointed), 1 total failure or
+an aborted --no-keep-going run.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
-import time
+import threading
 from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.checkpoint import RunDir, build_manifest
+from repro.experiments.faults import FaultPlan
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    RetryPolicy,
+    Runner,
+    RunnerConfig,
+    exit_code,
+    failure_table,
+)
 
 EXPERIMENT_MODULES: dict[str, str] = {
     "T1": "repro.experiments.e01_lesk_scaling",
@@ -43,17 +74,61 @@ EXPERIMENT_MODULES: dict[str, str] = {
 
 
 def run_experiment(exp_id: str, preset: str):
-    """Run one experiment by id and return its Table."""
+    """Run one experiment by id, in-process, and return its Table.
+
+    The direct, unsupervised path -- used by tests and notebooks.  The CLI
+    goes through :class:`repro.experiments.runner.Runner` instead, which
+    adds isolation, timeout, retry and checkpointing around this same
+    unit of work.
+    """
+    import importlib
+
     module = importlib.import_module(EXPERIMENT_MODULES[exp_id])
     return module.run(preset=preset)
 
 
-def _run_one(item: tuple[str, str]):
-    """Pool work item (module-level for picklability)."""
-    exp_id, preset = item
-    start = time.perf_counter()
-    table = run_experiment(exp_id, preset)
-    return exp_id, table, time.perf_counter() - start
+class _OrderedPrinter:
+    """Emit per-experiment output in ``ids`` order as outcomes stream in.
+
+    The runner finalizes experiments in completion order (and from
+    dispatcher threads with ``--jobs N``); buffering out-of-order results
+    keeps stdout deterministic without delaying everything to the end.
+    """
+
+    def __init__(self, ids: list[str]):
+        self._order = list(ids)
+        self._buffer: dict[str, ExperimentOutcome] = {}
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, outcome: ExperimentOutcome) -> None:
+        with self._lock:
+            self._buffer[outcome.exp_id] = outcome
+            while self._next < len(self._order):
+                ready = self._buffer.pop(self._order[self._next], None)
+                if ready is None:
+                    break
+                self._next += 1
+                self._print(ready)
+
+    @staticmethod
+    def _print(outcome: ExperimentOutcome) -> None:
+        if outcome.status == "ok":
+            print(outcome.table.render())
+            suffix = f" in {outcome.attempts} attempts" if outcome.attempts > 1 else ""
+            print(f"[{outcome.exp_id} done in {outcome.elapsed:.1f}s{suffix}]\n",
+                  flush=True)
+        elif outcome.status == "restored":
+            print(outcome.table.render())
+            print(f"[{outcome.exp_id} restored from checkpoint]\n", flush=True)
+        elif outcome.status == "aborted":
+            print(f"[{outcome.exp_id} aborted: --no-keep-going]\n", flush=True)
+        else:
+            print(
+                f"[{outcome.exp_id} {outcome.status} after {outcome.attempts} "
+                f"attempt(s): {outcome.error}]\n",
+                flush=True,
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,11 +136,28 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", choices=("small", "full"), default="full")
     parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--resume", type=Path, default=None, metavar="RUN_DIR")
     parser.add_argument("--only", type=str, default=None)
     parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument("--retries", type=int, default=3)
+    parser.add_argument("--backoff", type=float, default=0.5)
+    parser.add_argument(
+        "--keep-going",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="collect failures and keep running (default on)",
+    )
+    parser.add_argument("--inject-faults", type=str, default=None, metavar="SPEC")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.retries < 1:
+        parser.error("--retries must be >= 1")
+    if args.out and args.resume:
+        parser.error("--out and --resume are mutually exclusive "
+                     "(--resume already names the run directory)")
 
     ids = list(EXPERIMENT_MODULES)
     if args.only:
@@ -74,28 +166,49 @@ def main(argv: list[str] | None = None) -> int:
         if unknown:
             parser.error(f"unknown experiment ids: {unknown}")
 
-    if args.out:
-        args.out.mkdir(parents=True, exist_ok=True)
+    fault_plan = None
+    if args.inject_faults:
+        try:
+            fault_plan = FaultPlan.from_spec(args.inject_faults)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
 
-    items = [(exp_id, args.preset) for exp_id in ids]
-    if args.jobs == 1 or len(items) == 1:
-        outputs = map(_run_one, items)
-    else:
-        import multiprocessing as mp
+    run_dir = None
+    resume = args.resume is not None
+    manifest = build_manifest(args.preset, ids, args.seed)
+    if resume:
+        run_dir = RunDir(args.resume)
+        try:
+            warnings = run_dir.validate_manifest(manifest)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+    elif args.out:
+        run_dir = RunDir(args.out)
+        run_dir.init(manifest)
 
-        ctx = mp.get_context(
-            "fork" if "fork" in mp.get_all_start_methods() else None
-        )
-        pool = ctx.Pool(processes=min(args.jobs, len(items)))
-        outputs = pool.imap(_run_one, items)
-    for exp_id, table, elapsed in outputs:
-        text = table.render()
-        print(text)
-        print(f"[{exp_id} done in {elapsed:.1f}s]\n", flush=True)
-        if args.out:
-            (args.out / f"{exp_id}.txt").write_text(text + "\n")
-            (args.out / f"{exp_id}.csv").write_text(table.to_csv() + "\n")
-    return 0
+    config = RunnerConfig(
+        preset=args.preset,
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retry=RetryPolicy(
+            max_attempts=args.retries,
+            backoff_base=args.backoff,
+            seed=args.seed or 0,
+        ),
+        keep_going=args.keep_going,
+        fault_plan=fault_plan,
+    )
+    runner = Runner(ids, EXPERIMENT_MODULES, config, run_dir=run_dir, resume=resume)
+    outcomes = runner.run(on_outcome=_OrderedPrinter(ids))
+
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        print(failure_table(outcomes).render(), flush=True)
+    return exit_code(outcomes)
 
 
 if __name__ == "__main__":

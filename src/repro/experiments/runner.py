@@ -1,0 +1,547 @@
+"""Fault-tolerant supervised experiment runner.
+
+``run_all`` used to be all-or-nothing: one crashed or hung worker aborted
+a multi-hour run and discarded every completed table.  This module wraps
+each experiment in a *supervised unit of work*, in the same spirit as the
+paper's protocols, which make progress despite an adversary disrupting a
+``(T, 1-eps)`` fraction of slots:
+
+* **isolation** -- every attempt runs in its own worker process, so a
+  crash (or even a SIGKILL/OOM kill) loses one attempt, not the run;
+* **timeout** -- a wall-clock budget per attempt; a hung worker is killed
+  and recorded as :class:`~repro.errors.ExperimentTimeoutError`, never
+  waited on forever;
+* **retry** -- transient failures (crashes, dead workers) are retried
+  with exponential backoff and seeded jitter, up to a bounded attempt
+  count.  :class:`~repro.errors.ReproError` failures are configuration
+  errors by contract and are *never* retried; timeouts are not retried by
+  default (a hung worker usually hangs again);
+* **checkpointing** -- finished tables are snapshotted atomically to a
+  :class:`~repro.experiments.checkpoint.RunDir` the moment they complete,
+  with a journal and manifest, so ``--resume`` re-runs only what is
+  missing (seeds are path-derived, so the remainder bit-reproduces);
+* **graceful degradation** -- with ``keep_going`` (the default) failures
+  are collected into a summary table instead of aborting the run, and the
+  exit code distinguishes full, partial, and total success.
+
+Determinism note: results always cross the worker boundary as the
+table's JSON form (:meth:`~repro.experiments.harness.Table.to_jsonable`),
+the same representation checkpoints use -- so direct runs, resumed runs,
+and restored checkpoints render byte-identically by construction.
+"""
+
+from __future__ import annotations
+
+import importlib
+import random
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait as futures_wait
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable
+
+from repro.errors import ChecksumMismatchError, ConfigurationError, ReproError
+from repro.experiments.checkpoint import RunDir, atomic_write_text, corrupt_checkpoint
+from repro.experiments.faults import FaultPlan
+from repro.experiments.harness import Column, Table
+from repro.experiments.parallel import subprocess_context
+
+__all__ = [
+    "RetryPolicy",
+    "RunnerConfig",
+    "ExperimentOutcome",
+    "Runner",
+    "failure_table",
+    "exit_code",
+]
+
+#: Outcome statuses that count as a usable table.
+_OK_STATUSES = ("ok", "restored")
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    The delay before attempt ``k+1`` is ``base * 2**(k-1)`` capped at
+    *cap*, scaled by a jitter factor in ``[0.5, 1.5)`` drawn from a stream
+    seeded by ``(seed, experiment id, attempt)`` -- deterministic per
+    slot, decorrelated across experiments so a pool of retries does not
+    stampede in lockstep.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    retry_timeouts: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff base/cap must be >= 0")
+
+    def delay(self, exp_id: str, attempt: int) -> float:
+        """Backoff before retrying after failed attempt number *attempt*."""
+        raw = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        jitter = random.Random(f"{self.seed}:{exp_id}:{attempt}").random()
+        return raw * (0.5 + jitter)
+
+
+@dataclass(frozen=True, slots=True)
+class RunnerConfig:
+    """Knobs of one supervised run (see the module docstring)."""
+
+    preset: str = "small"
+    seed: int | None = None  # None -> each experiment's module default
+    jobs: int = 1
+    timeout: float | None = None  # wall-clock seconds per attempt
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    keep_going: bool = True
+    fault_plan: FaultPlan | None = None
+    isolate: bool = True  # False: in-process attempts (no timeout/kill)
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+
+
+@dataclass(slots=True)
+class ExperimentOutcome:
+    """What happened to one experiment across all its attempts."""
+
+    exp_id: str
+    status: str  # "ok" | "restored" | "failed" | "timeout" | "aborted"
+    table: Table | None = None
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: str | None = None
+    traceback: str | None = None
+    checksum: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in _OK_STATUSES
+
+
+class _AttemptFailure(Exception):
+    """Internal: one attempt failed; carries retryability and diagnostics."""
+
+    def __init__(self, kind: str, message: str, tb: str | None, permanent: bool):
+        super().__init__(message)
+        self.kind = kind  # "error" | "crash" | "timeout"
+        self.message = message
+        self.tb = tb
+        self.permanent = permanent
+
+
+def _attempt_worker(conn, module_name, exp_id, preset, seed, attempt, fault_plan):
+    """Child-process body: run one experiment attempt, ship the result back.
+
+    Module-level (picklable by reference) so it works under fork,
+    forkserver and spawn alike.  All exceptions -- including injected
+    faults -- are serialized rather than raised, so the parent can decide
+    retryability; only a hard kill leaves the pipe empty.
+    """
+    try:
+        if fault_plan is not None:
+            fault_plan.fire(exp_id, attempt)
+        module = importlib.import_module(module_name)
+        kwargs = {"preset": preset}
+        if seed is not None:
+            kwargs["seed"] = seed
+        table = module.run(**kwargs)
+        conn.send(("ok", table.to_jsonable()))
+    except BaseException as exc:  # noqa: BLE001 -- ship *everything* home
+        conn.send(
+            (
+                "error",
+                {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                    "permanent": isinstance(exc, ReproError),
+                },
+            )
+        )
+    finally:
+        conn.close()
+
+
+class Runner:
+    """Supervised execution of a list of experiments.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids, in output order.
+    modules:
+        ``id -> module path`` registry (normally
+        ``run_all.EXPERIMENT_MODULES``).
+    config:
+        The :class:`RunnerConfig`.
+    run_dir:
+        Optional :class:`~repro.experiments.checkpoint.RunDir` for
+        checkpoints/journal/outputs; ``None`` runs ephemerally.
+    resume:
+        When true, valid checkpoints in *run_dir* are restored instead of
+        recomputed (corrupt ones are detected and recomputed).  The caller
+        is responsible for manifest validation before constructing the
+        runner (see ``run_all.main``).
+    """
+
+    def __init__(
+        self,
+        ids: list[str],
+        modules: dict[str, str],
+        config: RunnerConfig,
+        run_dir: RunDir | None = None,
+        resume: bool = False,
+    ):
+        unknown = [i for i in ids if i not in modules]
+        if unknown:
+            raise ConfigurationError(f"unknown experiment ids: {unknown}")
+        self.ids = list(ids)
+        self.modules = modules
+        self.config = config
+        self.run_dir = run_dir
+        self.resume = resume
+        # Worker processes are forked directly when dispatch is
+        # single-threaded; multi-threaded dispatch needs a thread-safe
+        # start method (forking under live threads can deadlock in BLAS).
+        self._ctx = subprocess_context(threadsafe=config.jobs > 1)
+
+    # -- single attempt ----------------------------------------------------
+
+    def _journal(self, record: dict) -> None:
+        if self.run_dir is not None:
+            self.run_dir.append_journal(record)
+
+    def _attempt(self, exp_id: str, attempt: int) -> Table:
+        """Run one attempt; returns the table or raises :class:`_AttemptFailure`."""
+        if self.config.isolate:
+            status, payload = self._attempt_isolated(exp_id, attempt)
+        else:
+            status, payload = self._attempt_inline(exp_id, attempt)
+        if status == "ok":
+            return Table.from_jsonable(payload)
+        raise _AttemptFailure(
+            kind="error",
+            message=f"{payload['type']}: {payload['message']}",
+            tb=payload.get("traceback"),
+            permanent=payload["permanent"],
+        )
+
+    def _attempt_inline(self, exp_id: str, attempt: int):
+        """In-process attempt (no isolation: hangs/timeouts unsupported)."""
+        try:
+            plan = self.config.fault_plan
+            if plan is not None:
+                plan.fire(exp_id, attempt)
+            module = importlib.import_module(self.modules[exp_id])
+            kwargs = {"preset": self.config.preset}
+            if self.config.seed is not None:
+                kwargs["seed"] = self.config.seed
+            return "ok", module.run(**kwargs).to_jsonable()
+        except Exception as exc:  # noqa: BLE001 -- mirrors the worker protocol
+            return "error", {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+                "permanent": isinstance(exc, ReproError),
+            }
+
+    def _attempt_isolated(self, exp_id: str, attempt: int):
+        """Run one attempt in a killable worker process."""
+        recv, send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_attempt_worker,
+            args=(
+                send,
+                self.modules[exp_id],
+                exp_id,
+                self.config.preset,
+                self.config.seed,
+                attempt,
+                self.config.fault_plan,
+            ),
+            name=f"repro-{exp_id}-attempt{attempt}",
+        )
+        proc.start()
+        send.close()  # parent holds only the read end
+        try:
+            ready = connection_wait([recv, proc.sentinel], self.config.timeout)
+            if not ready:  # wall-clock budget exhausted: kill, don't wait
+                self._kill(proc)
+                raise _AttemptFailure(
+                    kind="timeout",
+                    message=(
+                        f"ExperimentTimeoutError: {exp_id} attempt {attempt} "
+                        f"exceeded {self.config.timeout:.1f}s and was killed"
+                    ),
+                    tb=None,
+                    permanent=not self.config.retry.retry_timeouts,
+                )
+            msg = None
+            try:
+                # The sentinel can fire while the result is still in flight;
+                # a short grace poll catches it either way.
+                if recv.poll(0.25):
+                    msg = recv.recv()
+            except (EOFError, OSError):
+                msg = None
+            if msg is None:  # died without reporting: crash / OOM / SIGKILL
+                proc.join(5)
+                raise _AttemptFailure(
+                    kind="crash",
+                    message=(
+                        f"worker for {exp_id} attempt {attempt} died without a "
+                        f"result (exit code {proc.exitcode})"
+                    ),
+                    tb=None,
+                    permanent=False,
+                )
+            proc.join(10)
+            if proc.is_alive():
+                self._kill(proc)
+            return msg
+        finally:
+            recv.close()
+            if proc.is_alive():
+                self._kill(proc)
+
+    @staticmethod
+    def _kill(proc) -> None:
+        proc.terminate()
+        proc.join(5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(5)
+
+    # -- one experiment, with retries -------------------------------------
+
+    def _supervise(self, exp_id: str) -> ExperimentOutcome:
+        """Drive one experiment through attempts, checkpoint its result."""
+        policy = self.config.retry
+        started = time.perf_counter()
+        last: _AttemptFailure | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            self._journal({"event": "attempt_start", "id": exp_id, "attempt": attempt})
+            attempt_start = time.perf_counter()
+            try:
+                table = self._attempt(exp_id, attempt)
+            except _AttemptFailure as failure:
+                last = failure
+                self._journal(
+                    {
+                        "event": "attempt_end",
+                        "id": exp_id,
+                        "attempt": attempt,
+                        "status": failure.kind,
+                        "elapsed": round(time.perf_counter() - attempt_start, 3),
+                        "error": failure.message,
+                        "traceback": failure.tb,
+                        "permanent": failure.permanent,
+                    }
+                )
+                if failure.permanent or attempt == policy.max_attempts:
+                    break
+                time.sleep(policy.delay(exp_id, attempt))
+                continue
+            elapsed = time.perf_counter() - started
+            self._journal(
+                {
+                    "event": "attempt_end",
+                    "id": exp_id,
+                    "attempt": attempt,
+                    "status": "ok",
+                    "elapsed": round(time.perf_counter() - attempt_start, 3),
+                }
+            )
+            checksum = self._checkpoint(table, exp_id, attempt)
+            self._journal(
+                {
+                    "event": "done",
+                    "id": exp_id,
+                    "status": "ok",
+                    "attempts": attempt,
+                    "elapsed": round(elapsed, 3),
+                    "checksum": checksum,
+                }
+            )
+            return ExperimentOutcome(
+                exp_id=exp_id,
+                status="ok",
+                table=table,
+                attempts=attempt,
+                elapsed=elapsed,
+                checksum=checksum,
+            )
+        assert last is not None
+        elapsed = time.perf_counter() - started
+        status = "timeout" if last.kind == "timeout" else "failed"
+        self._journal(
+            {
+                "event": "done",
+                "id": exp_id,
+                "status": status,
+                "attempts": attempt,
+                "elapsed": round(elapsed, 3),
+                "error": last.message,
+                "traceback": last.tb,
+            }
+        )
+        return ExperimentOutcome(
+            exp_id=exp_id,
+            status=status,
+            attempts=attempt,
+            elapsed=elapsed,
+            error=last.message,
+            traceback=last.tb,
+        )
+
+    def _checkpoint(self, table: Table, exp_id: str, attempt: int) -> str | None:
+        """Snapshot a finished table (and apply any planned corruption)."""
+        if self.run_dir is None:
+            return None
+        checksum = self.run_dir.save_table(table)
+        plan = self.config.fault_plan
+        if plan is not None and plan.should_corrupt(exp_id, attempt):
+            corrupt_checkpoint(self.run_dir.checkpoint_path(exp_id), plan.seed)
+        self.run_dir.write_outputs(table)
+        return checksum
+
+    def _restore(self, exp_id: str) -> ExperimentOutcome | None:
+        """Restore a valid checkpoint on resume, or None to recompute."""
+        if not (self.resume and self.run_dir and self.run_dir.has_checkpoint(exp_id)):
+            return None
+        try:
+            table = self.run_dir.load_table(exp_id)
+        except ChecksumMismatchError as exc:
+            self._journal({"event": "recompute", "id": exp_id, "reason": str(exc)})
+            return None
+        self.run_dir.write_outputs(table)  # regenerate .txt/.csv for a full set
+        checksum = self.run_dir.save_table(table)
+        self._journal({"event": "restored", "id": exp_id, "checksum": checksum})
+        return ExperimentOutcome(
+            exp_id=exp_id, status="restored", table=table, checksum=checksum
+        )
+
+    # -- the whole run -----------------------------------------------------
+
+    def run(
+        self, on_outcome: Callable[[ExperimentOutcome], None] | None = None
+    ) -> list[ExperimentOutcome]:
+        """Run every experiment; returns outcomes in ``ids`` order.
+
+        *on_outcome* is invoked as each experiment finalizes (possibly from
+        a dispatcher thread, in completion order).  With ``keep_going``
+        off, the first failure stops dispatch; experiments never started
+        are reported with status ``"aborted"``.
+        """
+        outcomes: dict[str, ExperimentOutcome] = {}
+        emit = on_outcome or (lambda outcome: None)
+
+        pending: list[str] = []
+        for exp_id in self.ids:
+            restored = self._restore(exp_id)
+            if restored is not None:
+                outcomes[exp_id] = restored
+                emit(restored)
+            else:
+                pending.append(exp_id)
+
+        if self.config.jobs == 1:
+            for exp_id in pending:
+                if not self.config.keep_going and any(
+                    not o.ok for o in outcomes.values()
+                ):
+                    outcomes[exp_id] = ExperimentOutcome(exp_id, "aborted")
+                    self._journal({"event": "aborted", "id": exp_id})
+                    emit(outcomes[exp_id])
+                    continue
+                outcomes[exp_id] = self._supervise(exp_id)
+                emit(outcomes[exp_id])
+        elif pending:
+            with ThreadPoolExecutor(
+                max_workers=min(self.config.jobs, len(pending)),
+                thread_name_prefix="repro-runner",
+            ) as pool:
+                futures = {pool.submit(self._supervise, i): i for i in pending}
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = futures_wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        exp_id = futures[future]
+                        if future.cancelled():
+                            outcomes[exp_id] = ExperimentOutcome(exp_id, "aborted")
+                            self._journal({"event": "aborted", "id": exp_id})
+                        else:
+                            outcomes[exp_id] = future.result()
+                        emit(outcomes[exp_id])
+                        if not outcomes[exp_id].ok and not self.config.keep_going:
+                            for pending_future in not_done:
+                                pending_future.cancel()
+
+        if self.run_dir is not None:
+            failures = [o for o in outcomes.values() if not o.ok]
+            failures_path = self.run_dir.root / "failures.txt"
+            if failures:
+                atomic_write_text(
+                    failures_path,
+                    failure_table([outcomes[i] for i in self.ids if i in outcomes])
+                    .render()
+                    + "\n",
+                )
+            else:
+                failures_path.unlink(missing_ok=True)
+        return [outcomes[i] for i in self.ids if i in outcomes]
+
+
+def failure_table(outcomes: list[ExperimentOutcome]) -> Table:
+    """The graceful-degradation summary: every non-ok experiment, one row."""
+    table = Table(
+        name="FAILURES",
+        title="experiments that did not complete",
+        claim=(
+            "graceful degradation: --keep-going collects failures instead of "
+            "aborting the run"
+        ),
+        columns=[
+            Column("id", "id"),
+            Column("status", "status"),
+            Column("attempts", "attempts"),
+            Column("elapsed", "elapsed s", ".1f"),
+            Column("error", "error"),
+        ],
+    )
+    for outcome in outcomes:
+        if outcome.ok:
+            continue
+        table.add_row(
+            id=outcome.exp_id,
+            status=outcome.status,
+            attempts=outcome.attempts,
+            elapsed=outcome.elapsed,
+            error=(outcome.error or "")[:200],
+        )
+    return table
+
+
+def exit_code(outcomes: list[ExperimentOutcome]) -> int:
+    """0 = every table produced; 2 = partial success; 1 = nothing usable."""
+    if all(o.ok for o in outcomes):
+        return 0
+    if any(o.ok for o in outcomes) and not any(
+        o.status == "aborted" for o in outcomes
+    ):
+        return 2
+    return 1

@@ -76,6 +76,20 @@ class TestTable:
         t.add_row(n=4, v="not-a-number")
         assert "not-a-number" in t.render()
 
+    def test_csv_quotes_commas_and_quotes(self):
+        import csv
+        import io
+
+        t = self.make()
+        t.add_row(n='medium, with "quotes"', v=1.5)
+        t.add_row(n="line\nbreak", v=2.0)
+        parsed = list(csv.reader(io.StringIO(t.to_csv() + "\n")))
+        assert parsed == [
+            ["n", "v"],
+            ['medium, with "quotes"', "1.5"],
+            ["line\nbreak", "2.0"],
+        ]
+
 
 class TestReplicate:
     def test_stable_seed_derivation(self):
@@ -109,3 +123,7 @@ class TestSummarize:
         stats = summarize_times(results)
         assert stats["success_rate"] == 0.5
         assert stats["success_lo"] < 0.5 < stats["success_hi"]
+
+    def test_empty_results_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="no results to summarize"):
+            summarize_times([])

@@ -1,0 +1,201 @@
+"""Unit tests for the fault-tolerant runner building blocks:
+retry policy, fault plans, checkpoint directories, and outcome summaries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ChecksumMismatchError, ConfigurationError
+from repro.experiments.checkpoint import (
+    RunDir,
+    atomic_write_text,
+    build_manifest,
+    corrupt_checkpoint,
+    payload_checksum,
+    table_payload,
+)
+from repro.experiments.faults import Fault, FaultPlan, InjectedFaultError
+from repro.experiments.harness import Column, Table
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    RetryPolicy,
+    RunnerConfig,
+    exit_code,
+    failure_table,
+)
+
+
+def make_table(name="TX"):
+    table = Table(
+        name=name,
+        title="demo",
+        claim="something holds",
+        columns=[
+            Column("k", "key"),
+            Column("v", "value", ".3f"),
+            Column("note", "note"),
+        ],
+    )
+    table.add_row(k="a", v=np.float64(1.25), note='says "hi", twice')
+    table.add_row(k="b", v=float("nan"), note=None)
+    table.add_note("fitted on 2 points")
+    return table
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=4.0, seed=7)
+        delays = [policy.delay("T1", a) for a in (1, 2, 3, 4, 5)]
+        assert delays == [policy.delay("T1", a) for a in (1, 2, 3, 4, 5)]
+        for attempt, delay in enumerate(delays, start=1):
+            raw = min(4.0, 1.0 * 2 ** (attempt - 1))
+            assert 0.5 * raw <= delay < 1.5 * raw
+
+    def test_jitter_decorrelates_experiments(self):
+        policy = RetryPolicy(backoff_base=1.0, seed=7)
+        assert policy.delay("T1", 1) != policy.delay("T2", 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(jobs=0)
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(timeout=0)
+
+
+class TestFaultPlan:
+    def test_spec_roundtrip(self):
+        plan = FaultPlan.from_spec("T1:raise@1, T7:hang@2 ,A8:corrupt")
+        assert plan.faults == (
+            Fault("T1", "raise", 1),
+            Fault("T7", "hang", 2),
+            Fault("A8", "corrupt", 1),
+        )
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+
+    def test_bad_specs(self):
+        for spec in ("T1", "T1:explode", "T1:raise@x", "T1:raise@0"):
+            with pytest.raises(ConfigurationError):
+                FaultPlan.from_spec(spec)
+
+    def test_fire_raise_and_config(self):
+        plan = FaultPlan.from_spec("T1:raise@2,T2:config@1")
+        plan.fire("T1", 1)  # not this attempt: no-op
+        plan.fire("T9", 1)  # not this experiment: no-op
+        with pytest.raises(InjectedFaultError):
+            plan.fire("T1", 2)
+        with pytest.raises(ConfigurationError):
+            plan.fire("T2", 1)
+
+    def test_corrupt_is_post_run_only(self):
+        plan = FaultPlan.from_spec("T1:corrupt@1")
+        plan.fire("T1", 1)  # corrupt never fires pre-run
+        assert plan.should_corrupt("T1", 1)
+        assert not plan.should_corrupt("T1", 2)
+
+
+class TestTableJsonRoundtrip:
+    def test_render_and_csv_are_byte_identical(self):
+        table = make_table()
+        clone = Table.from_jsonable(json.loads(json.dumps(table.to_jsonable())))
+        assert clone.render() == table.render()
+        assert clone.to_csv() == table.to_csv()
+
+    def test_numpy_scalars_demoted(self):
+        data = make_table().to_jsonable()
+        assert isinstance(data["rows"][0]["v"], float)
+
+
+class TestRunDir:
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        target = tmp_path / "x.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_save_load_roundtrip_and_checksum(self, tmp_path):
+        run_dir = RunDir(tmp_path)
+        run_dir.init(build_manifest("small", ["TX"], None))
+        table = make_table()
+        digest = run_dir.save_table(table)
+        assert digest == payload_checksum(table_payload(table))
+        loaded = run_dir.load_table("TX")
+        assert loaded.render() == table.render()
+
+    def test_corruption_detected(self, tmp_path):
+        run_dir = RunDir(tmp_path)
+        run_dir.init(build_manifest("small", ["TX"], None))
+        run_dir.save_table(make_table())
+        corrupt_checkpoint(run_dir.checkpoint_path("TX"), seed=3)
+        with pytest.raises(ChecksumMismatchError):
+            run_dir.load_table("TX")
+
+    def test_journal_skips_torn_tail(self, tmp_path):
+        run_dir = RunDir(tmp_path)
+        run_dir.append_journal({"event": "attempt_start", "id": "T1"})
+        run_dir.append_journal({"event": "done", "id": "T1"})
+        with open(run_dir.journal_path, "a") as fh:
+            fh.write('{"event": "attempt_sta')  # torn by a kill mid-write
+        events = [r["event"] for r in run_dir.read_journal()]
+        assert events == ["attempt_start", "done"]
+
+    def test_manifest_strict_mismatch_refused(self, tmp_path):
+        run_dir = RunDir(tmp_path)
+        run_dir.init(build_manifest("small", ["T1", "T2"], 11))
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            run_dir.validate_manifest(build_manifest("full", ["T1", "T2"], 11))
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            run_dir.validate_manifest(build_manifest("small", ["T1"], 11))
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            run_dir.validate_manifest(build_manifest("small", ["T1", "T2"], 12))
+        assert run_dir.validate_manifest(
+            build_manifest("small", ["T1", "T2"], 11)
+        ) == []
+
+    def test_manifest_advisory_mismatch_warns(self, tmp_path):
+        run_dir = RunDir(tmp_path)
+        manifest = build_manifest("small", ["T1"], None)
+        stored = dict(manifest, numpy="0.0.1")
+        run_dir.init(stored)
+        warnings = run_dir.validate_manifest(manifest)
+        assert len(warnings) == 1 and "numpy" in warnings[0]
+
+    def test_missing_manifest_refused(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no manifest.json"):
+            RunDir(tmp_path).validate_manifest(build_manifest("small", ["T1"], None))
+
+    def test_init_clears_stale_state(self, tmp_path):
+        run_dir = RunDir(tmp_path)
+        run_dir.init(build_manifest("small", ["TX"], 1))
+        run_dir.save_table(make_table())
+        run_dir.append_journal({"event": "done", "id": "TX"})
+        run_dir.init(build_manifest("small", ["TX"], 2))
+        assert not run_dir.has_checkpoint("TX")
+        assert run_dir.read_journal() == []
+
+
+class TestOutcomes:
+    def outcomes(self, *statuses):
+        return [
+            ExperimentOutcome(f"T{i}", status, attempts=1, error="boom")
+            for i, status in enumerate(statuses, start=1)
+        ]
+
+    def test_exit_codes(self):
+        assert exit_code(self.outcomes("ok", "restored")) == 0
+        assert exit_code(self.outcomes("ok", "failed")) == 2
+        assert exit_code(self.outcomes("ok", "timeout")) == 2
+        assert exit_code(self.outcomes("failed", "timeout")) == 1
+        assert exit_code(self.outcomes("ok", "failed", "aborted")) == 1
+
+    def test_failure_table_lists_only_failures(self):
+        table = failure_table(self.outcomes("ok", "failed", "timeout"))
+        assert [row["id"] for row in table.rows] == ["T2", "T3"]
+        assert "graceful degradation" in table.claim
