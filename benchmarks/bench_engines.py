@@ -5,10 +5,20 @@ samples the transmitter count ``k ~ Binomial(n, p)`` per slot (O(1) in n),
 while the faithful engine flips one coin per station per slot (O(n)).
 Both are benchmarked on identical LESK workloads, plus the budget
 enforcement hot path.
+
+Run as a script to emit a machine-readable throughput document::
+
+    python benchmarks/bench_engines.py --emit-json BENCH_engines.json
+
+The JSON carries the environment fingerprint (python/numpy/platform/git
+sha) and per-engine slots/sec; ``benchmarks/bench_telemetry.py`` reads the
+batched number back as the disabled-overhead baseline.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 import time
 
 import pytest
@@ -170,3 +180,102 @@ def test_geometric_fast_engine(benchmark):
 
     result = benchmark(run)
     assert result.elected
+
+
+# -- machine-readable emission (script mode) -------------------------------
+
+
+def measure_throughput(reps: int = 64, repeats: int = 3) -> dict:
+    """Per-engine slots/sec on the shared saturating-LESK workload."""
+    from bench_common import best_of
+
+    results: dict[str, dict] = {}
+
+    def fast_loop():
+        total = 0
+        for seed in range(reps):
+            total += simulate_uniform_fast(
+                LESKPolicy(EPS),
+                n=N,
+                adversary=make_adversary("saturating", T=T, eps=EPS),
+                max_slots=100_000,
+                seed=seed,
+            ).slots
+        return total
+
+    elapsed, slots = best_of(fast_loop, repeats)
+    results["fast"] = {
+        "reps": reps,
+        "slots": int(slots),
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(slots / elapsed, 1),
+    }
+
+    def faithful_loop():
+        faithful_reps = max(1, reps // 16)  # O(n)/slot: keep the loop short
+        total = 0
+        for seed in range(faithful_reps):
+            config = ElectionConfig(n=N, protocol="lesk", eps=EPS, T=T)
+            total += simulate_stations(
+                make_protocol_stations(config),
+                adversary=make_adversary("saturating", T=T, eps=EPS),
+                cd_mode=CDMode.STRONG,
+                max_slots=100_000,
+                seed=seed,
+                stop_on_first_single=True,
+            ).slots
+        return total
+
+    elapsed, slots = best_of(faithful_loop, repeats)
+    results["faithful"] = {
+        "reps": max(1, reps // 16),
+        "slots": int(slots),
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(slots / elapsed, 1),
+    }
+
+    def batched_call():
+        return simulate_uniform_batched(
+            lambda r: VectorLESKPolicy(EPS, r),
+            N,
+            lambda r: make_batched_adversary("saturating", T=T, eps=EPS, reps=r),
+            reps=4 * reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    elapsed, batch = best_of(batched_call, repeats)
+    batch_slots = int(batch.slots.sum())
+    results["batched"] = {
+        "reps": 4 * reps,
+        "slots": batch_slots,
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(batch_slots / elapsed, 1),
+    }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Script entry point: time the engines and emit BENCH_engines.json."""
+    from bench_common import write_bench_json
+
+    parser = argparse.ArgumentParser(description="engine throughput emission")
+    parser.add_argument(
+        "--emit-json", type=str, default="BENCH_engines.json", metavar="PATH"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="reduced sizes for CI smoke"
+    )
+    args = parser.parse_args(argv)
+
+    reps = 16 if args.smoke else 64
+    repeats = 2 if args.smoke else 3
+    results = measure_throughput(reps=reps, repeats=repeats)
+    for engine, row in results.items():
+        print(f"{engine:>9}: {row['slots_per_sec']:>12,.0f} slots/sec")
+    write_bench_json(args.emit_json, "bench_engines", results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

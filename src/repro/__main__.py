@@ -6,6 +6,7 @@ Commands
 ``estimate``   approximate the network size from the estimator walk
 ``kselect``    elect k distinct leaders
 ``experiments``forward to ``repro.experiments.run_all``
+``telemetry``  report on a run directory's telemetry export
 
 Examples::
 
@@ -14,6 +15,7 @@ Examples::
     python -m repro estimate --n 5000 --adversary silence-masker
     python -m repro kselect --n 500 --k 3
     python -m repro experiments --preset small --only T1
+    python -m repro telemetry report runs/smoke
 """
 
 from __future__ import annotations
@@ -108,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.run_all import main as run_all_main
 
         return run_all_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        from repro.telemetry.report import main as telemetry_main
+
+        return telemetry_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -130,6 +136,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "experiments",
         help="regenerate experiment tables (all arguments forwarded)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "telemetry",
+        help="inspect a run's telemetry export (all arguments forwarded)",
         add_help=False,
     )
 

@@ -118,6 +118,11 @@ class Adversary:
         self.budget = JammingBudget(self.T, self.eps, strict=self._strict)
         self.strategy.reset()
 
+    @property
+    def strategy_name(self) -> str:
+        """Registry name of the bound strategy (telemetry label)."""
+        return getattr(self.strategy, "name", type(self.strategy).__name__)
+
     def decide(self, view: AdversaryView) -> bool:
         """Budget-checked jamming decision for the current slot."""
         want = self.strategy.wants_jam(view, self._rng)

@@ -194,6 +194,11 @@ class BatchedAdversary:
         )
         self.strategy.reset()
 
+    @property
+    def strategy_name(self) -> str:
+        """Registry name of the bound strategy (telemetry label)."""
+        return getattr(self.strategy, "name", type(self.strategy).__name__)
+
     def decide(self, view: BatchAdversaryView) -> np.ndarray:
         """Budget-checked jam mask for the current slot, shape ``(reps,)``."""
         want = self.strategy.wants_jam_batch(view, self._rng)

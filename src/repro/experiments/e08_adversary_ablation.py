@@ -15,6 +15,7 @@ a property of LESK's update rule, not of the model.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.adversary.suite import make_adversary, strategy_names
 from repro.analysis.bounds import lesk_time_bound
 from repro.core.election import elect_leader
@@ -50,22 +51,31 @@ def run(preset: str = "small", seed: int = 2022) -> Table:
             Column("lesk_median", "LESK median", ".0f"),
             Column("lesk_vs_bound", "LESK/bound", ".2f"),
             Column("lesk_success", "LESK success", ".3f"),
+            Column("jam_eff", "jam eff", ".3f"),
             Column("sweep_median", "sweep median", ".0f"),
             Column("sweep_success", "sweep success", ".3f"),
         ],
     )
     bound = lesk_time_bound(n, eps, T)
     for si, strategy in enumerate(strategy_names()):
-        lesk = replicate(
-            lambda s: elect_leader(
-                n=n, protocol="lesk", eps=eps, T=T, adversary=strategy, seed=s
-            ),
-            reps,
-            seed,
-            8,
-            si,
-            0,
-        )
+        # Scoped collection: the engines' per-strategy jam counters land in
+        # a private shard (merged outward into any live run-level sink), so
+        # jam efficiency is computable without trace recording and without
+        # mixing in the sweep baseline's jams.
+        with telemetry.collecting() as shard:
+            lesk = replicate(
+                lambda s: elect_leader(
+                    n=n, protocol="lesk", eps=eps, T=T, adversary=strategy, seed=s
+                ),
+                reps,
+                seed,
+                8,
+                si,
+                0,
+            )
+        jams = shard.metrics.counter_total("jam_slots_total")
+        occupied = shard.metrics.counter_total("jam_occupied_total")
+        jam_eff = occupied / jams if jams else None
         sweep = replicate(
             lambda s: _run_sweep_baseline(n, eps, T, strategy, s, sweep_budget),
             reps,
@@ -81,6 +91,7 @@ def run(preset: str = "small", seed: int = 2022) -> Table:
             lesk_median=ls["median_slots"],
             lesk_vs_bound=ls["median_slots"] / bound,
             lesk_success=ls["success_rate"],
+            jam_eff=jam_eff,
             sweep_median=sw["median_slots"],
             sweep_success=sw["success_rate"],
         )

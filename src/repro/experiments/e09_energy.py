@@ -44,6 +44,7 @@ def run(preset: str = "small", seed: int = 2023) -> Table:
         columns=[
             Column("n", "n"),
             Column("lesk_tx", "LESK tx/station", ".2f"),
+            Column("lesk_listen", "LESK listen/station", ".0f"),
             Column("lesk_slots", "LESK slots", ".0f"),
             Column("ars_tx", "ARS tx/station", ".2f"),
             Column("ars_slots", "ARS slots", ".0f"),
@@ -65,10 +66,12 @@ def run(preset: str = "small", seed: int = 2023) -> Table:
             lambda s: _run_ars(n, eps, T, adversary, s, max_slots), reps, seed, 9, ni, 1
         )
         lesk_tx = float(np.mean([r.energy.transmissions_per_station(n) for r in lesk]))
+        lesk_listen = float(np.mean([r.energy.listening_per_station(n) for r in lesk]))
         ars_tx = float(np.mean([r.energy.transmissions_per_station(n) for r in ars]))
         table.add_row(
             n=n,
             lesk_tx=lesk_tx,
+            lesk_listen=lesk_listen,
             lesk_slots=float(np.median([r.slots for r in lesk])),
             ars_tx=ars_tx,
             ars_slots=float(np.median([r.slots for r in ars])),

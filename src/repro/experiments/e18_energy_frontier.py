@@ -110,8 +110,24 @@ def run(preset: str = "small", seed: int = 2032) -> Table:
             ni,
             4,
         )
-        lesk_e = float(np.mean([r.energy.total / n for r in lesk_quiet]))
-        geo_e = float(np.mean([r.energy.total / n for r in geo_quiet]))
+        lesk_e = float(
+            np.mean(
+                [
+                    r.energy.transmissions_per_station(n)
+                    + r.energy.listening_per_station(n)
+                    for r in lesk_quiet
+                ]
+            )
+        )
+        geo_e = float(
+            np.mean(
+                [
+                    r.energy.transmissions_per_station(n)
+                    + r.energy.listening_per_station(n)
+                    for r in geo_quiet
+                ]
+            )
+        )
         table.add_row(
             n=n,
             lesk_energy=lesk_e,

@@ -24,6 +24,7 @@ import numpy as np
 from repro.analysis.estimators import wilson_interval
 from repro.errors import ConfigurationError
 from repro.rng import derive_seed
+from repro.telemetry import ENERGY_BUCKETS, SLOT_BUCKETS, get_telemetry
 
 __all__ = [
     "Column",
@@ -40,7 +41,7 @@ __all__ = [
 #: :func:`replicate_batched`; others use the scalar :func:`replicate` loop.
 #: Flip a preset here (or pass ``batched=`` to an experiment's ``run``) to
 #: force the scalar path, e.g. when bisecting a statistics regression.
-BATCHED_PRESETS: dict[str, bool] = {"small": True, "full": True}
+BATCHED_PRESETS: dict[str, bool] = {"small": True, "smoke": True, "full": True}
 
 
 def batched_enabled(preset: str) -> bool:
@@ -49,12 +50,19 @@ def batched_enabled(preset: str) -> bool:
 
 
 def preset_value(preset: str, small, full):
-    """Pick a parameter by preset name (``small`` or ``full``)."""
-    if preset == "small":
+    """Pick a parameter by preset name.
+
+    ``smoke`` is an alias for the ``small`` branch -- it exists so CI and
+    the telemetry acceptance command can name their intent without the
+    experiments growing a third parameter set.
+    """
+    if preset in ("small", "smoke"):
         return small
     if preset == "full":
         return full
-    raise ConfigurationError(f"unknown preset {preset!r}; use 'small' or 'full'")
+    raise ConfigurationError(
+        f"unknown preset {preset!r}; use 'small', 'smoke' or 'full'"
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,7 +194,9 @@ def replicate(
     """Run ``fn(seed)`` for *reps* stable derived seeds and collect results."""
     if reps < 1:
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
-    return [fn(derive_seed(root_seed, *path, r)) for r in range(reps)]
+    results = [fn(derive_seed(root_seed, *path, r)) for r in range(reps)]
+    _record_cell(results, path)
+    return results
 
 
 def replicate_batched(
@@ -224,7 +234,41 @@ def replicate_batched(
         max_slots=max_slots,
         root_seed=derive_seed(root_seed, *path),
     )
-    return batch.results()
+    results = batch.results()
+    _record_cell(results, path)
+    return results
+
+
+def _record_cell(results: Sequence, path: tuple) -> None:
+    """Aggregate one table cell's run results into per-cell histograms.
+
+    The ``cell`` label is the seed-derivation path joined with dots -- the
+    same coordinates that make the cell reproducible make it addressable in
+    the telemetry registry.  Only run results (objects exposing ``slots`` /
+    ``elected`` / ``energy``) are recorded; cells replicating other payloads
+    (e.g. estimator outputs) pass through untouched.
+    """
+    tel = get_telemetry()
+    if not tel.enabled or not path:
+        return
+    runs = [
+        r
+        for r in results
+        if hasattr(r, "slots") and hasattr(r, "elected") and hasattr(r, "energy")
+    ]
+    if not runs:
+        return
+    cell = ".".join(str(p) for p in path)
+    elected_slots = [float(r.slots) for r in runs if r.elected]
+    if elected_slots:
+        tel.histogram("cell_election_slots", SLOT_BUCKETS, cell=cell).observe_many(
+            np.asarray(elected_slots)
+        )
+    per_station = [float(r.energy.total) / r.n for r in runs if r.n > 0]
+    if per_station:
+        tel.histogram(
+            "cell_energy_per_station", ENERGY_BUCKETS, cell=cell
+        ).observe_many(np.asarray(per_station))
 
 
 def summarize_times(

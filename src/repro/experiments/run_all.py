@@ -2,10 +2,17 @@
 
 Options::
 
-    --preset small|full   (default: full)
+    --preset small|smoke|full
+                          (default: full; smoke = the small parameters,
+                          named for CI and acceptance runs)
     --out DIR             checkpointed run directory: per-experiment .txt
                           and .csv, plus checkpoints/, journal.jsonl and
                           manifest.json (see docs/runner.md)
+    --telemetry           collect metrics/events in every attempt, merge
+                          them across workers, and persist the aggregate
+                          under DIR/telemetry/ (see docs/telemetry.md);
+                          render with `python -m repro telemetry report DIR`
+    --telemetry-stride N  event-sampling stride in slots (default 64)
     --resume DIR          continue an interrupted --out run: restore valid
                           checkpoints, recompute only what is missing
     --only T1,T5,F1       run a subset by experiment id
@@ -134,7 +141,9 @@ class _OrderedPrinter:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; see the module docstring for options."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--preset", choices=("small", "full"), default="full")
+    parser.add_argument(
+        "--preset", choices=("small", "smoke", "full"), default="full"
+    )
     parser.add_argument("--out", type=Path, default=None)
     parser.add_argument("--resume", type=Path, default=None, metavar="RUN_DIR")
     parser.add_argument("--only", type=str, default=None)
@@ -150,7 +159,15 @@ def main(argv: list[str] | None = None) -> int:
         help="collect failures and keep running (default on)",
     )
     parser.add_argument("--inject-faults", type=str, default=None, metavar="SPEC")
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect and persist merged metrics/events (docs/telemetry.md)",
+    )
+    parser.add_argument("--telemetry-stride", type=int, default=64, metavar="N")
     args = parser.parse_args(argv)
+    if args.telemetry_stride < 1:
+        parser.error("--telemetry-stride must be >= 1")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.retries < 1:
@@ -201,6 +218,8 @@ def main(argv: list[str] | None = None) -> int:
         ),
         keep_going=args.keep_going,
         fault_plan=fault_plan,
+        telemetry=args.telemetry,
+        telemetry_stride=args.telemetry_stride,
     )
     runner = Runner(ids, EXPERIMENT_MODULES, config, run_dir=run_dir, resume=resume)
     outcomes = runner.run(on_outcome=_OrderedPrinter(ids))

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import importlib
 import random
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait as futures_wait
@@ -41,11 +42,14 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Callable
 
+from repro import telemetry as _telemetry
 from repro.errors import ChecksumMismatchError, ConfigurationError, ReproError
 from repro.experiments.checkpoint import RunDir, atomic_write_text, corrupt_checkpoint
 from repro.experiments.faults import FaultPlan
 from repro.experiments.harness import Column, Table
 from repro.experiments.parallel import subprocess_context
+from repro.telemetry.export import prometheus_text, write_jsonl
+from repro.telemetry.report import TELEMETRY_JSONL, TELEMETRY_PROM, TELEMETRY_SUBDIR
 
 __all__ = [
     "RetryPolicy",
@@ -104,12 +108,18 @@ class RunnerConfig:
     keep_going: bool = True
     fault_plan: FaultPlan | None = None
     isolate: bool = True  # False: in-process attempts (no timeout/kill)
+    telemetry: bool = False  # collect per-attempt metrics and merge them
+    telemetry_stride: int = _telemetry.DEFAULT_STRIDE
 
     def __post_init__(self):
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
         if self.timeout is not None and self.timeout <= 0:
             raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.telemetry_stride < 1:
+            raise ConfigurationError(
+                f"telemetry_stride must be >= 1, got {self.telemetry_stride}"
+            )
 
 
 @dataclass(slots=True)
@@ -141,13 +151,20 @@ class _AttemptFailure(Exception):
         self.permanent = permanent
 
 
-def _attempt_worker(conn, module_name, exp_id, preset, seed, attempt, fault_plan):
+def _attempt_worker(
+    conn, module_name, exp_id, preset, seed, attempt, fault_plan, tel_stride=None
+):
     """Child-process body: run one experiment attempt, ship the result back.
 
     Module-level (picklable by reference) so it works under fork,
     forkserver and spawn alike.  All exceptions -- including injected
     faults -- are serialized rather than raised, so the parent can decide
     retryability; only a hard kill leaves the pipe empty.
+
+    With *tel_stride* set, the attempt runs under a fresh scoped telemetry
+    sink and its registry ships home alongside the table (as JSON, the
+    same merge-safe form the exporters use), so the parent can aggregate
+    across processes regardless of the start method.
     """
     try:
         if fault_plan is not None:
@@ -156,8 +173,18 @@ def _attempt_worker(conn, module_name, exp_id, preset, seed, attempt, fault_plan
         kwargs = {"preset": preset}
         if seed is not None:
             kwargs["seed"] = seed
-        table = module.run(**kwargs)
-        conn.send(("ok", table.to_jsonable()))
+        if tel_stride is not None:
+            with _telemetry.collecting(stride=tel_stride) as tel:
+                table = module.run(**kwargs)
+            conn.send(
+                (
+                    "ok",
+                    {"table": table.to_jsonable(), "telemetry": tel.to_jsonable()},
+                )
+            )
+        else:
+            table = module.run(**kwargs)
+            conn.send(("ok", table.to_jsonable()))
     except BaseException as exc:  # noqa: BLE001 -- ship *everything* home
         conn.send(
             (
@@ -216,6 +243,14 @@ class Runner:
         # single-threaded; multi-threaded dispatch needs a thread-safe
         # start method (forking under live threads can deadlock in BLAS).
         self._ctx = subprocess_context(threadsafe=config.jobs > 1)
+        # Run-level telemetry aggregate; attempt shards merge in under a
+        # lock because multi-job dispatch finalizes from pool threads.
+        self.telemetry: _telemetry.Telemetry | None = (
+            _telemetry.Telemetry(stride=config.telemetry_stride)
+            if config.telemetry
+            else None
+        )
+        self._tel_lock = threading.Lock()
 
     # -- single attempt ----------------------------------------------------
 
@@ -230,6 +265,9 @@ class Runner:
         else:
             status, payload = self._attempt_inline(exp_id, attempt)
         if status == "ok":
+            if isinstance(payload, dict) and "telemetry" in payload:
+                self._absorb_telemetry(exp_id, attempt, payload["telemetry"])
+                payload = payload["table"]
             return Table.from_jsonable(payload)
         raise _AttemptFailure(
             kind="error",
@@ -248,6 +286,15 @@ class Runner:
             kwargs = {"preset": self.config.preset}
             if self.config.seed is not None:
                 kwargs["seed"] = self.config.seed
+            if self.config.telemetry:
+                with _telemetry.collecting(
+                    stride=self.config.telemetry_stride
+                ) as tel:
+                    table = module.run(**kwargs)
+                return "ok", {
+                    "table": table.to_jsonable(),
+                    "telemetry": tel.to_jsonable(),
+                }
             return "ok", module.run(**kwargs).to_jsonable()
         except Exception as exc:  # noqa: BLE001 -- mirrors the worker protocol
             return "error", {
@@ -270,6 +317,7 @@ class Runner:
                 self.config.seed,
                 attempt,
                 self.config.fault_plan,
+                self.config.telemetry_stride if self.config.telemetry else None,
             ),
             name=f"repro-{exp_id}-attempt{attempt}",
         )
@@ -315,6 +363,46 @@ class Runner:
             recv.close()
             if proc.is_alive():
                 self._kill(proc)
+
+    def _absorb_telemetry(self, exp_id: str, attempt: int, data: dict) -> None:
+        """Merge one attempt's telemetry shard into the run-level aggregate.
+
+        Counters add and histograms add bucket-wise, so retried attempts
+        each contribute their (journaled) share; the journal record keeps
+        the per-attempt totals addressable after merging.
+        """
+        if self.telemetry is None:
+            return
+        shard = _telemetry.Telemetry.from_jsonable(data)
+        with self._tel_lock:
+            self.telemetry.merge(shard)
+        self._journal(
+            {
+                "event": "telemetry",
+                "id": exp_id,
+                "attempt": attempt,
+                "counters": shard.metrics.totals_by_name(),
+                "events": len(shard.events),
+                "events_dropped": shard.events.dropped,
+            }
+        )
+
+    def _export_telemetry(self) -> None:
+        """Persist the merged run-level telemetry next to the checkpoints."""
+        if self.telemetry is None or self.run_dir is None:
+            return
+        if not self.telemetry.metrics.totals_by_name() and not len(
+            self.telemetry.events
+        ):
+            # Nothing collected (e.g. a --resume run restored everything):
+            # keep any previous export instead of clobbering it with blanks.
+            return
+        tel_dir = self.run_dir.root / TELEMETRY_SUBDIR
+        tel_dir.mkdir(parents=True, exist_ok=True)
+        write_jsonl(tel_dir / TELEMETRY_JSONL, self.telemetry)
+        atomic_write_text(
+            tel_dir / TELEMETRY_PROM, prometheus_text(self.telemetry.metrics)
+        )
 
     @staticmethod
     def _kill(proc) -> None:
@@ -503,6 +591,7 @@ class Runner:
                 )
             else:
                 failures_path.unlink(missing_ok=True)
+        self._export_telemetry()
         return [outcomes[i] for i in self.ids if i in outcomes]
 
 

@@ -38,7 +38,9 @@ from repro.adversary.vector import BatchAdversaryView, BatchedAdversary
 from repro.errors import ConfigurationError
 from repro.protocols.vector import VectorUniformPolicy
 from repro.rng import RngLike, make_rng
+from repro.sim.instrumentation import EngineRecorder
 from repro.sim.metrics import EnergyStats, RunResult
+from repro.telemetry import get_telemetry
 from repro.types import ChannelState
 
 __all__ = ["simulate_uniform_batched", "BatchRunResult"]
@@ -152,6 +154,12 @@ def simulate_uniform_batched(
     listening = np.zeros(reps, dtype=np.int64)
     policy_done = np.zeros(reps, dtype=bool)
     timed_out = np.ones(reps, dtype=bool)
+    tel = get_telemetry()
+    rec = (
+        EngineRecorder(tel, "batched", adversary.strategy_name)
+        if tel.enabled
+        else None
+    )
 
     def retire(mask: np.ndarray, slot: int, as_timeout: bool = False) -> None:
         """Snapshot per-column counters for the columns in *mask*."""
@@ -184,6 +192,8 @@ def simulate_uniform_batched(
 
         transmissions[active] += k[active]
         listening[active] += n - k[active]
+        if rec is not None:
+            rec.record_batch_slot(slot, k, jammed, active)
 
         successful_single = (k == 1) & ~jammed
         fresh_single = active & successful_single & (first_single < 0)
@@ -215,6 +225,14 @@ def simulate_uniform_batched(
         jams[active] = adversary.budget.jams_granted[active]
         jam_denied[active] = adversary.budget.denied_requests[active]
 
+    if rec is not None:
+        rec.finish(
+            runs=reps,
+            elections=int(elected.sum()),
+            timeouts=int((timed_out & ~elected & ~policy_done).sum()),
+            jam_denied=int(jam_denied.sum()),
+            last_slot=int(slots.max()),
+        )
     return BatchRunResult(
         n=n,
         reps=reps,

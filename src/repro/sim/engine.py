@@ -23,7 +23,9 @@ from repro.channel.trace import ChannelTrace
 from repro.errors import ConfigurationError
 from repro.protocols.base import StationProtocol
 from repro.rng import RngLike, make_rng, spawn_many
+from repro.sim.instrumentation import EngineRecorder
 from repro.sim.metrics import EnergyStats, RunResult
+from repro.telemetry import get_telemetry
 from repro.types import Action, CDMode, PerceivedState, SlotFeedback
 
 __all__ = ["simulate_stations"]
@@ -84,6 +86,12 @@ def simulate_stations(
     slots_run = 0
     first_single: int | None = None
     timed_out = True
+    tel = get_telemetry()
+    rec = (
+        EngineRecorder(tel, "faithful", adversary.strategy_name)
+        if tel.enabled
+        else None
+    )
 
     for slot in range(max_slots):
         # (1) adversary commits, seeing history but not current actions.
@@ -126,6 +134,8 @@ def simulate_stations(
         )
         if outcome.successful_single and first_single is None:
             first_single = slot
+        if rec is not None:
+            rec.record_slot(slot, k, jammed)
 
         # (4) feedback to active stations.
         for sid, station in enumerate(stations):
@@ -161,6 +171,14 @@ def simulate_stations(
     else:
         elected = all_done and len(leaders) == 1
         leader = leaders[0] if elected else None
+    if rec is not None:
+        rec.finish(
+            runs=1,
+            elections=int(elected),
+            timeouts=int(timed_out),
+            jam_denied=adversary.budget.denied_requests,
+            last_slot=slots_run,
+        )
     return RunResult(
         n=n,
         slots=slots_run,

@@ -26,7 +26,9 @@ from repro.channel.trace import ChannelTrace
 from repro.errors import ConfigurationError
 from repro.protocols.base import UniformPolicy
 from repro.rng import RngLike, make_rng
+from repro.sim.instrumentation import EngineRecorder
 from repro.sim.metrics import EnergyStats, RunResult
+from repro.telemetry import get_telemetry
 
 __all__ = ["simulate_uniform_fast"]
 
@@ -79,6 +81,13 @@ def simulate_uniform_fast(
     leader: int | None = None
     timed_out = True
     slots_run = 0
+    tel = get_telemetry()
+    rec = (
+        EngineRecorder(tel, "fast", adversary.strategy_name)
+        if tel.enabled
+        else None
+    )
+    last_u = policy.u
 
     for slot in range(max_slots):
         p = policy.transmit_probability(slot)
@@ -111,6 +120,8 @@ def simulate_uniform_fast(
             probability=p,
             u=u,
         )
+        if rec is not None:
+            rec.record_slot(slot, k, jammed)
 
         slots_run = slot + 1
         if outcome.successful_single and halt_on_single:
@@ -120,10 +131,21 @@ def simulate_uniform_fast(
             timed_out = False
             break
         policy.observe(slot, outcome.observed_state)
+        if rec is not None and policy.u != last_u:
+            rec.phase(slot, last_u, policy.u)
+            last_u = policy.u
         if policy.completed:
             timed_out = False
             break
 
+    if rec is not None:
+        rec.finish(
+            runs=1,
+            elections=int(elected),
+            timeouts=int(timed_out),
+            jam_denied=adversary.budget.denied_requests,
+            last_slot=slots_run,
+        )
     return RunResult(
         n=n,
         slots=slots_run,

@@ -34,8 +34,28 @@ class EnergyStats:
         return self.transmissions + self.listening
 
     def transmissions_per_station(self, n: int) -> float:
-        """Mean transmissions per station."""
-        return self.transmissions / n if n else 0.0
+        """Mean transmissions per station.
+
+        Raises :class:`~repro.errors.ConfigurationError` for ``n <= 0``:
+        silently returning 0.0 used to mask station-count plumbing bugs in
+        energy tables.
+        """
+        _check_station_count(n)
+        return self.transmissions / n
+
+    def listening_per_station(self, n: int) -> float:
+        """Mean listening slots per station (same guard as transmissions)."""
+        _check_station_count(n)
+        return self.listening / n
+
+
+def _check_station_count(n: int) -> None:
+    if n <= 0:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"per-station energy needs a positive station count, got n={n}"
+        )
 
 
 @dataclass(slots=True)
@@ -99,11 +119,28 @@ class RunResult:
         return self.first_single_slot
 
     def require_elected(self) -> "RunResult":
-        """Raise if the run did not elect; convenience for examples."""
+        """Raise if the run did not elect; convenience for examples.
+
+        The message distinguishes a run that hit its slot budget
+        (``timed_out``) from one that ended on its own without an
+        election, and carries the jamming picture (``jams`` granted,
+        ``jam_denied`` clamped) so a heavily jammed failure is
+        recognizable from the exception alone.
+        """
         if not self.elected:
             from repro.errors import SimulationError
 
+            detail = (
+                f"n={self.n}, timed_out={self.timed_out}, jams={self.jams}, "
+                f"jam_denied={self.jam_denied}"
+            )
+            if self.timed_out:
+                raise SimulationError(
+                    f"no leader elected: run timed out at its {self.slots}-slot "
+                    f"budget ({detail})"
+                )
             raise SimulationError(
-                f"no leader elected within {self.slots} slots (n={self.n})"
+                f"no leader elected: run ended after {self.slots} slots "
+                f"without a successful Single ({detail})"
             )
         return self

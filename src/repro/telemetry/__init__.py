@@ -1,0 +1,83 @@
+"""``repro.telemetry`` -- zero-overhead-when-off metrics & tracing.
+
+The observability layer of the reproduction (see ``docs/telemetry.md``):
+
+* :class:`MetricsRegistry` -- counters, gauges, and fixed-bucket
+  NumPy-backed histograms, mergeable across worker processes;
+* :class:`EventLog` -- a ring-buffered, stride-sampled structured event
+  stream (slot-window channel summaries, policy phase transitions);
+* :func:`span` / :func:`timed` -- wall-clock span timers;
+* exporters -- JSONL (persisted next to the runner's checkpoints),
+  Prometheus text, and the ASCII summary behind
+  ``python -m repro telemetry report RUN_DIR``.
+
+The global hook is null-object based: :func:`get_telemetry` returns the
+shared :data:`NULL_TELEMETRY` until :func:`configure` (process-wide) or
+:func:`collecting` (scoped, merges outward) installs a live sink.  All
+engine/harness instrumentation points check ``tel.enabled`` once and skip
+their bookkeeping when off; the disabled-mode overhead on the batched
+LESK hot path is gated at <= 2% by ``benchmarks/bench_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import DEFAULT_CAPACITY, DEFAULT_STRIDE, EventLog
+from repro.telemetry.export import (
+    ascii_report,
+    jam_efficiency_rows,
+    load_jsonl,
+    prometheus_text,
+    telemetry_records,
+    write_jsonl,
+)
+from repro.telemetry.hook import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    collecting,
+    configure,
+    disable,
+    get_telemetry,
+    install,
+    telemetry_enabled,
+)
+from repro.telemetry.registry import (
+    ENERGY_BUCKETS,
+    SECONDS_BUCKETS,
+    SLOT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import span, timed
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventLog",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "telemetry_enabled",
+    "configure",
+    "disable",
+    "install",
+    "collecting",
+    "span",
+    "timed",
+    "telemetry_records",
+    "write_jsonl",
+    "load_jsonl",
+    "prometheus_text",
+    "ascii_report",
+    "jam_efficiency_rows",
+    "SLOT_BUCKETS",
+    "ENERGY_BUCKETS",
+    "SECONDS_BUCKETS",
+    "DEFAULT_STRIDE",
+    "DEFAULT_CAPACITY",
+]

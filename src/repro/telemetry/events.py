@@ -1,0 +1,113 @@
+"""Sampled structured event stream: a bounded ring of telemetry events.
+
+Counters compress a run into totals; the :class:`EventLog` keeps a coarse
+*timeline*: slot-window summaries of channel states, jam/jam-denied
+activity, and policy phase transitions.  Two mechanisms bound its cost:
+
+* **sampling stride** -- engines aggregate ``stride`` consecutive slots
+  into one ``slot_window`` event instead of logging every slot, so the
+  per-slot cost is amortized to ``O(1/stride)`` appends;
+* **ring buffer** -- at most ``capacity`` events are retained; older
+  events are overwritten and counted in :attr:`EventLog.dropped`, so a
+  runaway run can never exhaust memory.
+
+Events are plain dicts (JSON-ready) with a monotonically increasing
+``seq`` assigned at emit time; merging shards interleaves by ``(shard
+order, seq)`` and re-applies the capacity bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EventLog", "DEFAULT_STRIDE", "DEFAULT_CAPACITY"]
+
+#: Default slot-window length for engine-level sampling.
+DEFAULT_STRIDE = 64
+
+#: Default ring capacity (events, not slots).
+DEFAULT_CAPACITY = 4096
+
+
+class EventLog:
+    """Ring-buffered structured events with a configurable sampling stride.
+
+    The *stride* is advisory: the log itself accepts every ``emit`` call;
+    instrumentation points read :attr:`stride` to decide how many slots to
+    fold into one event (see the engine wiring in :mod:`repro.sim`).
+    """
+
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, stride: int = DEFAULT_STRIDE
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {stride}")
+        self.capacity = int(capacity)
+        self.stride = int(stride)
+        self.dropped = 0
+        self._ring: list[dict] = []
+        self._head = 0  # next overwrite position once the ring is full
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def emit(self, kind: str, **fields) -> None:
+        """Append one event (oldest event is overwritten when full)."""
+        event = {"seq": self._seq, "kind": kind, **fields}
+        self._seq += 1
+        if len(self._ring) < self.capacity:
+            self._ring.append(event)
+        else:
+            self._ring[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def events(self) -> list[dict]:
+        """Retained events in emission order (oldest first)."""
+        return self._ring[self._head :] + self._ring[: self._head]
+
+    # -- merge / serialization --------------------------------------------
+
+    def merge(self, other: "EventLog") -> "EventLog":
+        """Append *other*'s retained events (shard order, then ``seq``).
+
+        Sequence numbers are rewritten to keep the merged log's ``seq``
+        strictly increasing; per-shard ordering is preserved.  The
+        capacity bound is re-applied, so merging K full shards keeps the
+        most recently appended events and accounts the rest as dropped.
+        """
+        self.dropped += other.dropped
+        for event in other.events():
+            fields = {k: v for k, v in event.items() if k not in ("seq", "kind")}
+            self.emit(event["kind"], **fields)
+        return self
+
+    def to_jsonable(self) -> dict:
+        """Plain-data form that crosses process boundaries as JSON."""
+        return {
+            "capacity": self.capacity,
+            "stride": self.stride,
+            "dropped": self.dropped,
+            "events": self.events(),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "EventLog":
+        log = cls(
+            capacity=int(data.get("capacity", DEFAULT_CAPACITY)),
+            stride=int(data.get("stride", DEFAULT_STRIDE)),
+        )
+        for event in data.get("events", ()):
+            fields = {k: v for k, v in event.items() if k not in ("seq", "kind")}
+            log.emit(event["kind"], **fields)
+        log.dropped = int(data.get("dropped", 0))
+        return log
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """Retained events of one kind, in order."""
+        return [e for e in self.events() if e["kind"] == kind]

@@ -1,0 +1,275 @@
+"""Exporters: JSONL, Prometheus text format, and the ASCII summary.
+
+Three output shapes, one source of truth (a :class:`~repro.telemetry.hook.
+Telemetry` snapshot):
+
+* **JSONL** -- one self-describing record per line (``meta``, ``counter``,
+  ``gauge``, ``histogram``, ``event``).  This is the persisted form the
+  runner writes into ``RUN_DIR/telemetry/telemetry.jsonl`` alongside its
+  ``journal.jsonl``, and the form ``python -m repro telemetry report``
+  reads back.
+* **Prometheus text** -- counters/gauges/histograms in the exposition
+  format (cumulative ``_bucket{le=...}`` series), scrape-ready.
+* **ASCII report** -- a human summary: counter families, per-strategy jam
+  efficiency, per-cell election-time histograms with bar charts, and span
+  timings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.telemetry.hook import Telemetry
+from repro.telemetry.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "telemetry_records",
+    "write_jsonl",
+    "load_jsonl",
+    "prometheus_text",
+    "ascii_report",
+]
+
+
+def telemetry_records(tel: Telemetry) -> list[dict]:
+    """Flatten a telemetry snapshot into JSONL-ready records."""
+    records: list[dict] = [
+        {
+            "kind": "meta",
+            "stride": tel.events.stride,
+            "events_dropped": tel.events.dropped,
+            "generated": round(time.time(), 3),
+        }
+    ]
+    data = tel.metrics.to_jsonable()
+    records += [{"kind": "counter", **c} for c in data["counters"]]
+    records += [{"kind": "gauge", **g} for g in data["gauges"]]
+    records += [{"kind": "histogram", **h} for h in data["histograms"]]
+    records += [{"kind": "event", "event": e} for e in tel.events.events()]
+    return records
+
+
+def write_jsonl(path: Path, tel: Telemetry) -> None:
+    """Write one telemetry snapshot as JSONL (atomically)."""
+    from repro.experiments.checkpoint import atomic_write_text
+
+    lines = [json.dumps(r, sort_keys=True) for r in telemetry_records(tel)]
+    atomic_write_text(Path(path), "\n".join(lines) + "\n")
+
+
+def load_jsonl(path: Path) -> Telemetry:
+    """Rebuild a telemetry snapshot from its JSONL export.
+
+    A torn final line (killed writer) is skipped, matching the journal
+    reader's tolerance.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except FileNotFoundError as exc:
+        raise ConfigurationError(f"no telemetry export at {path}") from exc
+    metrics: dict = {"counters": [], "gauges": [], "histograms": []}
+    events: list[dict] = []
+    meta: dict = {}
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        kind = record.get("kind")
+        if kind == "meta":
+            meta = record
+        elif kind in ("counter", "gauge", "histogram"):
+            payload = {k: v for k, v in record.items() if k != "kind"}
+            metrics[kind + "s"].append(payload)
+        elif kind == "event":
+            events.append(record["event"])
+    tel = Telemetry(stride=int(meta.get("stride", 64) or 64))
+    tel.metrics = MetricsRegistry.from_jsonable(metrics)
+    for event in events:
+        fields = {k: v for k, v in event.items() if k not in ("seq", "kind")}
+        tel.events.emit(event["kind"], **fields)
+    tel.events.dropped = int(meta.get("events_dropped", 0))
+    return tel
+
+
+# -- Prometheus text ------------------------------------------------------
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_text(reg: MetricsRegistry) -> str:
+    """The registry in the Prometheus exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in reg.counters():
+        name = _prom_name(counter.name)
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(counter.labels)} {counter.value:g}")
+    for gauge in reg.gauges():
+        name = _prom_name(gauge.name)
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(gauge.labels)} {gauge.value:g}")
+    for hist in reg.histograms():
+        name = _prom_name(hist.name)
+        type_line(name, "histogram")
+        cumulative = 0
+        for edge, count in zip(hist.edges, hist.counts):
+            cumulative += int(count)
+            le = 'le="%g"' % edge
+            lines.append(f"{name}_bucket{_prom_labels(hist.labels, le)} {cumulative}")
+        inf = 'le="+Inf"'
+        lines.append(f"{name}_bucket{_prom_labels(hist.labels, inf)} {hist.count}")
+        lines.append(f"{name}_sum{_prom_labels(hist.labels)} {hist.sum:g}")
+        lines.append(f"{name}_count{_prom_labels(hist.labels)} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+# -- ASCII report ---------------------------------------------------------
+
+_BAR_WIDTH = 40
+
+
+def _histogram_block(hist: Histogram, indent: str = "  ") -> list[str]:
+    """Bar-chart lines for one histogram (nonzero buckets only)."""
+    lines = [
+        f"{indent}count={hist.count}  mean={hist.mean:.1f}  "
+        f"p50~{hist.quantile(0.5):g}  p90~{hist.quantile(0.9):g}"
+    ]
+    nonzero = [i for i, c in enumerate(hist.counts) if c]
+    if not nonzero:
+        return lines
+    peak = max(int(hist.counts[i]) for i in nonzero)
+    for i in range(nonzero[0], nonzero[-1] + 1):
+        count = int(hist.counts[i])
+        label = (
+            f"<= {hist.edges[i]:g}" if i < hist.edges.size else "   +Inf"
+        )
+        bar = "#" * max(1 if count else 0, round(_BAR_WIDTH * count / peak))
+        lines.append(f"{indent}{label:>12}  {count:>8}  {bar}")
+    return lines
+
+
+def _fmt_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    return ", ".join(f"{k}={v}" for k, v in labels) if labels else "-"
+
+
+def jam_efficiency_rows(reg: MetricsRegistry) -> list[dict]:
+    """Per-strategy jam efficiency: jams on occupied slots / total jams."""
+    rows = []
+    for strategy in reg.label_values("jam_slots_total", "strategy"):
+        total = reg.counter_value("jam_slots_total", strategy=strategy)
+        occupied = reg.counter_value("jam_occupied_total", strategy=strategy)
+        denied = reg.counter_value("jam_denied_total", strategy=strategy)
+        rows.append(
+            {
+                "strategy": strategy,
+                "jams": int(total),
+                "occupied": int(occupied),
+                "denied": int(denied),
+                "efficiency": occupied / total if total else 0.0,
+            }
+        )
+    return rows
+
+
+def ascii_report(tel: Telemetry) -> str:
+    """Render the full human-readable telemetry summary."""
+    reg = tel.metrics
+    lines = ["== telemetry report =="]
+
+    totals = reg.totals_by_name()
+    if totals:
+        lines.append("")
+        lines.append("-- counters (summed over labels) --")
+        width = max(len(n) for n in totals)
+        for name, value in sorted(totals.items()):
+            lines.append(f"  {name.ljust(width)}  {value:g}")
+
+    jam_rows = jam_efficiency_rows(reg)
+    if jam_rows:
+        lines.append("")
+        lines.append("-- jam efficiency (occupied-slot jams / total jams) --")
+        width = max(len(r["strategy"]) for r in jam_rows)
+        lines.append(
+            f"  {'strategy'.ljust(width)}  {'jams':>8}  {'occupied':>8}  "
+            f"{'denied':>8}  {'efficiency':>10}"
+        )
+        for r in jam_rows:
+            lines.append(
+                f"  {r['strategy'].ljust(width)}  {r['jams']:>8}  "
+                f"{r['occupied']:>8}  {r['denied']:>8}  {r['efficiency']:>10.3f}"
+            )
+
+    cell_hists = [h for h in reg.histograms() if h.name == "cell_election_slots"]
+    if cell_hists:
+        lines.append("")
+        lines.append("-- per-cell election time (slots) --")
+        for hist in cell_hists:
+            lines.append(f"  cell [{_fmt_labels(hist.labels)}]")
+            lines += _histogram_block(hist, indent="    ")
+
+    energy_hists = [
+        h for h in reg.histograms() if h.name == "cell_energy_per_station"
+    ]
+    if energy_hists:
+        lines.append("")
+        lines.append("-- per-cell energy per station --")
+        for hist in energy_hists:
+            lines.append(f"  cell [{_fmt_labels(hist.labels)}]")
+            lines += _histogram_block(hist, indent="    ")
+
+    span_hists = [h for h in reg.histograms() if h.name == "span_seconds"]
+    if span_hists:
+        lines.append("")
+        lines.append("-- spans (wall-clock) --")
+        for hist in span_hists:
+            lines.append(
+                f"  {_fmt_labels(hist.labels)}: count={hist.count} "
+                f"total={hist.sum:.3f}s mean={hist.mean * 1e3:.2f}ms "
+                f"p90~{hist.quantile(0.9) * 1e3:.2f}ms"
+            )
+
+    other_hists = [
+        h
+        for h in reg.histograms()
+        if h.name
+        not in ("cell_election_slots", "cell_energy_per_station", "span_seconds")
+    ]
+    if other_hists:
+        lines.append("")
+        lines.append("-- other histograms --")
+        for hist in other_hists:
+            lines.append(f"  {hist.name} [{_fmt_labels(hist.labels)}]")
+            lines += _histogram_block(hist, indent="    ")
+
+    if len(tel.events):
+        lines.append("")
+        lines.append("-- events --")
+        by_kind: dict[str, int] = {}
+        for event in tel.events.events():
+            by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            lines.append(f"  {kind}: {count} retained")
+        if tel.events.dropped:
+            lines.append(f"  ({tel.events.dropped} older events dropped by the ring)")
+
+    return "\n".join(lines)

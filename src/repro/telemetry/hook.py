@@ -1,0 +1,270 @@
+"""The global telemetry hook: null-object when off, one registry when on.
+
+Every instrumentation point in the library goes through
+:func:`get_telemetry`.  The returned object is either
+
+* :data:`NULL_TELEMETRY` -- the default.  Its ``enabled`` flag is False
+  and every method is a no-op; hot paths hoist the flag into a local and
+  skip their bookkeeping entirely, so the disabled-mode cost is one
+  attribute read per *run* plus one predictable branch per slot (gated at
+  <= 2% on the batched LESK hot path by ``benchmarks/bench_telemetry.py``);
+* a live :class:`Telemetry` installed by :func:`configure` (process-wide,
+  e.g. a runner worker started with ``--telemetry``) or by the scoped
+  :func:`collecting` context manager (e.g. E08 measuring jam efficiency
+  for its own cells).
+
+``collecting`` nests: when a scope closes it merges its shard into
+whatever telemetry was active before it, so a locally instrumented
+experiment still contributes to a run-level registry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.errors import ConfigurationError
+from repro.telemetry.events import DEFAULT_CAPACITY, DEFAULT_STRIDE, EventLog
+from repro.telemetry.registry import SECONDS_BUCKETS, MetricsRegistry
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "telemetry_enabled",
+    "configure",
+    "disable",
+    "install",
+    "collecting",
+]
+
+
+class Telemetry:
+    """A live telemetry sink: metrics registry + event log + span timers."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        stride: int = DEFAULT_STRIDE,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(capacity=capacity, stride=stride)
+
+    # -- convenience passthroughs (hot paths hoist the instrument) ---------
+
+    def counter(self, name: str, **labels):
+        """Shorthand for :meth:`MetricsRegistry.counter`."""
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        """Shorthand for :meth:`MetricsRegistry.gauge`."""
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, buckets=None, **labels):
+        """Shorthand for :meth:`MetricsRegistry.histogram`."""
+        if buckets is None:
+            return self.metrics.histogram(name, **labels)
+        return self.metrics.histogram(name, buckets=buckets, **labels)
+
+    def emit(self, kind: str, **fields) -> None:
+        """Append one structured event to the ring buffer."""
+        self.events.emit(kind, **fields)
+
+    @property
+    def stride(self) -> int:
+        """The advisory sampling stride instrumentation should honour."""
+        return self.events.stride
+
+    def span(self, name: str, **labels):
+        """Context manager timing a block into ``span_seconds{span=name}``."""
+        return _Span(self, name, labels)
+
+    def observe_span(self, name: str, seconds: float, **labels) -> None:
+        """Record an already-measured duration into ``span_seconds``."""
+        self.metrics.histogram(
+            "span_seconds", buckets=SECONDS_BUCKETS, span=name, **labels
+        ).observe(seconds)
+
+    # -- merge / serialization --------------------------------------------
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold *other*'s metrics and events into this sink; returns self."""
+        self.metrics.merge(other.metrics)
+        self.events.merge(other.events)
+        return self
+
+    def to_jsonable(self) -> dict:
+        """Plain-data form (metrics + events) for the process boundary."""
+        return {
+            "metrics": self.metrics.to_jsonable(),
+            "events": self.events.to_jsonable(),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "Telemetry":
+        tel = cls()
+        tel.metrics = MetricsRegistry.from_jsonable(data.get("metrics", {}))
+        tel.events = EventLog.from_jsonable(data.get("events", {}))
+        return tel
+
+
+class _Span:
+    """Wall-clock span recorded into the owning telemetry's histogram."""
+
+    __slots__ = ("_tel", "_name", "_labels", "_start")
+
+    def __init__(self, tel: Telemetry, name: str, labels: dict):
+        self._tel = tel
+        self._name = name
+        self._labels = labels
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tel.observe_span(
+            self._name, time.perf_counter() - self._start, **self._labels
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span (one instance for the whole process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram stand-in."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float, seq: int | None = None) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def observe_many(self, values) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullTelemetry:
+    """The disabled-mode telemetry object: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TELEMETRY`) is installed by
+    default; instrumentation points may also test ``tel.enabled`` once and
+    skip their bookkeeping wholesale, which is the pattern the engines use.
+    """
+
+    enabled = False
+    stride = DEFAULT_STRIDE
+
+    def counter(self, name: str, **labels):
+        """The shared do-nothing instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels):
+        """The shared do-nothing instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None, **labels):
+        """The shared do-nothing instrument."""
+        return _NULL_INSTRUMENT
+
+    def emit(self, kind: str, **fields) -> None:
+        """Dropped."""
+        return None
+
+    def span(self, name: str, **labels):
+        """The shared do-nothing context manager."""
+        return _NULL_SPAN
+
+    def observe_span(self, name: str, seconds: float, **labels) -> None:
+        """Dropped."""
+        return None
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+_current: Telemetry | NullTelemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry | NullTelemetry:
+    """The process-wide telemetry sink (the null object when disabled)."""
+    return _current
+
+
+def telemetry_enabled() -> bool:
+    """Whether a live telemetry sink is installed."""
+    return _current.enabled
+
+
+def install(tel: Telemetry | NullTelemetry) -> Telemetry | NullTelemetry:
+    """Install *tel* as the process-wide sink; returns the previous one."""
+    global _current
+    previous = _current
+    _current = tel
+    return previous
+
+
+def configure(
+    enabled: bool = True,
+    stride: int = DEFAULT_STRIDE,
+    capacity: int = DEFAULT_CAPACITY,
+) -> Telemetry | NullTelemetry:
+    """Install (and return) a fresh telemetry sink, or the null object."""
+    if not enabled:
+        install(NULL_TELEMETRY)
+        return NULL_TELEMETRY
+    tel = Telemetry(stride=stride, capacity=capacity)
+    install(tel)
+    return tel
+
+
+def disable() -> None:
+    """Return to the disabled default (the shared null object)."""
+    install(NULL_TELEMETRY)
+
+
+@contextmanager
+def collecting(
+    stride: int = DEFAULT_STRIDE, capacity: int = DEFAULT_CAPACITY
+):
+    """Temporarily install a fresh live sink; merge it outward on exit.
+
+    Used by code that wants telemetry for its own measurements regardless
+    of the global switch (e.g. E08's jam-efficiency column).  On exit the
+    previous sink is restored; if that sink is itself live, the scope's
+    shard is merged into it so nested collection loses nothing.
+    """
+    if stride < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride}")
+    tel = Telemetry(stride=stride, capacity=capacity)
+    previous = install(tel)
+    try:
+        yield tel
+    finally:
+        install(previous)
+        if previous.enabled:
+            previous.merge(tel)  # type: ignore[union-attr]

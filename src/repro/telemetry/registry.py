@@ -1,0 +1,346 @@
+"""Mergeable metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the numeric half of the telemetry subsystem
+(:mod:`repro.telemetry`).  Three design constraints shape it:
+
+* **Cheap on the hot path** -- an instrument is looked up once (dict get)
+  and then mutated in place; histograms keep their bucket counts in a
+  NumPy ``int64`` array so a whole array of observations lands in one
+  ``np.add.at`` call.
+* **Mergeable across processes** -- the fault-tolerant runner executes
+  every experiment attempt in its own worker process.  Workers ship their
+  registry home as plain JSON (:meth:`MetricsRegistry.to_jsonable`) and
+  the parent folds the shards together with :meth:`MetricsRegistry.merge`.
+  Merging is associative and commutative by construction: counters add,
+  gauges keep the last-written value (ties broken by write sequence),
+  histogram bucket counts add (fuzz-verified in
+  ``tests/telemetry/test_merge_fuzz.py``).
+* **Self-describing** -- instruments are identified by ``(name, labels)``
+  so one metric family ("jam_slots_total") fans out over label values
+  ("strategy=saturating"), Prometheus-style.
+
+Bucket conventions: histograms store ``len(edges) + 1`` counts; value
+``v`` lands in the first bucket whose upper edge satisfies ``v <= edge``,
+and the final bucket is the ``+Inf`` overflow.  Two histograms only merge
+when their edges are identical -- differing layouts raise
+:class:`~repro.errors.ConfigurationError` rather than silently mixing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SLOT_BUCKETS",
+    "ENERGY_BUCKETS",
+    "SECONDS_BUCKETS",
+]
+
+#: Election / run lengths in slots: powers of two, 1 .. 2^22 (~4M slots).
+SLOT_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(0, 23))
+
+#: Per-station energy units (transmissions + listening slots).
+ENERGY_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(0, 21))
+
+#: Wall-clock span durations in seconds, ~1us .. ~2000s, quarter-decades.
+SECONDS_BUCKETS: tuple[float, ...] = tuple(
+    round(10.0 ** (e / 4.0), 9) for e in range(-24, 14)
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical hashable form of a label set (sorted, stringified)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total (float-valued; usually int counts)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (>= 0) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins sample (e.g. the final estimator value ``u``).
+
+    ``seq`` orders writes so that merging shards keeps the latest write
+    deterministically (highest sequence wins; ties keep the larger value so
+    the merge stays commutative).
+    """
+
+    __slots__ = ("name", "labels", "value", "seq")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self.seq = 0
+
+    def set(self, value: float, seq: int | None = None) -> None:
+        """Record *value*, advancing (or pinning) the write sequence."""
+        self.value = float(value)
+        self.seq = self.seq + 1 if seq is None else seq
+
+
+class Histogram:
+    """Fixed-bucket histogram with NumPy-backed counts.
+
+    ``edges`` are the inclusive upper bounds of the finite buckets; the
+    trailing bucket counts everything above ``edges[-1]``.  ``sum`` and
+    ``count`` ride along so means survive the bucketing.
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelKey, edges: Sequence[float]):
+        arr = np.asarray(edges, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError(f"histogram {name} needs 1-D non-empty edges")
+        if not np.all(np.diff(arr) > 0):
+            raise ConfigurationError(f"histogram {name} edges must be increasing")
+        self.name = name
+        self.labels = labels
+        self.edges = arr
+        self.counts = np.zeros(arr.size + 1, dtype=np.int64)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Bucket one observation (first bucket with ``value <= edge``)."""
+        self.counts[int(np.searchsorted(self.edges, value, side="left"))] += 1
+        self.sum += float(value)
+        self.count += 1
+
+    def observe_many(self, values) -> None:
+        """Bucket a whole array of observations in one vectorized pass."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        np.add.at(self.counts, np.searchsorted(self.edges, arr, side="left"), 1)
+        self.sum += float(arr.sum())
+        self.count += int(arr.size)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket counts (upper-edge rule)."""
+        if not (0.0 <= q <= 1.0):
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = np.cumsum(self.counts)
+        idx = int(np.searchsorted(cum, target, side="left"))
+        if idx >= self.edges.size:
+            return float(self.edges[-1])  # overflow bucket: clamp to top edge
+        return float(self.edges[idx])
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Instruments are created on first use and addressed by
+    ``(name, labels)``; repeated calls return the same object, so hot
+    loops should hoist the lookup (``c = reg.counter(...)`` then
+    ``c.inc()``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument accessors ---------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, key[1])
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, key[1])
+        return inst
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = SLOT_BUCKETS, **labels
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``; layouts must not conflict."""
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(name, key[1], buckets)
+        elif inst.edges.size != len(buckets) or not np.array_equal(
+            inst.edges, np.asarray(buckets, dtype=np.float64)
+        ):
+            raise ConfigurationError(
+                f"histogram {name}{dict(key[1])} already exists with different "
+                "bucket edges; pick one layout per (name, labels)"
+            )
+        return inst
+
+    # -- iteration / lookup ------------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        """All counters in deterministic (name, labels) order."""
+        return iter(sorted(self._counters.values(), key=lambda c: (c.name, c.labels)))
+
+    def gauges(self) -> Iterator[Gauge]:
+        """All gauges in deterministic (name, labels) order."""
+        return iter(sorted(self._gauges.values(), key=lambda g: (g.name, g.labels)))
+
+    def histograms(self) -> Iterator[Histogram]:
+        """All histograms in deterministic (name, labels) order."""
+        return iter(
+            sorted(self._histograms.values(), key=lambda h: (h.name, h.labels))
+        )
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Current value of one counter (0.0 when it never fired)."""
+        inst = self._counters.get((name, _label_key(labels)))
+        return inst.value if inst is not None else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter family across all label sets."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        """All observed values of *label* within one counter family."""
+        out = {
+            dict(key).get(label)
+            for (n, key) in self._counters
+            if n == name and dict(key).get(label) is not None
+        }
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold *other* into this registry in place; returns ``self``.
+
+        Counters and histogram buckets add; gauges keep the write with the
+        highest sequence number (ties keep the larger value, which makes
+        the operation commutative).  Histogram layouts must agree.
+        """
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters[key] = Counter(counter.name, key[1])
+            mine.value += counter.value
+        for key, gauge in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None:
+                mine = self._gauges[key] = Gauge(gauge.name, key[1])
+                mine.value, mine.seq = gauge.value, gauge.seq
+            elif (gauge.seq, gauge.value) > (mine.seq, mine.value):
+                mine.value, mine.seq = gauge.value, gauge.seq
+        for key, hist in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram(
+                    hist.name, key[1], hist.edges
+                )
+            elif not np.array_equal(mine.edges, hist.edges):
+                raise ConfigurationError(
+                    f"cannot merge histogram {hist.name}{dict(key[1])}: "
+                    "bucket edges differ between shards"
+                )
+            mine.counts += hist.counts
+            mine.sum += hist.sum
+            mine.count += hist.count
+        return self
+
+    @classmethod
+    def merge_all(cls, shards: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Merge any number of shards into a fresh registry."""
+        merged = cls()
+        for shard in shards:
+            merged.merge(shard)
+        return merged
+
+    # -- serialization -----------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Plain-data form that crosses process boundaries as JSON."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for c in self.counters()
+            ],
+            "gauges": [
+                {
+                    "name": g.name,
+                    "labels": dict(g.labels),
+                    "value": g.value,
+                    "seq": g.seq,
+                }
+                for g in self.gauges()
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": dict(h.labels),
+                    "edges": h.edges.tolist(),
+                    "counts": h.counts.tolist(),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for h in self.histograms()
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "MetricsRegistry":
+        """Inverse of :meth:`to_jsonable`."""
+        reg = cls()
+        for c in data.get("counters", ()):
+            reg.counter(c["name"], **c["labels"]).value = float(c["value"])
+        for g in data.get("gauges", ()):
+            inst = reg.gauge(g["name"], **g["labels"])
+            inst.value, inst.seq = float(g["value"]), int(g.get("seq", 0))
+        for h in data.get("histograms", ()):
+            inst = reg.histogram(h["name"], buckets=h["edges"], **h["labels"])
+            inst.counts[:] = np.asarray(h["counts"], dtype=np.int64)
+            inst.sum = float(h["sum"])
+            inst.count = int(h["count"])
+        return reg
+
+    def totals_by_name(self) -> dict[str, float]:
+        """Counter families summed over labels (compact journal form)."""
+        out: dict[str, float] = {}
+        for (name, _), counter in sorted(self._counters.items()):
+            out[name] = out.get(name, 0.0) + counter.value
+        return out

@@ -1,0 +1,61 @@
+"""``python -m repro telemetry report RUN_DIR`` -- ASCII telemetry summary.
+
+Reads the JSONL export a ``run_all --telemetry --out RUN_DIR`` run wrote
+into ``RUN_DIR/telemetry/telemetry.jsonl`` (a direct path to a ``.jsonl``
+file also works) and renders the counter families, per-strategy jam
+efficiency, per-cell election-time/energy histograms, and span timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.telemetry.export import ascii_report, load_jsonl
+
+__all__ = ["main", "TELEMETRY_SUBDIR", "TELEMETRY_JSONL", "TELEMETRY_PROM"]
+
+#: Layout of the telemetry payload inside a checkpointed run directory.
+TELEMETRY_SUBDIR = "telemetry"
+TELEMETRY_JSONL = "telemetry.jsonl"
+TELEMETRY_PROM = "metrics.prom"
+
+
+def resolve_export(path: Path) -> Path:
+    """Map a run directory (or direct file path) to its JSONL export."""
+    path = Path(path)
+    if path.is_file():
+        return path
+    candidate = path / TELEMETRY_SUBDIR / TELEMETRY_JSONL
+    if candidate.exists():
+        return candidate
+    raise ConfigurationError(
+        f"no telemetry export under {path} (expected "
+        f"{candidate}); run run_all with --telemetry --out to produce one"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``report RUN_DIR``."""
+    parser = argparse.ArgumentParser(
+        prog="repro telemetry", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("report", help="render the ASCII telemetry summary")
+    p.add_argument("run_dir", type=Path, help="run directory (or .jsonl path)")
+    args = parser.parse_args(argv)
+
+    try:
+        export = resolve_export(args.run_dir)
+        tel = load_jsonl(export)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(ascii_report(tel))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

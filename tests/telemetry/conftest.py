@@ -1,0 +1,14 @@
+"""Telemetry tests mutate the process-wide hook; always restore the null
+object so state never leaks between tests (or into other test modules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_telemetry():
+    yield
+    telemetry.disable()

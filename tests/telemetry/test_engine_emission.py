@@ -1,0 +1,153 @@
+"""Engines emit counters that reconcile exactly with their run results --
+the same numbers, observed two ways (telemetry vs. RunResult fields)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.adversary.suite import make_adversary
+from repro.adversary.vector import make_batched_adversary
+from repro.protocols.lesk import LESKPolicy
+from repro.protocols.notification import NotificationStation
+from repro.protocols.vector import VectorLESKPolicy
+from repro.sim.batched import simulate_uniform_batched
+from repro.sim.engine import simulate_stations
+from repro.sim.fast import simulate_uniform_fast
+from repro.types import CDMode
+
+N = 64
+EPS = 0.5
+T = 8
+
+
+def test_fast_engine_counters_match_run_result():
+    with telemetry.collecting(stride=16) as tel:
+        result = simulate_uniform_fast(
+            LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary("saturating", T=T, eps=EPS),
+            max_slots=100_000,
+            seed=5,
+        )
+    reg = tel.metrics
+    assert reg.counter_value("engine_runs_total", engine="fast") == 1
+    assert reg.counter_value("engine_slots_total", engine="fast") == result.slots
+    assert reg.counter_value("elections_total", engine="fast") == int(result.elected)
+    assert reg.counter_value("jam_slots_total", strategy="saturating") == result.jams
+    assert (
+        reg.counter_value("jam_denied_total", strategy="saturating")
+        == result.jam_denied
+    )
+    # Slot classes partition the slots.
+    assert reg.counter_total("slot_class_total") == result.slots
+    # The run's wall clock landed in a span histogram.
+    [span_hist] = [h for h in reg.histograms() if h.name == "span_seconds"]
+    assert dict(span_hist.labels)["span"] == "engine.fast"
+    assert span_hist.count == 1
+
+
+def test_fast_engine_emits_phase_transitions():
+    with telemetry.collecting(stride=16) as tel:
+        simulate_uniform_fast(
+            LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary("none", T=T, eps=EPS),
+            max_slots=100_000,
+            seed=5,
+        )
+    phases = tel.events.of_kind("phase")
+    assert phases, "LESK's estimator walk must produce phase events"
+    for event in phases:
+        assert event["u_from"] != event["u_to"]
+
+
+def test_slot_windows_cover_the_run():
+    with telemetry.collecting(stride=8) as tel:
+        result = simulate_uniform_fast(
+            LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary("none", T=T, eps=EPS),
+            max_slots=100_000,
+            seed=1,
+        )
+    windows = tel.events.of_kind("slot_window")
+    assert sum(w["slots"] for w in windows) == result.slots
+    assert sum(w["single"] + w["silence"] + w["collision"] for w in windows) == (
+        result.slots
+    )
+    assert all(w["slots"] <= 8 for w in windows)
+
+
+def test_faithful_engine_counters_match_run_result():
+    stations = [NotificationStation(lambda: LESKPolicy(EPS)) for _ in range(12)]
+    with telemetry.collecting(stride=16) as tel:
+        result = simulate_stations(
+            stations,
+            adversary=make_adversary("saturating", T=T, eps=EPS),
+            cd_mode=CDMode.WEAK,
+            max_slots=200_000,
+            seed=9,
+        )
+    reg = tel.metrics
+    assert reg.counter_value("engine_slots_total", engine="faithful") == result.slots
+    assert reg.counter_value("jam_slots_total", strategy="saturating") == result.jams
+    assert reg.counter_value("engine_runs_total", engine="faithful") == 1
+
+
+@pytest.mark.parametrize("strategy", ["none", "saturating", "periodic-front"])
+def test_batched_engine_counters_match_batch_totals(strategy):
+    with telemetry.collecting(stride=64) as tel:
+        batch = simulate_uniform_batched(
+            lambda r: VectorLESKPolicy(EPS, r),
+            N,
+            lambda r: make_batched_adversary(strategy, T=T, eps=EPS, reps=r),
+            reps=50,
+            max_slots=100_000,
+            root_seed=7,
+        )
+    reg = tel.metrics
+    assert reg.counter_value("engine_runs_total", engine="batched") == 50
+    assert reg.counter_value("engine_slots_total", engine="batched") == int(
+        batch.slots.sum()
+    )
+    assert reg.counter_value("elections_total", engine="batched") == int(
+        batch.elected.sum()
+    )
+    assert reg.counter_value("jam_slots_total", strategy=strategy) == int(
+        batch.jams.sum()
+    )
+    assert reg.counter_value("jam_denied_total", strategy=strategy) == int(
+        batch.jam_denied.sum()
+    )
+
+
+def test_disabled_mode_records_nothing():
+    telemetry.disable()
+    result = simulate_uniform_fast(
+        LESKPolicy(EPS),
+        n=N,
+        adversary=make_adversary("saturating", T=T, eps=EPS),
+        max_slots=100_000,
+        seed=5,
+    )
+    assert result.elected
+    assert not telemetry.telemetry_enabled()
+    assert telemetry.get_telemetry().counter("engine_runs_total").value == 0.0
+
+
+def test_jam_efficiency_is_derivable_without_traces():
+    with telemetry.collecting() as tel:
+        simulate_uniform_fast(
+            LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary("reactive", T=T, eps=EPS),
+            max_slots=100_000,
+            seed=2,
+        )
+    from repro.telemetry import jam_efficiency_rows
+
+    [row] = jam_efficiency_rows(tel.metrics)
+    assert row["strategy"] == "reactive"
+    assert 0.0 <= row["efficiency"] <= 1.0
+    assert row["occupied"] <= row["jams"]

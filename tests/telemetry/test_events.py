@@ -1,0 +1,66 @@
+"""Ring-buffer and sampling semantics of the structured event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import EventLog
+
+
+class TestRing:
+    def test_emission_order_below_capacity(self):
+        log = EventLog(capacity=8)
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert [e["i"] for e in log.events()] == [0, 1, 2, 3, 4]
+        assert len(log) == 5
+        assert log.dropped == 0
+
+    def test_overwrite_keeps_newest_and_counts_dropped(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert [e["i"] for e in log.events()] == [6, 7, 8, 9]
+        assert log.dropped == 6
+        seqs = [e["seq"] for e in log.events()]
+        assert seqs == sorted(seqs)
+
+    def test_of_kind_filters_in_order(self):
+        log = EventLog(capacity=16)
+        log.emit("a", i=0)
+        log.emit("b", i=1)
+        log.emit("a", i=2)
+        assert [e["i"] for e in log.of_kind("a")] == [0, 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)
+        with pytest.raises(ConfigurationError):
+            EventLog(stride=0)
+
+
+class TestMergeAndSerialization:
+    def test_merge_preserves_shard_order_and_reapplies_capacity(self):
+        a = EventLog(capacity=4)
+        b = EventLog(capacity=4)
+        for i in range(3):
+            a.emit("a", i=i)
+        for i in range(3):
+            b.emit("b", i=i)
+        a.merge(b)
+        # 6 events into capacity 4: the oldest two overwritten and dropped.
+        assert len(a) == 4
+        assert a.dropped == 2
+        kinds = [e["kind"] for e in a.events()]
+        assert kinds == ["a", "b", "b", "b"]
+
+    def test_jsonable_roundtrip(self):
+        log = EventLog(capacity=4, stride=16)
+        for i in range(7):
+            log.emit("tick", i=i)
+        back = EventLog.from_jsonable(log.to_jsonable())
+        assert back.capacity == 4
+        assert back.stride == 16
+        assert back.dropped == log.dropped
+        assert [e["i"] for e in back.events()] == [e["i"] for e in log.events()]

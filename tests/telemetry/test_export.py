@@ -1,0 +1,104 @@
+"""Exporter round trips: JSONL persistence, Prometheus text shape, and
+the ASCII report sections."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    Telemetry,
+    ascii_report,
+    load_jsonl,
+    prometheus_text,
+    telemetry_records,
+    write_jsonl,
+)
+from repro.telemetry.registry import SLOT_BUCKETS
+
+
+def sample_telemetry() -> Telemetry:
+    tel = Telemetry(stride=16)
+    tel.counter("jam_slots_total", strategy="burst").inc(10)
+    tel.counter("jam_occupied_total", strategy="burst").inc(4)
+    tel.gauge("final_u").set(128.0)
+    tel.histogram("cell_election_slots", SLOT_BUCKETS, cell="1.0").observe_many(
+        [3.0, 17.0, 170.0]
+    )
+    tel.observe_span("engine.fast", 0.004)
+    tel.emit("slot_window", engine="fast", slots=16)
+    return tel
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tel = sample_telemetry()
+    path = tmp_path / "telemetry.jsonl"
+    write_jsonl(path, tel)
+    back = load_jsonl(path)
+    assert back.metrics.to_jsonable() == tel.metrics.to_jsonable()
+    assert [e["kind"] for e in back.events.events()] == ["slot_window"]
+    assert back.events.stride == 16
+
+
+def test_jsonl_records_are_self_describing(tmp_path):
+    records = telemetry_records(sample_telemetry())
+    kinds = [r["kind"] for r in records]
+    assert kinds[0] == "meta"
+    for expected in ("counter", "gauge", "histogram", "event"):
+        assert expected in kinds
+
+
+def test_load_tolerates_torn_final_line(tmp_path):
+    tel = sample_telemetry()
+    path = tmp_path / "telemetry.jsonl"
+    write_jsonl(path, tel)
+    path.write_text(path.read_text() + '{"kind": "counter", "name": "tru')
+    back = load_jsonl(path)
+    assert back.metrics.to_jsonable() == tel.metrics.to_jsonable()
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_jsonl(tmp_path / "nope.jsonl")
+
+
+def test_prometheus_text_shape():
+    text = prometheus_text(sample_telemetry().metrics)
+    assert "# TYPE jam_slots_total counter" in text
+    assert 'jam_slots_total{strategy="burst"} 10' in text
+    assert "# TYPE final_u gauge" in text
+    assert "# TYPE cell_election_slots histogram" in text
+    # Cumulative buckets: the +Inf bucket equals the total count.
+    assert 'cell_election_slots_bucket{cell="1.0",le="+Inf"} 3' in text
+    assert 'cell_election_slots_count{cell="1.0"} 3' in text
+    # Buckets are cumulative, hence non-decreasing down the series.
+    bucket_counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("cell_election_slots_bucket")
+    ]
+    assert bucket_counts == sorted(bucket_counts)
+
+
+def test_ascii_report_sections():
+    report = ascii_report(sample_telemetry())
+    assert "-- counters (summed over labels) --" in report
+    assert "-- jam efficiency" in report
+    assert "burst" in report
+    assert "-- per-cell election time (slots) --" in report
+    assert "cell [cell=1.0]" in report
+    assert "-- spans (wall-clock) --" in report
+    assert "-- events --" in report
+
+
+def test_ascii_report_empty_telemetry():
+    assert ascii_report(Telemetry()) == "== telemetry report =="
+
+
+def test_jsonl_lines_are_valid_json(tmp_path):
+    path = tmp_path / "telemetry.jsonl"
+    write_jsonl(path, sample_telemetry())
+    for line in path.read_text().splitlines():
+        json.loads(line)

@@ -1,0 +1,137 @@
+"""The global hook contract: null object when off, scoped collection that
+merges outward, and span timers that respect the switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    collecting,
+    configure,
+    disable,
+    get_telemetry,
+    install,
+    span,
+    telemetry_enabled,
+    timed,
+)
+
+
+class TestNullObject:
+    def test_disabled_by_default(self):
+        disable()
+        tel = get_telemetry()
+        assert tel is NULL_TELEMETRY
+        assert not tel.enabled
+        assert not telemetry_enabled()
+
+    def test_null_operations_are_inert(self):
+        disable()
+        tel = get_telemetry()
+        tel.counter("c", x="y").inc(5)
+        tel.gauge("g").set(1.0)
+        tel.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        tel.emit("tick")
+        tel.observe_span("s", 0.1)
+        with tel.span("s"):
+            pass
+        assert tel.counter("c").value == 0.0
+
+    def test_configure_and_disable(self):
+        tel = configure(stride=32)
+        assert get_telemetry() is tel
+        assert tel.enabled
+        assert tel.stride == 32
+        disable()
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_install_returns_previous(self):
+        disable()
+        tel = Telemetry()
+        assert install(tel) is NULL_TELEMETRY
+        assert install(NULL_TELEMETRY) is tel
+
+
+class TestCollecting:
+    def test_scoped_and_restored(self):
+        disable()
+        with collecting() as tel:
+            assert get_telemetry() is tel
+            tel.counter("c_total").inc()
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_nested_scopes_merge_outward(self):
+        disable()
+        with collecting() as outer:
+            outer.counter("c_total").inc(1)
+            with collecting() as inner:
+                inner.counter("c_total").inc(2)
+                get_telemetry().emit("tick")
+            assert outer.metrics.counter_total("c_total") == 3.0
+            assert len(outer.events.of_kind("tick")) == 1
+        # The outermost scope had a disabled predecessor: nothing leaks out.
+        assert get_telemetry().counter("c_total").value == 0.0
+
+    def test_restores_even_on_error(self):
+        disable()
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ConfigurationError):
+            with collecting(stride=0):
+                pass
+
+
+class TestSpans:
+    def test_span_records_into_histogram(self):
+        with collecting() as tel:
+            with span("unit.work", engine="fast"):
+                pass
+        hists = list(tel.metrics.histograms())
+        assert len(hists) == 1
+        h = hists[0]
+        assert h.name == "span_seconds"
+        assert dict(h.labels) == {"span": "unit.work", "engine": "fast"}
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+    def test_timed_decorator_only_records_when_enabled(self):
+        @timed("unit.fn")
+        def work(x):
+            return x + 1
+
+        disable()
+        assert work(1) == 2  # no sink installed: plain call, nothing raised
+        with collecting() as tel:
+            assert work(2) == 3
+        [h] = tel.metrics.histograms()
+        assert dict(h.labels)["span"] == "unit.fn"
+        assert h.count == 1
+
+    def test_telemetry_jsonable_roundtrip(self):
+        with collecting(stride=8) as tel:
+            tel.counter("c_total", s="x").inc(4)
+            tel.emit("tick", i=1)
+            tel.observe_span("s", 0.25)
+        back = Telemetry.from_jsonable(tel.to_jsonable())
+        assert back.metrics.to_jsonable() == tel.metrics.to_jsonable()
+        assert back.events.events() == tel.events.events()
+
+
+class TestMergePassthrough:
+    def test_telemetry_merge_combines_metrics_and_events(self):
+        a, b = Telemetry(), Telemetry()
+        a.counter("c_total").inc(1)
+        b.counter("c_total").inc(2)
+        a.emit("x")
+        b.emit("y")
+        a.merge(b)
+        assert a.metrics.counter_total("c_total") == 3.0
+        assert [e["kind"] for e in a.events.events()] == ["x", "y"]

@@ -1,0 +1,93 @@
+"""Fuzz the cross-process merge invariants the runner depends on.
+
+The fault-tolerant runner splits a run over K worker processes and folds
+their registries together; for that to be trustworthy, merging must be
+associative, commutative, and -- for the commutative instruments
+(counters add, histogram buckets add) -- *exactly* equal to applying
+every operation in a single process.  Observations are integer-valued so
+float summation order cannot blur the equality checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+EDGES = (1.0, 4.0, 16.0, 64.0, 256.0)
+NAMES = ("alpha_total", "beta_total", "gamma_total")
+LABEL_SETS = ({}, {"s": "x"}, {"s": "y"}, {"s": "x", "e": "fast"})
+
+
+def apply_ops(reg: MetricsRegistry, seed: int, ops: int = 300) -> None:
+    """Deterministically drive counters and histograms from one seed."""
+    rng = np.random.default_rng(seed)
+    for _ in range(ops):
+        kind = int(rng.integers(3))
+        name = NAMES[int(rng.integers(len(NAMES)))]
+        labels = LABEL_SETS[int(rng.integers(len(LABEL_SETS)))]
+        if kind == 0:
+            reg.counter(name, **labels).inc(int(rng.integers(1, 12)))
+        elif kind == 1:
+            reg.histogram("h_" + name, buckets=EDGES, **labels).observe(
+                float(int(rng.integers(0, 512)))
+            )
+        else:
+            values = rng.integers(0, 512, size=int(rng.integers(1, 9)))
+            reg.histogram("h_" + name, buckets=EDGES, **labels).observe_many(
+                values.astype(np.float64)
+            )
+
+
+def shard(seed: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    apply_ops(reg, seed)
+    return reg
+
+
+def copy_of(reg: MetricsRegistry) -> MetricsRegistry:
+    return MetricsRegistry.from_jsonable(reg.to_jsonable())
+
+
+@pytest.mark.parametrize("k", [2, 3, 5, 8])
+def test_merge_equals_single_process(k):
+    seeds = list(range(100, 100 + k))
+    merged = MetricsRegistry.merge_all(shard(s) for s in seeds)
+    single = MetricsRegistry()
+    for s in seeds:
+        apply_ops(single, s)
+    assert merged.to_jsonable() == single.to_jsonable()
+
+
+@pytest.mark.parametrize("trial", range(6))
+def test_merge_is_commutative(trial):
+    seeds = [1000 + 10 * trial + i for i in range(4)]
+    shards = [shard(s) for s in seeds]
+    forward = MetricsRegistry.merge_all(copy_of(s) for s in shards)
+    backward = MetricsRegistry.merge_all(copy_of(s) for s in reversed(shards))
+    assert forward.to_jsonable() == backward.to_jsonable()
+
+
+@pytest.mark.parametrize("trial", range(6))
+def test_merge_is_associative(trial):
+    a, b, c = (shard(2000 + 10 * trial + i) for i in range(3))
+    left = copy_of(a).merge(copy_of(b)).merge(copy_of(c))  # (a+b)+c
+    right = copy_of(a).merge(copy_of(b).merge(copy_of(c)))  # a+(b+c)
+    assert left.to_jsonable() == right.to_jsonable()
+
+
+def test_gauge_merge_is_commutative_and_keeps_latest():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.gauge("u").set(1.0, seq=1)
+    b.gauge("u").set(9.0, seq=5)
+    ab = copy_of(a).merge(b)
+    ba = copy_of(b).merge(a)
+    assert ab.gauge("u").value == ba.gauge("u").value == 9.0
+    assert ab.gauge("u").seq == 5
+    # Equal sequences tie-break on value, keeping the merge order-free.
+    c, d = MetricsRegistry(), MetricsRegistry()
+    c.gauge("u").set(3.0, seq=2)
+    d.gauge("u").set(7.0, seq=2)
+    assert copy_of(c).merge(d).gauge("u").value == 7.0
+    assert copy_of(d).merge(c).gauge("u").value == 7.0

@@ -1,0 +1,52 @@
+"""Cross-process registry merge: shards built in real worker processes
+(fork and forkserver start methods) ship home as JSON and merge to the
+same registry a single-process run produces -- the exact path the
+fault-tolerant runner's --telemetry mode exercises."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from tests.telemetry.test_merge_fuzz import apply_ops
+
+SEEDS = (11, 22, 33)
+
+
+def _shard_worker(conn, seed):
+    """Module-level so it is picklable under forkserver/spawn."""
+    reg = MetricsRegistry()
+    apply_ops(reg, seed)
+    conn.send(reg.to_jsonable())
+    conn.close()
+
+
+def _collect_shards(method: str) -> list[MetricsRegistry]:
+    ctx = mp.get_context(method)
+    shards = []
+    for seed in SEEDS:
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_shard_worker, args=(send, seed))
+        proc.start()
+        send.close()
+        payload = recv.recv()
+        proc.join(30)
+        recv.close()
+        assert proc.exitcode == 0
+        shards.append(MetricsRegistry.from_jsonable(payload))
+    return shards
+
+
+@pytest.mark.parametrize("method", ["fork", "forkserver"])
+def test_worker_shards_merge_to_single_process_registry(method):
+    if method not in mp.get_all_start_methods():
+        pytest.skip(f"start method {method!r} unavailable on this platform")
+    merged = MetricsRegistry.merge_all(_collect_shards(method))
+    single = MetricsRegistry()
+    for seed in SEEDS:
+        apply_ops(single, seed)
+    # Counters exact, histogram buckets exact: the JSON round trip and the
+    # process boundary must not perturb a single value.
+    assert merged.to_jsonable() == single.to_jsonable()

@@ -1,0 +1,126 @@
+"""Instrument semantics of the metrics registry: identity, bucketing,
+serialization, and the merge invariants the exporters rely on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    SECONDS_BUCKETS,
+    SLOT_BUCKETS,
+    MetricsRegistry,
+)
+
+EDGES = (1.0, 2.0, 4.0, 8.0)
+
+
+class TestCounter:
+    def test_identity_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", strategy="none")
+        b = reg.counter("x_total", strategy="none")
+        c = reg.counter("x_total", strategy="burst")
+        assert a is b
+        assert a is not c
+        a.inc()
+        a.inc(2)
+        assert reg.counter_value("x_total", strategy="none") == 3.0
+        assert reg.counter_total("x_total") == 3.0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", b="1", a="2")
+        b = reg.counter("x_total", a="2", b="1")
+        assert a is b
+
+    def test_rejects_negative_increment(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("x_total").inc(-1)
+
+    def test_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("jam_slots_total", strategy="burst").inc()
+        reg.counter("jam_slots_total", strategy="none").inc()
+        reg.counter("other_total", strategy="zzz").inc()
+        assert reg.label_values("jam_slots_total", "strategy") == ["burst", "none"]
+
+
+class TestGauge:
+    def test_last_write_wins_via_sequence(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("u")
+        g.set(4.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.seq == 2
+
+
+class TestHistogram:
+    def test_bucketing_upper_edge_inclusive(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=EDGES)
+        for v in (0.5, 1.0, 1.5, 8.0, 9.0):
+            h.observe(v)
+        # v lands in the first bucket with v <= edge; 9.0 overflows.
+        assert h.counts.tolist() == [2, 1, 0, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(20.0)
+
+    def test_observe_many_matches_scalar_loop(self):
+        values = np.asarray([0.1, 1.0, 3.0, 7.9, 100.0, 2.0])
+        reg = MetricsRegistry()
+        ha = reg.histogram("a", buckets=EDGES)
+        hb = reg.histogram("b", buckets=EDGES)
+        ha.observe_many(values)
+        for v in values:
+            hb.observe(float(v))
+        assert ha.counts.tolist() == hb.counts.tolist()
+        assert ha.sum == pytest.approx(hb.sum)
+        assert ha.count == hb.count
+
+    def test_quantile_and_mean(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=EDGES)
+        h.observe_many([1.0] * 9 + [100.0])
+        assert h.mean == pytest.approx(10.9)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 8.0  # overflow clamps to the top edge
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_conflicting_bucket_layout_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=EDGES)
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h", buckets=(1.0, 2.0))
+
+    def test_invalid_edges_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            reg.histogram("g", buckets=(2.0, 1.0))
+
+    def test_default_bucket_families_are_increasing(self):
+        for edges in (SLOT_BUCKETS, SECONDS_BUCKETS):
+            assert all(a < b for a, b in zip(edges, edges[1:]))
+
+
+class TestSerialization:
+    def test_jsonable_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", k="v").inc(5)
+        reg.gauge("g").set(3.5)
+        reg.histogram("h", buckets=EDGES, cell="1.2").observe_many([1.0, 9.0])
+        back = MetricsRegistry.from_jsonable(reg.to_jsonable())
+        assert back.to_jsonable() == reg.to_jsonable()
+
+    def test_totals_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", s="a").inc(2)
+        reg.counter("c_total", s="b").inc(3)
+        reg.counter("d_total").inc()
+        assert reg.totals_by_name() == {"c_total": 5.0, "d_total": 1.0}

@@ -1,0 +1,110 @@
+"""End-to-end: run_all --telemetry persists a merged export into the run
+directory, the journal carries per-attempt counter records, and the
+report CLI renders it -- the acceptance path of the telemetry subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.harness import replicate
+from repro.experiments.run_all import main as run_all_main
+from repro.experiments.runner import Runner, RunnerConfig
+from repro.sim.fast import simulate_uniform_fast
+from repro.telemetry.report import main as report_main
+from repro.__main__ import main as repro_main
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("telem") / "run"
+    code = run_all_main(
+        ["--preset", "smoke", "--telemetry", "--only", "T10", "--out", str(out)]
+    )
+    assert code == 0
+    return out
+
+
+def test_run_dir_gets_telemetry_exports(telemetry_run):
+    jsonl = telemetry_run / "telemetry" / "telemetry.jsonl"
+    prom = telemetry_run / "telemetry" / "metrics.prom"
+    assert jsonl.exists()
+    assert prom.exists()
+    kinds = {json.loads(line)["kind"] for line in jsonl.read_text().splitlines()}
+    assert {"meta", "counter"} <= kinds
+    assert "# TYPE engine_runs_total counter" in prom.read_text()
+
+
+def test_journal_records_per_attempt_counters(telemetry_run):
+    journal = (telemetry_run / "journal.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in journal]
+    tel_records = [r for r in records if r.get("event") == "telemetry"]
+    assert len(tel_records) == 1
+    record = tel_records[0]
+    assert record["id"] == "T10"
+    assert record["counters"]["engine_runs_total"] > 0
+
+
+def test_report_cli_renders_summary(telemetry_run, capsys):
+    assert report_main(["report", str(telemetry_run)]) == 0
+    out = capsys.readouterr().out
+    assert "== telemetry report ==" in out
+    assert "engine_slots_total" in out
+    assert "jam efficiency" in out
+
+
+def test_report_cli_via_module_entry(telemetry_run, capsys):
+    assert repro_main(["telemetry", "report", str(telemetry_run)]) == 0
+    assert "== telemetry report ==" in capsys.readouterr().out
+
+
+def test_report_cli_errors_on_missing_export(tmp_path, capsys):
+    assert report_main(["report", str(tmp_path)]) == 1
+    assert "no telemetry export" in capsys.readouterr().err
+
+
+def test_inline_runner_collects_telemetry(tmp_path):
+    config = RunnerConfig(
+        preset="smoke", isolate=False, telemetry=True, telemetry_stride=32
+    )
+    runner = Runner(["T10"], {"T10": "repro.experiments.e10_lemma_checks"}, config)
+    outcomes = runner.run()
+    assert all(o.ok for o in outcomes)
+    assert runner.telemetry is not None
+    assert runner.telemetry.metrics.counter_total("engine_runs_total") > 0
+
+
+def test_runner_without_telemetry_has_no_sink():
+    config = RunnerConfig(preset="smoke", isolate=False)
+    runner = Runner(["T10"], {"T10": "repro.experiments.e10_lemma_checks"}, config)
+    outcomes = runner.run()
+    assert all(o.ok for o in outcomes)
+    assert runner.telemetry is None
+
+
+def test_harness_cells_feed_per_cell_histograms():
+    from repro import telemetry
+    from repro.adversary.suite import make_adversary
+    from repro.protocols.lesk import LESKPolicy
+
+    def one(seed):
+        return simulate_uniform_fast(
+            LESKPolicy(0.5),
+            n=64,
+            adversary=make_adversary("none", T=8, eps=0.5),
+            max_slots=100_000,
+            seed=seed,
+        )
+
+    with telemetry.collecting() as tel:
+        results = replicate(one, 10, 42, 3, 1)
+    [hist] = [
+        h for h in tel.metrics.histograms() if h.name == "cell_election_slots"
+    ]
+    assert dict(hist.labels) == {"cell": "3.1"}
+    assert hist.count == sum(1 for r in results if r.elected)
+    [energy] = [
+        h for h in tel.metrics.histograms() if h.name == "cell_energy_per_station"
+    ]
+    assert energy.count == len(results)

@@ -94,7 +94,17 @@ class TestEnergyStats:
         e = EnergyStats(transmissions=10, listening=30)
         assert e.total == 40
         assert e.transmissions_per_station(5) == 2.0
-        assert e.transmissions_per_station(0) == 0.0
+        assert e.listening_per_station(5) == 6.0
+
+    def test_per_station_rejects_nonpositive_n(self):
+        from repro.errors import ConfigurationError
+
+        e = EnergyStats(transmissions=10, listening=30)
+        for n in (0, -3):
+            with pytest.raises(ConfigurationError):
+                e.transmissions_per_station(n)
+            with pytest.raises(ConfigurationError):
+                e.listening_per_station(n)
 
 
 class TestRunResult:
@@ -107,3 +117,21 @@ class TestRunResult:
         r = RunResult(n=4, slots=10, elected=False)
         with pytest.raises(SimulationError):
             r.require_elected()
+
+    def test_require_elected_distinguishes_timeout_from_budget_end(self):
+        timed = RunResult(
+            n=4, slots=10, elected=False, timed_out=True, jams=7, jam_denied=2
+        )
+        with pytest.raises(SimulationError, match="timed out") as exc:
+            timed.require_elected()
+        msg = str(exc.value)
+        assert "jams=7" in msg and "jam_denied=2" in msg and "timed_out=True" in msg
+
+        ended = RunResult(
+            n=4, slots=10, elected=False, timed_out=False, jams=3, jam_denied=0
+        )
+        with pytest.raises(SimulationError, match="without a successful Single") as exc:
+            ended.require_elected()
+        msg = str(exc.value)
+        assert "timed out" not in msg
+        assert "jams=3" in msg and "timed_out=False" in msg
