@@ -13,6 +13,12 @@ Run as a script to emit a machine-readable throughput document::
 The JSON carries the environment fingerprint (python/numpy/platform/git
 sha) and per-engine slots/sec; ``benchmarks/bench_telemetry.py`` reads the
 batched number back as the disabled-overhead baseline.
+
+Script mode also enforces the resilience hooks-off gate: with fault
+injection and auditing disabled (``faults=None`` / ``faults=NO_FAULTS``,
+``auditor=None``), the fast engine's only residue is a handful of
+``is not None`` guards per slot, and the measured difference between the
+two disabled call shapes must stay within 2% (5% in ``--smoke`` mode).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.core.config import ElectionConfig
 from repro.core.election import make_protocol_stations
 from repro.protocols.lesk import LESKPolicy
 from repro.protocols.vector import VectorLESKPolicy
+from repro.resilience.faults import NO_FAULTS
 from repro.sim.batched import simulate_uniform_batched
 from repro.sim.engine import simulate_stations
 from repro.sim.fast import simulate_uniform_fast
@@ -38,6 +45,11 @@ from repro.types import CDMode
 N = 512
 EPS = 0.5
 T = 32
+
+#: Maximum tolerated resilience hooks-off overhead (percent) at full size.
+RESILIENCE_GATE_PCT = 2.0
+#: The relaxed hooks-off gate for CI smoke runs on shared hardware.
+SMOKE_RESILIENCE_GATE_PCT = 5.0
 
 
 def test_fast_engine_lesk(benchmark):
@@ -255,6 +267,63 @@ def measure_throughput(reps: int = 64, repeats: int = 3) -> dict:
     return results
 
 
+def measure_resilience_overhead(
+    reps: int = 48, repeats: int = 5, inner: int = 6
+) -> dict:
+    """Time the fast engine's hooks-off path against itself.
+
+    Both sides run with fault injection and auditing disabled: the
+    baseline passes ``faults=None`` (the legacy call shape) and the other
+    side passes ``faults=NO_FAULTS, auditor=None`` (a constructed but
+    disabled model).  A disabled model spawns no RNG streams and realizes
+    nothing, so the measured difference bounds the per-call entry checks
+    plus timing noise -- exactly what the <= 2% hooks-off contract
+    constrains.  The same noise controls as bench_telemetry apply: CPU
+    time, *inner* back-to-back calls per observation, and round-robin
+    interleaving so monotonic drift cancels.
+    """
+    import time
+
+    def loop(faults) -> int:
+        total = 0
+        for seed in range(reps):
+            total += simulate_uniform_fast(
+                LESKPolicy(EPS),
+                n=N,
+                adversary=make_adversary("saturating", T=T, eps=EPS),
+                max_slots=100_000,
+                seed=seed,
+                faults=faults,
+                auditor=None,
+            ).slots
+        return total
+
+    def timed(faults) -> float:
+        start = time.process_time()
+        for _ in range(inner):
+            loop(faults)
+        return (time.process_time() - start) / inner
+
+    slots = loop(None)  # warm-up: allocator pools, code paths
+    baseline_s = hooks_off_s = float("inf")
+    for _ in range(max(1, repeats)):
+        baseline_s = min(baseline_s, timed(None))
+        hooks_off_s = min(hooks_off_s, timed(NO_FAULTS))
+
+    return {
+        "workload": {
+            "engine": "fast",
+            "n": N,
+            "reps": reps,
+            "slots": slots,
+            "adversary": "saturating",
+        },
+        "baseline_s": round(baseline_s, 6),
+        "hooks_off_s": round(hooks_off_s, 6),
+        "overhead_pct": round(100.0 * (hooks_off_s - baseline_s) / baseline_s, 3),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     """Script entry point: time the engines and emit BENCH_engines.json."""
     from bench_common import write_bench_json
@@ -273,7 +342,31 @@ def main(argv: list[str] | None = None) -> int:
     results = measure_throughput(reps=reps, repeats=repeats)
     for engine, row in results.items():
         print(f"{engine:>9}: {row['slots_per_sec']:>12,.0f} slots/sec")
+
+    gate = SMOKE_RESILIENCE_GATE_PCT if args.smoke else RESILIENCE_GATE_PCT
+    resilience = measure_resilience_overhead(
+        reps=16 if args.smoke else 48,
+        repeats=3 if args.smoke else 5,
+        inner=12 if args.smoke else 6,
+    )
+    resilience["gate_pct"] = gate
+    resilience["smoke"] = args.smoke
+    results["resilience_hooks_off"] = resilience
+    print(
+        f"resilience hooks-off: baseline {resilience['baseline_s']:.3f}s, "
+        f"hooks off {resilience['hooks_off_s']:.3f}s "
+        f"({resilience['overhead_pct']:+.2f}%)"
+    )
     write_bench_json(args.emit_json, "bench_engines", results)
+
+    if resilience["overhead_pct"] > gate:
+        print(
+            f"GATE FAILED: resilience hooks-off overhead "
+            f"{resilience['overhead_pct']:.2f}% > {gate:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print("resilience hooks-off gate passed")
     return 0
 
 

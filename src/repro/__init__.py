@@ -19,6 +19,7 @@ Quickstart::
 
 from repro.core.config import ElectionConfig, default_slot_budget
 from repro.core.election import elect_leader, run_selection_resolution
+from repro.resilience.faults import NO_FAULTS, FaultModel
 from repro.sim.metrics import EnergyStats, RunResult
 from repro.types import Action, CDMode, ChannelState, PerceivedState, SlotFeedback
 
@@ -29,6 +30,8 @@ __all__ = [
     "run_selection_resolution",
     "ElectionConfig",
     "default_slot_budget",
+    "FaultModel",
+    "NO_FAULTS",
     "RunResult",
     "EnergyStats",
     "ChannelState",

@@ -5,6 +5,9 @@ Commands
 ``elect``      run one leader election and print the outcome
 ``estimate``   approximate the network size from the estimator walk
 ``kselect``    elect k distinct leaders
+``audit``      run an invariant-audited election (``--overbudget`` runs a
+               cheating adversary that must trip the auditor: exit 3)
+``replay``     re-execute a saved violation bundle (exit 0 iff it reproduces)
 ``experiments``forward to ``repro.experiments.run_all``
 ``telemetry``  report on a run directory's telemetry export
 
@@ -14,6 +17,9 @@ Examples::
     python -m repro elect --n 4096 --eps 0.3 --T 64 --adversary single-suppressor --trace out.csv
     python -m repro estimate --n 5000 --adversary silence-masker
     python -m repro kselect --n 500 --k 3
+    python -m repro audit --n 256 --adversary saturating --seed 7
+    python -m repro audit --n 256 --adversary saturating --seed 7 --overbudget
+    python -m repro replay violation.json
     python -m repro experiments --preset small --only T1
     python -m repro telemetry report runs/smoke
 """
@@ -101,6 +107,60 @@ def _cmd_kselect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.resilience.faults import FaultModel
+    from repro.resilience.replay import audited_election
+
+    faults = None
+    if args.crash_rate or args.flip_rate or args.erase_rate:
+        faults = FaultModel(
+            crash_rate=args.crash_rate,
+            flip_rate=args.flip_rate,
+            erase_rate=args.erase_rate,
+        )
+    result, violation, slots = audited_election(
+        n=args.n,
+        protocol=args.protocol,
+        eps=args.eps,
+        T=args.T,
+        adversary=args.adversary,
+        seed=args.seed,
+        max_slots=args.max_slots,
+        faults=faults,
+        overbudget=args.overbudget,
+    )
+    if violation is not None:
+        print(f"VIOLATION after {slots} audited slots: {violation}")
+        if violation.bundle is not None:
+            if args.bundle is not None:
+                violation.bundle.save(args.bundle)
+                print(f"bundle written to {args.bundle}")
+            else:
+                print(violation.bundle.describe())
+        return 3
+    outcome = (
+        f"leader {result.leader} in {result.slots} slots"
+        if result.elected
+        else f"no election within {result.slots} slots"
+    )
+    print(
+        f"clean: {slots} slots audited, zero invariant violations "
+        f"({outcome}; {result.jams} jams granted, "
+        f"{result.jam_denied} denied)"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.resilience.replay import replay_file
+
+    replay = replay_file(args.bundle)
+    print(replay.bundle.describe())
+    print()
+    print(replay.describe())
+    return 0 if replay.reproduced else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch a ``python -m repro`` command; returns the exit code."""
     argv = sys.argv[1:] if argv is None else argv
@@ -132,6 +192,32 @@ def main(argv: list[str] | None = None) -> int:
     _add_model_args(p)
     p.add_argument("--k", type=int, required=True)
     p.set_defaults(fn=_cmd_kselect)
+
+    p = sub.add_parser(
+        "audit", help="run an invariant-audited election (CI chaos smoke)"
+    )
+    _add_model_args(p)
+    p.add_argument("--protocol", default="lesk", choices=sorted(PROTOCOLS))
+    p.add_argument("--max-slots", type=int, default=None)
+    p.add_argument(
+        "--overbudget",
+        action="store_true",
+        help="wrap the adversary so it ignores its budget clamp; the "
+        "auditor must trip (exit 3)",
+    )
+    p.add_argument("--crash-rate", type=float, default=0.0)
+    p.add_argument("--flip-rate", type=float, default=0.0)
+    p.add_argument("--erase-rate", type=float, default=0.0)
+    p.add_argument(
+        "--bundle", default=None, help="write the violation bundle JSON here"
+    )
+    p.set_defaults(fn=_cmd_audit)
+
+    p = sub.add_parser(
+        "replay", help="re-execute a saved violation bundle (exit 0 iff it reproduces)"
+    )
+    p.add_argument("bundle", help="path to a violation bundle JSON")
+    p.set_defaults(fn=_cmd_replay)
 
     sub.add_parser(
         "experiments",

@@ -13,18 +13,34 @@ through, and by experiments to report realized jam intensity.
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import BudgetViolationError, ConfigurationError
 
-__all__ = ["check_bounded", "max_window_violation", "WindowViolation"]
+__all__ = [
+    "check_bounded",
+    "max_window_violation",
+    "assert_bounded",
+    "WindowViolation",
+    "WindowAuditor",
+]
 
 
 @dataclass(frozen=True, slots=True)
 class WindowViolation:
-    """Description of the worst offending window, if any."""
+    """Structured description of one offending window.
+
+    Everything a violation report needs: where the window sits
+    (``[start, end)``), how many of its slots were jammed, and how many the
+    (T, 1-eps) definition would have allowed.  Returned by
+    :func:`max_window_violation` and :class:`WindowAuditor`, and carried by
+    the :class:`~repro.errors.BudgetViolationError` raised from
+    :func:`assert_bounded`.
+    """
 
     start: int
     end: int  # exclusive
@@ -34,6 +50,18 @@ class WindowViolation:
     @property
     def length(self) -> int:
         return self.end - self.start
+
+    @property
+    def excess(self) -> float:
+        """Jams beyond the allowed maximum (positive for a real violation)."""
+        return self.jams - self.allowed
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"window [{self.start}, {self.end}) of length {self.length}: "
+            f"{self.jams} jams > {self.allowed:.4g} allowed"
+        )
 
 
 def _prefix(jams: np.ndarray) -> np.ndarray:
@@ -92,3 +120,114 @@ def max_window_violation(
 def check_bounded(jams: "np.ndarray | list[bool]", T: int, eps: float) -> bool:
     """True iff the jam sequence satisfies the (T, 1-eps) definition."""
     return max_window_violation(jams, T, eps) is None
+
+
+def assert_bounded(jams: "np.ndarray | list[bool]", T: int, eps: float) -> None:
+    """Raise :class:`~repro.errors.BudgetViolationError` on a violation.
+
+    The raised error carries the structured :class:`WindowViolation` as its
+    ``violation`` attribute, so callers (tests, the invariant auditor) can
+    report window coordinates instead of a bare boolean.
+    """
+    violation = max_window_violation(jams, T, eps)
+    if violation is not None:
+        err = BudgetViolationError(
+            f"(T={T}, 1-eps={1.0 - eps:.4g}) budget violated: "
+            f"{violation.describe()}"
+        )
+        err.violation = violation
+        raise err
+
+
+class WindowAuditor:
+    """Online (T, 1-eps) compliance detector: O(1) amortized per slot.
+
+    The detection counterpart of the *enforcing*
+    :class:`repro.adversary.budget.JammingBudget`: instead of clamping jam
+    requests it is fed the **granted** jam flags after the fact and reports
+    the first window ``[s, e)`` with ``e - s >= T`` whose jam count exceeds
+    ``(1-eps) * (e - s)``.  Used by the runtime invariant auditor
+    (:mod:`repro.resilience.auditor`) to verify that whatever produced the
+    jam sequence -- a budget harness, a replayed trace, a batched mask --
+    actually honored the paper's definition.
+
+    Detection reuses the potential reformulation of the post-hoc
+    :func:`max_window_violation`: with ``phi[i] = J[i] - (1-eps) * i`` a
+    violating window ending at ``e`` exists iff
+    ``phi[e] > min_{s <= e-T} phi[s]`` (full windows).  Unlike enforcement,
+    windows shorter than ``T`` are *not* padded: the definition only
+    constrains realized windows of length >= T.
+    """
+
+    __slots__ = (
+        "T",
+        "eps",
+        "_rate",
+        "_slot",
+        "_jams",
+        "_pending",
+        "_min_phi",
+        "_argmin",
+        "_argmin_prefix",
+        "_folded",
+    )
+
+    def __init__(self, T: int, eps: float) -> None:
+        if T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {T}")
+        if not (0.0 < eps <= 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+        self.T = int(T)
+        self.eps = float(eps)
+        self._rate = 1.0 - self.eps
+        self._slot = 0  # next slot to be appended
+        self._jams = 0  # prefix count J[slot]
+        # (phi[s], J[s]) pairs waiting to age into the lagged minimum
+        # (phi[s] becomes eligible once s <= e - T); seeded with s = 0.
+        self._pending: deque[tuple[float, int]] = deque([(0.0, 0)])
+        self._min_phi = math.inf
+        self._argmin = 0  # index s achieving the lagged minimum
+        self._argmin_prefix = 0  # J[argmin]
+        self._folded = 0  # index of the first pending phi value
+
+    @property
+    def slot(self) -> int:
+        """Index of the next slot to be appended."""
+        return self._slot
+
+    @property
+    def jams_seen(self) -> int:
+        return self._jams
+
+    def append(self, jammed: bool) -> WindowViolation | None:
+        """Record one granted jam flag; return the violation it completes.
+
+        Returns ``None`` while the sequence remains (T, 1-eps)-bounded.  On
+        violation, the returned window ends at the just-appended slot and
+        starts at the prefix-minimum argmin, i.e. it is the *most* violating
+        window ending here.
+        """
+        self._jams += 1 if jammed else 0
+        self._slot += 1
+        e = self._slot
+        self._pending.append((self._jams - self._rate * e, self._jams))
+        if e < self.T:
+            return None
+        # Fold phi[s] for all s <= e - T into the lagged minimum.
+        horizon = e - self.T
+        while self._folded <= horizon:
+            phi_s, prefix_s = self._pending.popleft()
+            if phi_s < self._min_phi:
+                self._min_phi = phi_s
+                self._argmin = self._folded
+                self._argmin_prefix = prefix_s
+            self._folded += 1
+        phi_e = self._jams - self._rate * e
+        # Tolerance mirrors max_window_violation: equality is permitted.
+        if phi_e <= self._min_phi + 1e-9:
+            return None
+        s = self._argmin
+        jams_in = self._jams - self._argmin_prefix
+        return WindowViolation(
+            start=s, end=e, jams=jams_in, allowed=self._rate * (e - s)
+        )

@@ -29,7 +29,9 @@ from repro.protocols.base import StationProtocol, UniformPolicy, UniformStationA
 from repro.protocols.lesk import LESKPolicy
 from repro.protocols.lesu import LESUPolicy
 from repro.protocols.notification import NotificationStation
-from repro.rng import RngLike
+from repro.resilience.auditor import AuditContext, InvariantAuditor
+from repro.resilience.faults import FaultModel
+from repro.rng import RngLike, derive_seed, make_rng
 from repro.sim.engine import simulate_stations
 from repro.sim.fast import simulate_uniform_fast
 from repro.sim.fast_notification import simulate_notification_fast
@@ -71,11 +73,30 @@ def _make_adversary(config: ElectionConfig) -> Adversary:
     return make_adversary(config.adversary, T=config.T, eps=config.eps)
 
 
-def run_config(config: ElectionConfig, seed: RngLike = None) -> RunResult:
-    """Run one election described by *config*."""
+def run_config(
+    config: ElectionConfig,
+    seed: RngLike = None,
+    faults: "FaultModel | None" = None,
+    auditor: "InvariantAuditor | None" = None,
+) -> RunResult:
+    """Run one election described by *config*.
+
+    Parameters
+    ----------
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultModel` injected into
+        the engine (``None`` / a disabled model leaves the run bit-identical
+        to a fault-free build).
+    auditor:
+        Optional :class:`~repro.resilience.auditor.InvariantAuditor`
+        observing every slot and the election outcome.
+    """
     seed = config.seed if seed is None else seed
     adversary = _make_adversary(config)
     budget = config.slot_budget()
+    faulted = faults is not None and (
+        not isinstance(faults, FaultModel) or faults.enabled
+    )
     if config.resolved_engine() == "fast":
         if config.cd_mode is CDMode.STRONG:
             policy = _policy_factory(config)()
@@ -86,6 +107,18 @@ def run_config(config: ElectionConfig, seed: RngLike = None) -> RunResult:
                 max_slots=budget,
                 seed=seed,
                 record_trace=config.record_trace,
+                faults=faults,
+                auditor=auditor,
+            )
+        if faulted or auditor is not None:
+            # The aggregate-state Notification simulator tracks phase
+            # *counts*, not stations, so per-station churn has no meaningful
+            # embedding there; route faulted weak-CD runs through the
+            # faithful engine instead.
+            raise ConfigurationError(
+                "fault injection / invariant auditing is not supported by "
+                "the fast weak-CD engine (simulate_notification_fast); use "
+                "engine='faithful' for faulted weak-CD runs"
             )
         # Weak-CD: the aggregate-state Notification simulator (requires the
         # paper's n >= 3; opt-in via engine="fast" -- "auto" keeps the
@@ -107,6 +140,29 @@ def run_config(config: ElectionConfig, seed: RngLike = None) -> RunResult:
         seed=seed,
         record_trace=config.record_trace,
         stop_on_first_single=config.cd_mode is CDMode.STRONG,
+        faults=faults,
+        auditor=auditor,
+    )
+
+
+def _audit_context(
+    config: ElectionConfig, seed: RngLike, faults: "FaultModel | None"
+) -> AuditContext:
+    """Run description for replayable violation bundles."""
+    return AuditContext(
+        seed=seed if isinstance(seed, int) else None,
+        engine=config.resolved_engine(),
+        n=config.n,
+        protocol=config.protocol,
+        T=config.T,
+        eps=config.eps,
+        max_slots=config.slot_budget(),
+        adversary=(
+            config.adversary
+            if isinstance(config.adversary, str)
+            else type(config.adversary).__name__
+        ),
+        faults=faults if isinstance(faults, FaultModel) else None,
     )
 
 
@@ -121,13 +177,37 @@ def elect_leader(
     engine: str = "auto",
     record_trace: bool = False,
     lesu_c: float = 2.0,
+    faults: "FaultModel | None" = None,
+    audit: bool = False,
+    max_restarts: int = 0,
 ) -> RunResult:
     """Elect a leader among *n* stations under a (T, 1-eps)-bounded jammer.
 
     Parameters mirror :class:`~repro.core.config.ElectionConfig`; see the
     module docstring for examples.  Returns a
     :class:`~repro.sim.metrics.RunResult`.
+
+    Resilience extensions (see ``docs/resilience.md``):
+
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultModel` -- station
+        churn, feedback corruption, clock skew -- realized deterministically
+        from the run seed.
+    audit:
+        Attach an :class:`~repro.resilience.auditor.InvariantAuditor` that
+        checks adversary budget compliance, channel consistency and
+        election safety every slot, raising
+        :class:`~repro.errors.InvariantViolationError` with a replayable
+        bundle on the first violation.
+    max_restarts:
+        Restart supervision: when the elected station was scheduled to
+        crash (``leader_survived`` False), rerun the election -- modelling
+        the survivors detecting the dead leader and re-electing -- up to
+        this many times, each attempt on a stable derived seed.  The
+        returned result's ``restarts`` field counts the reruns performed.
     """
+    if max_restarts < 0:
+        raise ConfigurationError(f"max_restarts must be >= 0, got {max_restarts}")
     config = ElectionConfig(
         n=n,
         protocol=protocol,
@@ -139,7 +219,30 @@ def elect_leader(
         record_trace=record_trace,
         lesu_c=lesu_c,
     )
-    return run_config(config, seed=seed)
+    # A SeedSequence would replay the identical bitstream on every restart
+    # attempt (make_rng builds a fresh generator from it each call); turn it
+    # into one stateful generator so attempts draw fresh randomness.  Ints
+    # instead get stable per-attempt derived seeds, and None stays None.
+    if seed is not None and not isinstance(seed, int):
+        seed = make_rng(seed)
+    result: RunResult | None = None
+    for attempt in range(max_restarts + 1):
+        attempt_seed = (
+            derive_seed(seed, attempt)
+            if isinstance(seed, int) and attempt > 0
+            else seed
+        )
+        auditor = (
+            InvariantAuditor(T, eps, context=_audit_context(config, attempt_seed, faults))
+            if audit
+            else None
+        )
+        result = run_config(config, seed=attempt_seed, faults=faults, auditor=auditor)
+        result.restarts = attempt
+        if result.elected and not result.leader_survived and attempt < max_restarts:
+            continue
+        break
+    return result
 
 
 def run_selection_resolution(

@@ -10,6 +10,7 @@ __all__ = [
     "ProtocolError",
     "ExperimentTimeoutError",
     "ChecksumMismatchError",
+    "InvariantViolationError",
 ]
 
 
@@ -49,6 +50,25 @@ class ExperimentTimeoutError(ReproError):
     worker would very likely hang again), but ``RetryPolicy.retry_timeouts``
     opts back in.
     """
+
+
+class InvariantViolationError(ReproError):
+    """Raised by the runtime invariant auditor when a model invariant breaks.
+
+    The auditor (:mod:`repro.resilience.auditor`) checks, per slot, that the
+    adversary honored its (T, 1-eps) budget over every realized window, that
+    the channel states are consistent with the transmitter count, and that
+    election safety holds (at most one leader, elected while awake and
+    transmitting).  The attached :attr:`bundle` is a self-contained repro
+    recipe (seed, configuration, offending slot range) that can be replayed
+    with ``python -m repro replay``.
+    """
+
+    def __init__(self, message: str, bundle=None) -> None:
+        super().__init__(message)
+        #: :class:`repro.resilience.bundle.ReproBundle` describing how to
+        #: reproduce the violation (None when the caller had no run context).
+        self.bundle = bundle
 
 
 class ChecksumMismatchError(ReproError):

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import ConfigurationError
 
@@ -111,6 +112,23 @@ class FaultPlan:
     def to_spec(self) -> str:
         """Inverse of :meth:`from_spec`."""
         return ",".join(f.to_spec() for f in self.faults)
+
+    def validate_ids(self, known_ids: "Iterable[str]") -> "FaultPlan":
+        """Reject faults naming experiments that do not exist.
+
+        ``from_spec`` can only check syntax; a typo like ``T99:raise`` used
+        to parse fine and then silently never fire, making the chaos run
+        vacuous.  The runner calls this with its experiment registry so the
+        mistake fails fast at the CLI.  Returns ``self`` for chaining.
+        """
+        known = set(known_ids)
+        unknown = sorted({f.exp_id for f in self.faults} - known)
+        if unknown:
+            raise ConfigurationError(
+                f"fault plan names unknown experiment ids {unknown}; "
+                f"known ids: {sorted(known)}"
+            )
+        return self
 
     def fault_for(self, exp_id: str, attempt: int) -> Fault | None:
         """The fault planned for this (experiment, attempt), if any."""

@@ -77,6 +77,7 @@ EXPERIMENT_MODULES: dict[str, str] = {
     "A7": "repro.experiments.e19_price_of_universality",
     "A8": "repro.experiments.e20_worst_case_search",
     "A9": "repro.experiments.e21_interval_ablation",
+    "A10": "repro.experiments.e22_fault_degradation",
 }
 
 
@@ -186,7 +187,9 @@ def main(argv: list[str] | None = None) -> int:
     fault_plan = None
     if args.inject_faults:
         try:
-            fault_plan = FaultPlan.from_spec(args.inject_faults)
+            fault_plan = FaultPlan.from_spec(args.inject_faults).validate_ids(
+                EXPERIMENT_MODULES
+            )
         except ConfigurationError as exc:
             parser.error(str(exc))
 

@@ -201,6 +201,14 @@ class UniformStationAdapter(StationProtocol):
         self._step += 1
 
         perceived = feedback.perceived
+        if perceived is PerceivedState.UNKNOWN and (
+            not feedback.transmitted or self.cd_mode is CDMode.STRONG
+        ):
+            # Fault-erased slot (repro.resilience): the local step is
+            # consumed but carries no information -- no policy update.  (A
+            # weak-CD transmitter falls through: its "assume Collision"
+            # comes from knowing it transmitted, not from channel feedback.)
+            return
         if feedback.transmitted:
             if self.cd_mode is CDMode.STRONG:
                 # Strong-CD: the transmitter hears the observed state; a

@@ -167,6 +167,8 @@ class NotificationStation(StationProtocol):
                 state_for_alg: ChannelState | None = ChannelState.COLLISION
             elif feedback.perceived is PerceivedState.SINGLE:
                 state_for_alg = None  # A's goal reached; transitions below take over
+            elif feedback.perceived is PerceivedState.UNKNOWN:
+                state_for_alg = None  # fault-erased slot: no information for A
             else:
                 state_for_alg = ChannelState(int(feedback.perceived))
             if state_for_alg is not None:

@@ -1,0 +1,334 @@
+"""Runtime invariant auditor for the simulation engines.
+
+Opt-in correctness instrumentation: an engine handed an
+:class:`InvariantAuditor` (or :class:`BatchInvariantAuditor` for the
+batched engine) reports every slot, and the auditor verifies -- *while the
+run executes* -- that:
+
+* **budget** -- the granted jam sequence honors the (T, 1-eps) definition
+  over every realized window of length >= T, via the online
+  :class:`~repro.adversary.validation.WindowAuditor`;
+* **channel** -- the observed state is consistent with the transmitter
+  count and the jam flag (``Single`` iff exactly one transmitter and not
+  jammed), except in slots the fault model deliberately corrupted;
+* **election** -- at most one station believes it is the leader, and the
+  winner transmitted (awake) in the deciding slot.
+
+A violated invariant raises a typed
+:class:`~repro.errors.InvariantViolationError` carrying a
+:class:`~repro.resilience.bundle.ReproBundle`: seed, configuration and
+offending slot window, replayable with ``python -m repro replay``.
+
+The honest engines never trip the auditor (their adversaries are clamped
+by :class:`~repro.adversary.budget.JammingBudget` and their channels are
+:func:`~repro.channel.channel.resolve_slot`); the auditor exists to catch
+the dishonest and the broken -- e.g. :class:`OverBudgetAdversary` below,
+which deliberately ignores its clamp, or a miswired fault path.  Auditing
+is opt-in precisely so the hot path stays branch-free when off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversary.base import Adversary, AdversaryView
+from repro.adversary.validation import WindowAuditor, WindowViolation
+from repro.errors import ConfigurationError, InvariantViolationError
+from repro.resilience.bundle import ReproBundle
+from repro.resilience.faults import FaultModel
+from repro.types import ChannelState
+
+__all__ = [
+    "AuditContext",
+    "InvariantAuditor",
+    "BatchInvariantAuditor",
+    "OverBudgetAdversary",
+]
+
+
+@dataclass(slots=True)
+class AuditContext:
+    """Run description attached to violations for replayable bundles."""
+
+    seed: int | None = None
+    engine: str = "unknown"
+    n: int | None = None
+    protocol: str | None = None
+    T: int | None = None
+    eps: float | None = None
+    max_slots: int | None = None
+    adversary: str | None = None
+    faults: FaultModel | None = None
+    params: dict = field(default_factory=dict)
+
+    def bundle(
+        self,
+        invariant: str,
+        detail: str,
+        start: int,
+        end: int,
+        column: "int | None" = None,
+    ) -> ReproBundle:
+        """Build a :class:`ReproBundle` for a violation of *invariant*
+        spanning slots ``[start, end)`` in this run context."""
+        return ReproBundle(
+            invariant=invariant,
+            detail=detail,
+            slot_start=start,
+            slot_end=end,
+            seed=self.seed,
+            engine=self.engine,
+            n=self.n,
+            protocol=self.protocol,
+            T=self.T,
+            eps=self.eps,
+            max_slots=self.max_slots,
+            adversary=self.adversary,
+            faults=self.faults.to_jsonable() if self.faults is not None else None,
+            column=column,
+            params=dict(self.params),
+        )
+
+
+def _fail(
+    context: "AuditContext | None",
+    invariant: str,
+    detail: str,
+    start: int,
+    end: int,
+    column: "int | None" = None,
+) -> None:
+    bundle = None
+    if context is not None:
+        bundle = context.bundle(invariant, detail, start, end, column=column)
+    where = f"slot {start}" if end == start + 1 else f"slots [{start}, {end})"
+    raise InvariantViolationError(
+        f"{invariant} invariant violated at {where}: {detail}", bundle=bundle
+    )
+
+
+class InvariantAuditor:
+    """Per-slot invariant checks for the scalar engines (opt-in)."""
+
+    def __init__(
+        self, T: int, eps: float, context: "AuditContext | None" = None
+    ) -> None:
+        self._window = WindowAuditor(T, eps)
+        self.context = context
+        self.slots_checked = 0
+
+    def observe_slot(
+        self,
+        slot: int,
+        transmitters: int,
+        jammed: bool,
+        observed: "ChannelState | None" = None,
+        corrupted: bool = False,
+    ) -> None:
+        """Audit one resolved slot (must be called in slot order).
+
+        *observed* is the state delivered to the stations (after any fault
+        corruption; ``None`` for an erased slot); *corrupted* marks slots
+        the fault model deliberately rewrote, which are exempt from the
+        channel-consistency check (but never from the budget check).
+        """
+        violation = self._window.append(jammed)
+        if violation is not None:
+            _fail(
+                self.context,
+                "budget",
+                violation.describe(),
+                violation.start,
+                violation.end,
+            )
+        if not corrupted and observed is not None:
+            expected = (
+                ChannelState.COLLISION
+                if jammed
+                else ChannelState.from_transmitter_count(transmitters)
+            )
+            if observed is not expected:
+                _fail(
+                    self.context,
+                    "channel",
+                    f"k={transmitters}, jammed={jammed} must be observed as "
+                    f"{expected.name}, engine delivered {observed.name}",
+                    slot,
+                    slot + 1,
+                )
+        elif not corrupted and observed is None:
+            _fail(
+                self.context,
+                "channel",
+                "feedback withheld (observed=None) in a slot the fault model "
+                "did not erase",
+                slot,
+                slot + 1,
+            )
+        self.slots_checked += 1
+
+    def check_election(
+        self,
+        leaders_count: int,
+        leader: "int | None" = None,
+        deciding_slot: "int | None" = None,
+        leader_transmitted: bool = True,
+        leader_awake: bool = True,
+    ) -> None:
+        """Audit the run's election outcome (engine calls once at the end)."""
+        end = self._window.slot
+        if leaders_count > 1:
+            _fail(
+                self.context,
+                "election",
+                f"{leaders_count} stations believe they are the leader "
+                f"(must be at most 1)",
+                deciding_slot if deciding_slot is not None else max(0, end - 1),
+                end,
+            )
+        if leaders_count == 1:
+            if not leader_transmitted:
+                _fail(
+                    self.context,
+                    "election",
+                    f"station {leader} won without transmitting in the "
+                    f"deciding slot",
+                    deciding_slot if deciding_slot is not None else max(0, end - 1),
+                    deciding_slot + 1 if deciding_slot is not None else end,
+                )
+            if not leader_awake:
+                _fail(
+                    self.context,
+                    "election",
+                    f"station {leader} won while not awake in the deciding "
+                    f"slot",
+                    deciding_slot if deciding_slot is not None else max(0, end - 1),
+                    deciding_slot + 1 if deciding_slot is not None else end,
+                )
+
+
+class BatchInvariantAuditor:
+    """Vectorized invariant checks for the batched engine.
+
+    Runs the same potential-based budget detection as
+    :class:`~repro.adversary.validation.WindowAuditor`, but over all
+    ``reps`` columns in lockstep NumPy (mirroring
+    :class:`~repro.adversary.budget.JammingBudgetArray`): per column the
+    prefix potential ``phi = J - (1-eps)*slot`` is compared against its
+    ``T``-lagged running minimum.  Channel consistency is one mask
+    expression per slot.
+    """
+
+    def __init__(
+        self, T: int, eps: float, reps: int, context: "AuditContext | None" = None
+    ) -> None:
+        if T < 1:
+            raise ConfigurationError(f"T must be >= 1, got {T}")
+        if not (0.0 < eps <= 1.0):
+            raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+        if reps < 1:
+            raise ConfigurationError(f"reps must be >= 1, got {reps}")
+        self.T = int(T)
+        self.eps = float(eps)
+        self.reps = int(reps)
+        self.context = context
+        self.slots_checked = 0
+        self._rate = 1.0 - self.eps
+        self._slot = 0
+        self._J = np.zeros(reps, dtype=np.int64)
+        self._pending: deque[tuple[np.ndarray, np.ndarray]] = deque(
+            [(np.zeros(reps), np.zeros(reps, dtype=np.int64))]
+        )
+        self._min_phi = np.full(reps, np.inf)
+        self._argmin = np.zeros(reps, dtype=np.int64)
+        self._argmin_J = np.zeros(reps, dtype=np.int64)
+        self._folded = 0
+
+    def observe_slot(
+        self,
+        slot: int,
+        k: np.ndarray,
+        jammed: np.ndarray,
+        observed: np.ndarray,
+        corrupted: "np.ndarray | None" = None,
+        active: "np.ndarray | None" = None,
+    ) -> None:
+        """Audit one batched slot; arrays are all shape ``(reps,)``.
+
+        *observed* uses the int8 state codes of the batched engine.  The
+        budget is audited for every column (retired columns' budgets still
+        advance in lockstep, exactly like the engine); channel consistency
+        only for *active*, un-*corrupted* columns.
+        """
+        self._J += jammed
+        self._slot += 1
+        e = self._slot
+        self._pending.append(
+            (self._J - self._rate * e, self._J.copy())
+        )
+        if e >= self.T:
+            horizon = e - self.T
+            while self._folded <= horizon:
+                phi_s, J_s = self._pending.popleft()
+                better = phi_s < self._min_phi
+                self._min_phi[better] = phi_s[better]
+                self._argmin[better] = self._folded
+                self._argmin_J[better] = J_s[better]
+                self._folded += 1
+            over = (self._J - self._rate * e) > self._min_phi + 1e-9
+            if over.any():
+                c = int(np.argmax(over))
+                s = int(self._argmin[c])
+                violation = WindowViolation(
+                    start=s,
+                    end=e,
+                    jams=int(self._J[c] - self._argmin_J[c]),
+                    allowed=self._rate * (e - s),
+                )
+                _fail(
+                    self.context,
+                    "budget",
+                    f"column {c}: {violation.describe()}",
+                    violation.start,
+                    violation.end,
+                    column=c,
+                )
+        check = np.ones(self.reps, dtype=bool) if active is None else active.copy()
+        if corrupted is not None:
+            check &= ~corrupted
+        expected = np.where(
+            jammed, np.int8(ChannelState.COLLISION), np.minimum(k, 2).astype(np.int8)
+        )
+        bad = check & (observed != expected)
+        if bad.any():
+            c = int(np.argmax(bad))
+            _fail(
+                self.context,
+                "channel",
+                f"column {c}: k={int(k[c])}, jammed={bool(jammed[c])} must be "
+                f"observed as state {int(expected[c])}, engine delivered "
+                f"{int(observed[c])}",
+                slot,
+                slot + 1,
+                column=c,
+            )
+        self.slots_checked += 1
+
+
+class OverBudgetAdversary(Adversary):
+    """A *cheating* adversary that ignores its budget's clamp decisions.
+
+    Test/CI harness only: it keeps the budget accounting running (so
+    ``jams_granted`` / ``denied_requests`` stay meaningful) but returns the
+    strategy's raw intent, jamming even when the (T, 1-eps) budget said no.
+    Driven with a saturating strategy it violates the definition within the
+    first T slots -- the canonical way to prove the auditor actually trips.
+    """
+
+    def decide(self, view: AdversaryView) -> bool:
+        want = self.strategy.wants_jam(view, self._rng)
+        self.budget.grant(want)
+        return want

@@ -1,0 +1,145 @@
+"""Self-contained repro bundles for invariant violations.
+
+When the runtime auditor trips, debugging needs more than a message: it
+needs a recipe that *re-runs the offending execution*.  A
+:class:`ReproBundle` captures everything deterministic about the run --
+root seed, engine, protocol and adversary parameters, the fault-model
+spec, and the offending slot window -- as plain JSON, so it can be
+attached to an :class:`~repro.errors.InvariantViolationError`, written to
+disk, mailed around, and replayed later with::
+
+    python -m repro replay violation.json
+
+(see :mod:`repro.resilience.replay`).  Bundles are intentionally
+schema-stable plain data: no pickling, no object graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReproBundle", "BUNDLE_SCHEMA_VERSION"]
+
+#: Bump when the bundle layout changes incompatibly.
+BUNDLE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproBundle:
+    """Replayable description of one invariant violation.
+
+    ``slot_start``/``slot_end`` delimit the offending window ``[start,
+    end)`` -- for a budget violation the over-jammed window, for a channel
+    or election violation the single slot ``[s, s+1)`` where the invariant
+    broke.
+    """
+
+    #: Which invariant broke: ``"budget"``, ``"channel"`` or ``"election"``.
+    invariant: str
+    #: Human-readable account of the violation.
+    detail: str
+    #: Offending slot window ``[slot_start, slot_end)``.
+    slot_start: int
+    slot_end: int
+    #: Root seed of the run (None when the run was seeded by entropy --
+    #: such a violation is real but not replayable).
+    seed: int | None = None
+    #: Engine that produced the run: ``"faithful"``, ``"fast"``,
+    #: ``"batched"`` or ``"unknown"``.
+    engine: str = "unknown"
+    n: int | None = None
+    protocol: str | None = None
+    T: int | None = None
+    eps: float | None = None
+    max_slots: int | None = None
+    #: Adversary registry name (``"overbudget:"`` prefix marks the cheating
+    #: test harness that bypasses its budget clamp).
+    adversary: str | None = None
+    #: :meth:`repro.resilience.faults.FaultModel.to_jsonable` spec, if any.
+    faults: dict | None = None
+    #: Batched-engine column the violation occurred in, if applicable.
+    column: int | None = None
+    #: Extra protocol parameters (e.g. ``lesu_c``).
+    params: dict = field(default_factory=dict)
+    schema_version: int = BUNDLE_SCHEMA_VERSION
+
+    @property
+    def replayable(self) -> bool:
+        """Whether the bundle carries enough to reconstruct the run."""
+        return (
+            self.seed is not None
+            and self.n is not None
+            and self.protocol is not None
+            and self.T is not None
+            and self.eps is not None
+            and self.adversary is not None
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (CLI output)."""
+        lines = [
+            f"invariant : {self.invariant}",
+            f"detail    : {self.detail}",
+            f"window    : [{self.slot_start}, {self.slot_end})",
+            f"engine    : {self.engine}",
+        ]
+        if self.column is not None:
+            lines.append(f"column    : {self.column}")
+        lines.append(
+            f"run       : n={self.n} protocol={self.protocol} "
+            f"T={self.T} eps={self.eps} adversary={self.adversary} "
+            f"seed={self.seed}"
+        )
+        if self.faults:
+            lines.append(f"faults    : {json.dumps(self.faults, sort_keys=True)}")
+        lines.append(f"replayable: {self.replayable}")
+        return "\n".join(lines)
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """The bundle as a plain JSON-serializable dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ReproBundle":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"bundle must be a JSON object, got {type(data).__name__}"
+            )
+        version = data.get("schema_version", BUNDLE_SCHEMA_VERSION)
+        if version != BUNDLE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported bundle schema version {version!r} "
+                f"(this build reads version {BUNDLE_SCHEMA_VERSION})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown bundle fields: {unknown}")
+        missing = [
+            name
+            for name in ("invariant", "detail", "slot_start", "slot_end")
+            if name not in data
+        ]
+        if missing:
+            raise ConfigurationError(f"bundle missing required fields: {missing}")
+        return cls(**data)
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the bundle as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_jsonable(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ReproBundle":
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"bundle {path} is not valid JSON: {exc}") from exc
+        return cls.from_jsonable(data)

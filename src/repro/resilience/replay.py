@@ -1,0 +1,215 @@
+"""Re-execute saved violation bundles (``python -m repro replay``).
+
+A :class:`~repro.resilience.bundle.ReproBundle` written by the auditor is a
+deterministic recipe: root seed, engine, protocol/adversary parameters and
+fault-model spec.  :func:`replay_bundle` reconstructs that run, attaches a
+fresh :class:`~repro.resilience.auditor.InvariantAuditor`, and reports
+whether the recorded violation reproduces -- the "does it still fail on my
+machine" step of a bug report.
+
+Adversary names with the ``overbudget:`` prefix (written by
+``python -m repro audit --overbudget`` and by tests) denote the cheating
+harness :class:`~repro.resilience.auditor.OverBudgetAdversary`, which asks
+its budget for permission (keeping the books honest) and jams anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.adversary.base import Adversary
+from repro.adversary.suite import make_adversary
+from repro.core.config import ElectionConfig
+from repro.core.election import _policy_factory, make_protocol_stations
+from repro.errors import ConfigurationError, InvariantViolationError
+from repro.resilience.auditor import AuditContext, InvariantAuditor, OverBudgetAdversary
+from repro.resilience.bundle import ReproBundle
+from repro.resilience.faults import FaultModel
+from repro.sim.engine import simulate_stations
+from repro.sim.fast import simulate_uniform_fast
+from repro.types import CDMode
+
+__all__ = [
+    "ReplayResult",
+    "replay_bundle",
+    "replay_file",
+    "audited_election",
+    "OVERBUDGET_PREFIX",
+]
+
+OVERBUDGET_PREFIX = "overbudget:"
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of re-executing one bundle."""
+
+    bundle: ReproBundle
+    #: Whether a violation of the *same invariant* was raised again.
+    reproduced: bool
+    #: The violation observed during replay (None when the run was clean).
+    violation: "InvariantViolationError | None"
+    #: Slots the replay executed before stopping.
+    slots_run: int
+
+    def describe(self) -> str:
+        """REPRODUCED / DIVERGED / NOT REPRODUCED, with the detail line."""
+        if self.reproduced:
+            return (
+                f"REPRODUCED after {self.slots_run} slots: {self.violation}"
+            )
+        if self.violation is not None:
+            return (
+                f"DIVERGED: replay raised a different violation after "
+                f"{self.slots_run} slots: {self.violation}"
+            )
+        return f"NOT REPRODUCED: replay ran {self.slots_run} slots cleanly"
+
+
+def _make_replay_adversary(name: str, T: int, eps: float) -> Adversary:
+    """Adversary for a replay, honoring the ``overbudget:`` prefix."""
+    if name.startswith(OVERBUDGET_PREFIX):
+        inner = name[len(OVERBUDGET_PREFIX):]
+        honest = make_adversary(inner, T=T, eps=eps)
+        return OverBudgetAdversary(honest.strategy, T=T, eps=eps)
+    return make_adversary(name, T=T, eps=eps)
+
+
+def _execute_audited(
+    config: ElectionConfig,
+    adversary_name: str,
+    seed,
+    faults: "FaultModel | None",
+):
+    """Run one audited election, returning ``(result, violation, slots)``.
+
+    The adversary is built from *adversary_name* (honoring the
+    ``overbudget:`` prefix) rather than through
+    :func:`~repro.core.election.run_config`, which only knows honest
+    registry names.
+    """
+    adversary = _make_replay_adversary(adversary_name, T=config.T, eps=config.eps)
+    auditor = InvariantAuditor(
+        config.T,
+        config.eps,
+        context=AuditContext(
+            seed=seed if isinstance(seed, int) else None,
+            engine=config.resolved_engine(),
+            n=config.n,
+            protocol=config.protocol,
+            T=config.T,
+            eps=config.eps,
+            max_slots=config.slot_budget(),
+            adversary=adversary_name,
+            faults=faults,
+            params={"lesu_c": config.lesu_c} if "lesu" in config.protocol else {},
+        ),
+    )
+    violation: InvariantViolationError | None = None
+    result = None
+    slots_run = 0
+    try:
+        if config.resolved_engine() == "fast" and config.cd_mode is CDMode.STRONG:
+            result = simulate_uniform_fast(
+                _policy_factory(config)(),
+                n=config.n,
+                adversary=adversary,
+                max_slots=config.slot_budget(),
+                seed=seed,
+                faults=faults,
+                auditor=auditor,
+            )
+        else:
+            result = simulate_stations(
+                make_protocol_stations(config),
+                adversary=adversary,
+                cd_mode=config.cd_mode,
+                max_slots=config.slot_budget(),
+                seed=seed,
+                faults=faults,
+                auditor=auditor,
+                stop_on_first_single=config.cd_mode is CDMode.STRONG,
+            )
+        slots_run = result.slots
+    except InvariantViolationError as exc:
+        violation = exc
+        slots_run = auditor.slots_checked
+    return result, violation, slots_run
+
+
+def audited_election(
+    n: int,
+    protocol: str = "lesk",
+    eps: float = 0.5,
+    T: int = 16,
+    adversary: str = "none",
+    seed: "int | None" = None,
+    max_slots: "int | None" = None,
+    engine: str = "auto",
+    faults: "FaultModel | None" = None,
+    overbudget: bool = False,
+):
+    """One fully audited election run for the CLI and CI smoke checks.
+
+    With ``overbudget=True`` the named adversary is wrapped in
+    :class:`OverBudgetAdversary` (it jams whenever its strategy wants to,
+    ignoring the budget clamp) -- the auditor *must* trip.  Returns
+    ``(result, violation, slots_run)``; ``violation`` is ``None`` for a
+    clean run.
+    """
+    name = OVERBUDGET_PREFIX + adversary if overbudget else adversary
+    config = ElectionConfig(
+        n=n,
+        protocol=protocol,
+        eps=eps,
+        T=T,
+        adversary=adversary,
+        max_slots=max_slots,
+        engine=engine,
+    )
+    return _execute_audited(config, name, seed, faults)
+
+
+def replay_bundle(bundle: ReproBundle) -> ReplayResult:
+    """Re-run the execution described by *bundle* under a fresh auditor."""
+    if not bundle.replayable:
+        raise ConfigurationError(
+            "bundle is not replayable (it lacks a seed or run parameters):\n"
+            + bundle.describe()
+        )
+    faults = (
+        FaultModel.from_jsonable(bundle.faults) if bundle.faults else None
+    )
+    engine = bundle.engine if bundle.engine in ("fast", "faithful") else "auto"
+    config = ElectionConfig(
+        n=bundle.n,
+        protocol=bundle.protocol,
+        eps=bundle.eps,
+        T=bundle.T,
+        # Honest registry name for config validation; the real (possibly
+        # over-budget) adversary is built by _execute_audited.
+        adversary=bundle.adversary.removeprefix(OVERBUDGET_PREFIX),
+        max_slots=bundle.max_slots,
+        engine=engine,
+        lesu_c=float(bundle.params.get("lesu_c", 2.0)),
+    )
+    _, violation, slots_run = _execute_audited(
+        config, bundle.adversary, bundle.seed, faults
+    )
+    reproduced = (
+        violation is not None
+        and violation.bundle is not None
+        and violation.bundle.invariant == bundle.invariant
+    )
+    return ReplayResult(
+        bundle=bundle,
+        reproduced=reproduced,
+        violation=violation,
+        slots_run=slots_run,
+    )
+
+
+def replay_file(path: "str | Path") -> ReplayResult:
+    """Load a bundle JSON file and replay it."""
+    return replay_bundle(ReproBundle.load(path))

@@ -45,6 +45,7 @@ from repro.types import ChannelState
 
 __all__ = ["simulate_uniform_batched", "BatchRunResult"]
 
+_NULL = np.int8(ChannelState.NULL)
 _SINGLE = np.int8(ChannelState.SINGLE)
 _COLLISION = np.int8(ChannelState.COLLISION)
 
@@ -70,6 +71,7 @@ class BatchRunResult:
     listening: np.ndarray  # int64 station-slots listening
     policy_completed: np.ndarray  # bool: column finished of its own accord
     timed_out: np.ndarray  # bool
+    leader_survived: np.ndarray | None = None  # bool; None = fault-free batch
 
     def results(self) -> list[RunResult]:
         """Per-replication :class:`RunResult` views (harness-compatible)."""
@@ -93,6 +95,11 @@ class BatchRunResult:
                         listening=int(self.listening[r]),
                     ),
                     timed_out=bool(self.timed_out[r]),
+                    leader_survived=(
+                        True
+                        if self.leader_survived is None
+                        else bool(self.leader_survived[r])
+                    ),
                 )
             )
         return out
@@ -106,6 +113,8 @@ def simulate_uniform_batched(
     max_slots: int,
     root_seed: RngLike = None,
     halt_on_single: bool = True,
+    faults=None,
+    auditor=None,
 ) -> BatchRunResult:
     """Run *reps* independent replications of a uniform policy in lockstep.
 
@@ -126,6 +135,15 @@ def simulate_uniform_batched(
         Root seed or generator for the whole batch.
     halt_on_single:
         Retire a column at its first successful ``Single`` (election).
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultModel` (or a
+        realized :class:`~repro.resilience.faults.BatchFaultState`).  The
+        churn realization is shared across columns; rate-based corruption
+        is drawn per column per slot (vectorized fault masks).
+        ``None``/disabled keeps the batch bit-identical to a fault-free
+        build.
+    auditor:
+        Optional :class:`~repro.resilience.auditor.BatchInvariantAuditor`.
     """
     if n < 1:
         raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -142,6 +160,9 @@ def simulate_uniform_batched(
         )
     adversary = adversary_factory(reps)
     adversary.reset(seed=rng.spawn(1)[0])
+    # Fault streams spawn only when faults are enabled, *after* the
+    # adversary's spawn: the fault-free bitstream is untouched.
+    bf = _realize_batch_faults(faults, n, reps, max_slots, rng)
 
     active = np.ones(reps, dtype=bool)
     slots = np.full(reps, max_slots, dtype=np.int64)
@@ -154,6 +175,7 @@ def simulate_uniform_batched(
     listening = np.zeros(reps, dtype=np.int64)
     policy_done = np.zeros(reps, dtype=bool)
     timed_out = np.ones(reps, dtype=bool)
+    leader_survived = np.ones(reps, dtype=bool) if bf is not None else None
     tel = get_telemetry()
     rec = (
         EngineRecorder(tel, "batched", adversary.strategy_name)
@@ -186,16 +208,58 @@ def simulate_uniform_batched(
         # longer-lived sibling never leak into their results.
         jammed = adversary.decide(view)
 
+        if bf is not None:
+            # Churn (shared across columns) shrinks the station pool; clock
+            # skew thins the transmit probability; per-column fault masks
+            # rewrite observations below.
+            awake = bf.awake_count(slot)
+            flip, erase, downgrade = bf.begin_slot(slot, active)
+            p_eff = np.clip(p, 0.0, 1.0) * bf.p_scale
+        else:
+            awake = n
+            flip = erase = None
+            downgrade = False
+            p_eff = np.clip(p, 0.0, 1.0)
+
         # One binomial call for the whole batch; p is exact 0/1 at the
         # clamped extremes, which rng.binomial honors deterministically.
-        k = rng.binomial(n, np.clip(p, 0.0, 1.0))
+        k = rng.binomial(awake, p_eff)
 
         transmissions[active] += k[active]
-        listening[active] += n - k[active]
+        listening[active] += awake - k[active]
         if rec is not None:
             rec.record_batch_slot(slot, k, jammed, active)
 
+        observed = np.where(jammed, _COLLISION, _true_states(k))
+        if bf is not None:
+            # Same order as channel.faulty.corrupt_observed: erase wins
+            # (handled below by masking the policy update and the win
+            # check), then downgrade, then flip.
+            if downgrade:
+                observed = np.where(observed == _SINGLE, _COLLISION, observed)
+            if flip.any():
+                flipped = np.where(
+                    observed == _NULL,
+                    _COLLISION,
+                    np.where(observed == _COLLISION, _NULL, observed),
+                )
+                observed = np.where(flip, flipped, observed)
+        if auditor is not None:
+            if bf is not None:
+                corrupted = flip | erase
+                if downgrade:
+                    corrupted = np.ones(reps, dtype=bool)
+            else:
+                corrupted = None
+            auditor.observe_slot(
+                slot, k, jammed, observed, corrupted=corrupted, active=active
+            )
+
         successful_single = (k == 1) & ~jammed
+        if bf is not None:
+            # Only a *heard* Single resolves a column: erased or downgraded
+            # Singles go unnoticed and the column keeps running.
+            successful_single &= (observed == _SINGLE) & ~erase
         fresh_single = active & successful_single & (first_single < 0)
         first_single[fresh_single] = slot
 
@@ -204,16 +268,23 @@ def simulate_uniform_batched(
             if won.any():
                 idx = np.flatnonzero(won)
                 # By symmetry the successful transmitter is uniform over
-                # stations, exactly as in the scalar fast engine.
-                leaders[idx] = rng.integers(n, size=idx.size)
+                # the stations awake in the slot (all stations, fault-free).
+                if bf is not None:
+                    leaders[idx] = bf.pick_awake_stations(slot, idx.size, rng)
+                    leader_survived[idx] = bf.leaders_survive(leaders[idx])
+                else:
+                    leaders[idx] = rng.integers(n, size=idx.size)
                 elected[idx] = True
                 retire(won, slot)
                 active &= ~won
                 if not active.any():
                     break
 
-        observed = np.where(jammed, _COLLISION, _true_states(k))
-        policy.observe_batch(slot, observed, active)
+        if bf is not None:
+            # Erased columns get no feedback: their policies skip the slot.
+            policy.observe_batch(slot, observed, active & ~erase)
+        else:
+            policy.observe_batch(slot, observed, active)
         done = active & policy.completed
         if done.any():
             policy_done |= done
@@ -233,6 +304,8 @@ def simulate_uniform_batched(
             jam_denied=int(jam_denied.sum()),
             last_slot=int(slots.max()),
         )
+    if bf is not None and tel.enabled:
+        bf.publish(tel)
     return BatchRunResult(
         n=n,
         reps=reps,
@@ -246,6 +319,24 @@ def simulate_uniform_batched(
         listening=listening,
         policy_completed=policy_done,
         timed_out=timed_out,
+        leader_survived=leader_survived,
+    )
+
+
+def _realize_batch_faults(faults, n: int, reps: int, max_slots: int, rng):
+    """Batched counterpart of :func:`repro.sim.engine._realize_faults`."""
+    if faults is None:
+        return None
+    from repro.resilience.faults import BatchFaultState, FaultModel
+
+    if isinstance(faults, FaultModel):
+        if not faults.enabled:
+            return None
+        return faults.realize_batch(n, reps, max_slots, rng.spawn(1)[0])
+    if isinstance(faults, BatchFaultState):
+        return faults
+    raise ConfigurationError(
+        f"faults must be a FaultModel or BatchFaultState, got {type(faults).__name__}"
     )
 
 

@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 
 from repro.adversary.base import Adversary, AdversaryView
 from repro.channel.channel import resolve_slot
+from repro.channel.faulty import corrupt_observed
 from repro.channel.feedback import feedback_for
 from repro.channel.trace import ChannelTrace
 from repro.errors import ConfigurationError
@@ -26,9 +27,29 @@ from repro.rng import RngLike, make_rng, spawn_many
 from repro.sim.instrumentation import EngineRecorder
 from repro.sim.metrics import EnergyStats, RunResult
 from repro.telemetry import get_telemetry
-from repro.types import Action, CDMode, PerceivedState, SlotFeedback
+from repro.types import Action, CDMode, ChannelState, PerceivedState, SlotFeedback
 
 __all__ = ["simulate_stations"]
+
+
+def _realize_faults(faults, n: int, max_slots: int, spawn_from):
+    """Common engine-side fault realization.
+
+    Accepts a :class:`~repro.resilience.faults.FaultModel` (realized here
+    from a freshly spawned stream -- drawn *only* when faults are enabled,
+    after all pre-existing spawns, so the no-fault bitstream is untouched)
+    or an already-realized schedule (tests, replay).  Returns ``None`` when
+    there is nothing to inject.
+    """
+    if faults is None:
+        return None
+    from repro.resilience.faults import FaultModel
+
+    if isinstance(faults, FaultModel):
+        if not faults.enabled:
+            return None
+        return faults.realize(n, max_slots, spawn_from.spawn(1)[0])
+    return faults
 
 
 def simulate_stations(
@@ -40,6 +61,8 @@ def simulate_stations(
     record_trace: bool = False,
     stop_on_first_single: bool = False,
     stop_when_all_done: bool = True,
+    faults=None,
+    auditor=None,
 ) -> RunResult:
     """Run *stations* against *adversary* until termination.
 
@@ -67,6 +90,14 @@ def simulate_stations(
     stop_when_all_done:
         End the run once every station reports ``done`` (the normal
         termination criterion for Notification runs).
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultModel` (or an
+        already-realized schedule): station churn removes stations from
+        slots, corruption rewrites what everyone hears.  ``None`` (or a
+        disabled model) leaves the run bit-identical to a fault-free build.
+    auditor:
+        Optional :class:`~repro.resilience.auditor.InvariantAuditor`; when
+        given, every slot and the final election are invariant-checked.
     """
     n = len(stations)
     if n < 1:
@@ -77,6 +108,9 @@ def simulate_stations(
     root = make_rng(seed)
     station_rngs = spawn_many(root, n)
     adversary.reset(seed=root.spawn(1)[0])
+    # Fault streams spawn only when faults are enabled, *after* every
+    # pre-existing spawn: the fault-free bitstream is untouched.
+    realized = _realize_faults(faults, n, max_slots, root)
     for sid, (station, srng) in enumerate(zip(stations, station_rngs)):
         station.reset(sid, srng)
 
@@ -85,6 +119,7 @@ def simulate_stations(
     actions: list[Action] = [Action.LISTEN] * n
     slots_run = 0
     first_single: int | None = None
+    single_transmitter: int | None = None
     timed_out = True
     tel = get_telemetry()
     rec = (
@@ -106,9 +141,20 @@ def simulate_stations(
         )
         jammed = adversary.decide(view)
 
-        # (2) stations act.
+        # (2) stations act; churned-out stations miss the slot entirely
+        # (no begin_slot, frozen state, no energy).
+        if realized is not None:
+            participating = realized.station_awake(slot)
+            flags = realized.begin_slot(slot, int(participating.sum()))
+        else:
+            participating = None
+            flags = None
         k = 0
+        last_tx = -1
         for sid, station in enumerate(stations):
+            if participating is not None and not participating[sid]:
+                actions[sid] = Action.LISTEN
+                continue
             if station.done:
                 actions[sid] = Action.LISTEN
                 continue
@@ -116,14 +162,20 @@ def simulate_stations(
             actions[sid] = action
             if action is Action.TRANSMIT:
                 k += 1
+                last_tx = sid
                 energy.transmissions += 1
                 energy.per_station_transmissions[sid] += 1
             elif action is Action.LISTEN:
                 energy.listening += 1
             # SLEEP: radio off, no energy, no feedback content.
 
-        # (3) channel resolves.
+        # (3) channel resolves; fault corruption rewrites the observation
+        # for everyone alike (None = erased, feedback withheld).
         outcome = resolve_slot(slot, k, jammed)
+        if flags is not None:
+            observed = corrupt_observed(outcome.observed_state, flags)
+        else:
+            observed = outcome.observed_state
         trace.append(
             transmitters=k,
             jammed=jammed,
@@ -132,13 +184,31 @@ def simulate_stations(
             probability=view.transmit_probability,
             u=view.protocol_u,
         )
-        if outcome.successful_single and first_single is None:
+        if (
+            outcome.successful_single
+            and observed is ChannelState.SINGLE
+            and first_single is None
+        ):
+            # A Single only resolves the election if stations *hear* it: an
+            # erased/downgraded Single goes unnoticed and the run continues.
             first_single = slot
+            single_transmitter = last_tx
         if rec is not None:
             rec.record_slot(slot, k, jammed)
+        if auditor is not None:
+            auditor.observe_slot(
+                slot,
+                k,
+                jammed,
+                observed,
+                corrupted=flags.corrupted if flags is not None else False,
+            )
 
         # (4) feedback to active stations.
         for sid, station in enumerate(stations):
+            if participating is not None and not participating[sid]:
+                # Missed the slot: no begin_slot happened, so no delivery.
+                continue
             if station.done and actions[sid] is Action.LISTEN:
                 # Terminated stations sleep; skip delivery.  (A station that
                 # transmitted and became done in a previous slot is already
@@ -147,10 +217,16 @@ def simulate_stations(
             if actions[sid] is Action.SLEEP:
                 # A sleeping station learns nothing about the slot.
                 fb = SlotFeedback(transmitted=False, perceived=PerceivedState.UNKNOWN)
+            elif observed is None:
+                # Fault-erased slot: everyone's feedback is withheld.
+                fb = SlotFeedback(
+                    transmitted=actions[sid] is Action.TRANSMIT,
+                    perceived=PerceivedState.UNKNOWN,
+                )
             else:
                 fb = feedback_for(
                     transmitted=actions[sid] is Action.TRANSMIT,
-                    observed=outcome.observed_state,
+                    observed=observed,
                     mode=cd_mode,
                 )
             station.end_slot(slot, fb)
@@ -159,18 +235,35 @@ def simulate_stations(
         if stop_on_first_single and first_single is not None:
             timed_out = False
             break
-        if stop_when_all_done and all(s.done for s in stations):
+        if stop_when_all_done and _all_live_done(stations, realized, slot):
             timed_out = False
             break
 
     leaders = [sid for sid, s in enumerate(stations) if s.is_leader]
-    all_done = all(s.done for s in stations)
+    all_done = _all_live_done(stations, realized, slots_run - 1)
     if stop_on_first_single:
         elected = first_single is not None
         leader = leaders[0] if len(leaders) == 1 else None
     else:
         elected = all_done and len(leaders) == 1
         leader = leaders[0] if elected else None
+    leader_survived = True
+    if realized is not None and leader is not None:
+        leader_survived = realized.leader_survives(leader)
+    if auditor is not None:
+        leader_transmitted = True
+        if stop_on_first_single and leader is not None and single_transmitter is not None:
+            leader_transmitted = leader == single_transmitter
+        leader_awake = True
+        if realized is not None and leader is not None and first_single is not None:
+            leader_awake = realized.station_participating(leader, first_single)
+        auditor.check_election(
+            len(leaders),
+            leader=leader,
+            deciding_slot=first_single,
+            leader_transmitted=leader_transmitted,
+            leader_awake=leader_awake,
+        )
     if rec is not None:
         rec.finish(
             runs=1,
@@ -179,6 +272,8 @@ def simulate_stations(
             jam_denied=adversary.budget.denied_requests,
             last_slot=slots_run,
         )
+    if realized is not None and tel.enabled:
+        realized.publish(tel)
     return RunResult(
         n=n,
         slots=slots_run,
@@ -192,6 +287,22 @@ def simulate_stations(
         energy=energy,
         trace=trace if record_trace else None,
         timed_out=timed_out,
+        leader_survived=leader_survived,
+    )
+
+
+def _all_live_done(stations, realized, slot: int) -> bool:
+    """All-done termination, excluding permanently crashed stations.
+
+    A crashed station never reaches ``done`` on its own; without this the
+    normal termination criterion could never fire under churn.  Sleeping,
+    skewed or not-yet-joined stations *do* still count -- they will be back.
+    """
+    if realized is None:
+        return all(s.done for s in stations)
+    crash = realized.crash_slot
+    return all(
+        s.done or (0 <= crash[sid] <= slot) for sid, s in enumerate(stations)
     )
 
 

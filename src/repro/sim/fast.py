@@ -22,13 +22,16 @@ from __future__ import annotations
 
 from repro.adversary.base import Adversary, AdversaryView
 from repro.channel.channel import resolve_slot
+from repro.channel.faulty import corrupt_observed
 from repro.channel.trace import ChannelTrace
 from repro.errors import ConfigurationError
 from repro.protocols.base import UniformPolicy
 from repro.rng import RngLike, make_rng
+from repro.sim.engine import _realize_faults
 from repro.sim.instrumentation import EngineRecorder
 from repro.sim.metrics import EnergyStats, RunResult
 from repro.telemetry import get_telemetry
+from repro.types import ChannelState
 
 __all__ = ["simulate_uniform_fast"]
 
@@ -41,6 +44,8 @@ def simulate_uniform_fast(
     seed: RngLike = None,
     record_trace: bool = False,
     halt_on_single: bool = True,
+    faults=None,
+    auditor=None,
 ) -> RunResult:
     """Simulate a uniform *policy* over *n* stations against *adversary*.
 
@@ -64,6 +69,15 @@ def simulate_uniform_fast(
         resolution).  Set to False for protocols run purely for their own
         result (e.g. standalone ``Estimation`` used as a size-approximation
         primitive), in which case Singles are passed to the policy.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultModel` (or realized
+        schedule).  Churn shrinks the binomial's station count, clock skew
+        thins the transmit probability (``p * (1 - skew_rate)``, exact for
+        the transmitter-count law), and corruption rewrites the shared
+        observation.  ``None``/disabled keeps the run bit-identical to a
+        fault-free build.
+    auditor:
+        Optional :class:`~repro.resilience.auditor.InvariantAuditor`.
     """
     if n < 1:
         raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -72,6 +86,9 @@ def simulate_uniform_fast(
 
     rng = make_rng(seed)
     adversary.reset(seed=rng.spawn(1)[0])
+    # Fault streams spawn only when faults are enabled, *after* the
+    # adversary's spawn: the fault-free bitstream is untouched.
+    realized = _realize_faults(faults, n, max_slots, rng)
     # The trace doubles as the adversary's observed history even when the
     # caller does not want it back; the probability/u columns are only
     # stored when tracing, keeping the hot path free of per-slot appends.
@@ -79,6 +96,7 @@ def simulate_uniform_fast(
     energy = EnergyStats()
     elected = False
     leader: int | None = None
+    first_heard_single: int | None = None
     timed_out = True
     slots_run = 0
     tel = get_telemetry()
@@ -102,16 +120,30 @@ def simulate_uniform_fast(
         )
         jammed = adversary.decide(view)
 
-        if p <= 0.0:
-            k = 0
-        elif p >= 1.0:
-            k = n
+        if realized is not None:
+            # Churn shrinks the station pool; clock skew thins the transmit
+            # probability (exact for the Binomial transmitter-count law).
+            awake = realized.awake_count(slot)
+            flags = realized.begin_slot(slot, awake)
+            p_eff = p * flags.p_scale
         else:
-            k = int(rng.binomial(n, p))
+            awake = n
+            flags = None
+            p_eff = p
+        if p_eff <= 0.0:
+            k = 0
+        elif p_eff >= 1.0:
+            k = awake
+        else:
+            k = int(rng.binomial(awake, p_eff))
         energy.transmissions += k
-        energy.listening += n - k
+        energy.listening += awake - k
 
         outcome = resolve_slot(slot, k, jammed)
+        if flags is not None:
+            observed = corrupt_observed(outcome.observed_state, flags)
+        else:
+            observed = outcome.observed_state
         trace.append(
             transmitters=k,
             jammed=jammed,
@@ -122,15 +154,40 @@ def simulate_uniform_fast(
         )
         if rec is not None:
             rec.record_slot(slot, k, jammed)
+        if auditor is not None:
+            auditor.observe_slot(
+                slot,
+                k,
+                jammed,
+                observed,
+                corrupted=flags.corrupted if flags is not None else False,
+            )
 
         slots_run = slot + 1
-        if outcome.successful_single and halt_on_single:
+        if (
+            outcome.successful_single
+            and observed is ChannelState.SINGLE
+            and first_heard_single is None
+        ):
+            first_heard_single = slot
+        if (
+            outcome.successful_single
+            and observed is ChannelState.SINGLE
+            and halt_on_single
+        ):
+            # An erased/downgraded Single goes unheard and does not resolve
+            # the election; with faults off this is successful_single as is.
             elected = True
-            # By symmetry the successful transmitter is uniform over stations.
-            leader = int(rng.integers(n))
+            # By symmetry the successful transmitter is uniform over the
+            # stations awake in this slot.
+            if realized is not None:
+                leader = realized.pick_awake_station(slot, rng)
+            else:
+                leader = int(rng.integers(n))
             timed_out = False
             break
-        policy.observe(slot, outcome.observed_state)
+        if observed is not None:
+            policy.observe(slot, observed)
         if rec is not None and policy.u != last_u:
             rec.phase(slot, last_u, policy.u)
             last_u = policy.u
@@ -138,6 +195,20 @@ def simulate_uniform_fast(
             timed_out = False
             break
 
+    leader_survived = True
+    if realized is not None and leader is not None:
+        leader_survived = realized.leader_survives(leader)
+    if auditor is not None:
+        leader_awake = True
+        if realized is not None and leader is not None:
+            leader_awake = realized.station_participating(leader, slots_run - 1)
+        auditor.check_election(
+            1 if elected else 0,
+            leader=leader,
+            deciding_slot=slots_run - 1 if elected else None,
+            leader_transmitted=True,  # the winner is the slot's transmitter
+            leader_awake=leader_awake,
+        )
     if rec is not None:
         rec.finish(
             runs=1,
@@ -146,12 +217,18 @@ def simulate_uniform_fast(
             jam_denied=adversary.budget.denied_requests,
             last_slot=slots_run,
         )
+    if realized is not None and tel.enabled:
+        realized.publish(tel)
     return RunResult(
         n=n,
         slots=slots_run,
         elected=elected,
         leader=leader,
-        first_single_slot=trace.first_single_slot,
+        # Under faults only a *heard* Single counts (an erased/downgraded
+        # one is invisible to stations); without faults the two agree.
+        first_single_slot=(
+            trace.first_single_slot if realized is None else first_heard_single
+        ),
         all_terminated=elected or policy.completed,
         leaders_count=1 if elected else 0,
         jams=adversary.budget.jams_granted,
@@ -160,4 +237,5 @@ def simulate_uniform_fast(
         policy_result=policy.result,
         trace=trace if record_trace else None,
         timed_out=timed_out,
+        leader_survived=leader_survived,
     )

@@ -96,6 +96,14 @@ class RunResult:
         Full slot-by-slot trace if recording was enabled.
     timed_out:
         True when the run hit ``max_slots`` without finishing.
+    leader_survived:
+        False when the elected leader was scheduled to crash (fault
+        injection) after winning -- such a run must not count as a clean
+        success in election-time summaries.  True for fault-free runs.
+    restarts:
+        Number of election restarts performed by the supervision layer in
+        :func:`repro.core.election.elect_leader` after a would-be leader
+        crashed (0 when supervision is off or unnecessary).
     """
 
     n: int
@@ -111,6 +119,8 @@ class RunResult:
     policy_result: object | None = None
     trace: ChannelTrace | None = None
     timed_out: bool = False
+    leader_survived: bool = True
+    restarts: int = 0
 
     @property
     def election_slot(self) -> int | None:
@@ -142,5 +152,14 @@ class RunResult:
             raise SimulationError(
                 f"no leader elected: run ended after {self.slots} slots "
                 f"without a successful Single ({detail})"
+            )
+        if not self.leader_survived:
+            from repro.errors import SimulationError
+
+            raise SimulationError(
+                f"leader elected at slot {self.first_single_slot} but station "
+                f"{self.leader} subsequently crashed (fault injection); the "
+                f"run does not count as a surviving election "
+                f"(n={self.n}, restarts={self.restarts})"
             )
         return self

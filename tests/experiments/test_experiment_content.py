@@ -193,6 +193,28 @@ def test_a8_searched_attacks_stay_within_bound(table):
         assert r["slowdown"] < 3.0
 
 
+@with_table("A10")
+def test_a10_churn_cheap_corruption_sharp(table):
+    rows = {(r["protocol"], r["fault"], r["rate"]): r for r in table.rows}
+    for protocol in ("lesk", "lesu"):
+        # Fault-free baseline and every churn severity fully succeed;
+        # doomed leaders are recovered by restart supervision.
+        assert rows[(protocol, "none", 0.0)]["success_rate"] == 1.0
+        for key, r in rows.items():
+            if key[0] == protocol and key[1] == "churn":
+                assert r["success_rate"] == 1.0
+                assert r["leader_crashes"] == 0
+        # Corruption is the sharp axis: success is non-increasing in
+        # severity and drops below 1 at the top of the sweep.
+        corr = sorted(
+            (r for k, r in rows.items() if k[0] == protocol and k[1] == "corruption"),
+            key=lambda r: r["rate"],
+        )
+        successes = [r["success_rate"] for r in corr]
+        assert successes == sorted(successes, reverse=True)
+        assert successes[-1] < 1.0
+
+
 @with_table("A9")
 def test_a9_doubling_survives_fixed_does_not(table):
     rows = {(r["partition"].split()[0], r["environment"]): r for r in table.rows}

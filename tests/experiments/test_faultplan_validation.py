@@ -1,0 +1,31 @@
+"""FaultPlan.validate_ids: typo'd experiment ids fail fast at the CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.faults import FaultPlan
+from repro.experiments.run_all import EXPERIMENT_MODULES, main
+
+
+class TestValidateIds:
+    def test_known_ids_pass_and_chain(self):
+        plan = FaultPlan.from_spec("T1:raise@1,A10:hang@2")
+        assert plan.validate_ids(EXPERIMENT_MODULES) is plan
+
+    def test_unknown_id_rejected(self):
+        plan = FaultPlan.from_spec("T1:raise,T99:hang")
+        with pytest.raises(ConfigurationError, match="T99"):
+            plan.validate_ids(EXPERIMENT_MODULES)
+
+    def test_empty_plan_passes(self):
+        FaultPlan().validate_ids(EXPERIMENT_MODULES)
+
+    def test_cli_rejects_unknown_fault_id(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--preset", "smoke", "--inject-faults", "T99:raise"])
+        assert exc.value.code == 2
+        assert "T99" in capsys.readouterr().err
+
+
+def test_a10_registered():
+    assert EXPERIMENT_MODULES["A10"] == "repro.experiments.e22_fault_degradation"

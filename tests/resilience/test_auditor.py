@@ -1,0 +1,164 @@
+"""Runtime invariant auditor: budget, channel and election checks."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.suite import make_adversary
+from repro.adversary.vector import make_batched_adversary
+from repro.errors import InvariantViolationError
+from repro.protocols.base import UniformStationAdapter
+from repro.protocols.lesk import LESKPolicy
+from repro.protocols.vector import VectorLESKPolicy
+from repro.resilience.auditor import (
+    AuditContext,
+    BatchInvariantAuditor,
+    InvariantAuditor,
+    OverBudgetAdversary,
+)
+from repro.sim.batched import simulate_uniform_batched
+from repro.sim.engine import simulate_stations
+from repro.sim.fast import simulate_uniform_fast
+from repro.types import CDMode, ChannelState
+
+
+def _cheater(T=8, eps=0.5):
+    honest = make_adversary("saturating", T=T, eps=eps)
+    return OverBudgetAdversary(honest.strategy, T=T, eps=eps)
+
+
+class TestBudgetInvariant:
+    def test_honest_adversary_passes_fast(self):
+        auditor = InvariantAuditor(8, 0.5)
+        result = simulate_uniform_fast(
+            LESKPolicy(0.5), n=32,
+            adversary=make_adversary("saturating", T=8, eps=0.5),
+            max_slots=4096, seed=5, auditor=auditor,
+        )
+        assert result.elected
+        assert auditor.slots_checked == result.slots
+
+    def test_honest_adversary_passes_faithful(self):
+        auditor = InvariantAuditor(8, 0.5)
+        stations = [
+            UniformStationAdapter(LESKPolicy(0.5), cd_mode=CDMode.STRONG)
+            for _ in range(16)
+        ]
+        result = simulate_stations(
+            stations, adversary=make_adversary("saturating", T=8, eps=0.5),
+            cd_mode=CDMode.STRONG, max_slots=4096, seed=5,
+            stop_on_first_single=True, auditor=auditor,
+        )
+        assert result.elected
+        assert auditor.slots_checked == result.slots
+
+    def test_over_budget_trips_fast(self):
+        ctx = AuditContext(seed=5, engine="fast", n=32, protocol="lesk",
+                           T=8, eps=0.5, max_slots=4096,
+                           adversary="overbudget:saturating")
+        auditor = InvariantAuditor(8, 0.5, context=ctx)
+        with pytest.raises(InvariantViolationError) as exc:
+            simulate_uniform_fast(
+                LESKPolicy(0.5), n=32, adversary=_cheater(),
+                max_slots=4096, seed=5, auditor=auditor,
+            )
+        bundle = exc.value.bundle
+        assert bundle is not None
+        assert bundle.invariant == "budget"
+        assert bundle.replayable
+        # Saturating + T=8, eps=0.5: the first window [0, 8) already holds
+        # 8 jams against an allowance of 4.
+        assert (bundle.slot_start, bundle.slot_end) == (0, 8)
+
+    def test_over_budget_trips_faithful(self):
+        auditor = InvariantAuditor(8, 0.5)
+        stations = [
+            UniformStationAdapter(LESKPolicy(0.5), cd_mode=CDMode.STRONG)
+            for _ in range(16)
+        ]
+        with pytest.raises(InvariantViolationError, match="budget"):
+            simulate_stations(
+                stations, adversary=_cheater(),
+                cd_mode=CDMode.STRONG, max_slots=4096, seed=5,
+                stop_on_first_single=True, auditor=auditor,
+            )
+
+
+class TestChannelInvariant:
+    def test_inconsistent_observation_trips(self):
+        auditor = InvariantAuditor(8, 0.5)
+        # k=0 without jamming must be observed NULL; claim COLLISION.
+        with pytest.raises(InvariantViolationError, match="channel"):
+            auditor.observe_slot(0, 0, False, ChannelState.COLLISION)
+
+    def test_corrupted_slot_exempt(self):
+        auditor = InvariantAuditor(8, 0.5)
+        auditor.observe_slot(0, 0, False, ChannelState.COLLISION, corrupted=True)
+        auditor.observe_slot(1, 2, False, None, corrupted=True)  # erased
+        assert auditor.slots_checked == 2
+
+    def test_erasure_without_fault_trips(self):
+        auditor = InvariantAuditor(8, 0.5)
+        with pytest.raises(InvariantViolationError, match="channel"):
+            auditor.observe_slot(0, 1, False, None)
+
+
+class TestElectionInvariant:
+    def test_multiple_leaders_trip(self):
+        auditor = InvariantAuditor(8, 0.5)
+        with pytest.raises(InvariantViolationError, match="election"):
+            auditor.check_election(2)
+
+    def test_single_leader_passes(self):
+        auditor = InvariantAuditor(8, 0.5)
+        auditor.check_election(1, leader=3, deciding_slot=10)
+
+    def test_crashed_at_decision_trips(self):
+        auditor = InvariantAuditor(8, 0.5)
+        with pytest.raises(InvariantViolationError, match="election"):
+            auditor.check_election(1, leader=3, deciding_slot=10, leader_awake=False)
+
+
+class TestBatchAuditor:
+    def test_clean_batched_run(self):
+        auditor = BatchInvariantAuditor(8, 0.5, reps=4)
+        result = simulate_uniform_batched(
+            lambda reps: VectorLESKPolicy(0.5, reps), 32,
+            lambda reps: make_batched_adversary("saturating", T=8, eps=0.5, reps=reps),
+            4, 4096, root_seed=5, auditor=auditor,
+        )
+        assert result.elected.all()
+
+    def test_over_jammed_column_trips_with_column(self):
+        T, eps, reps = 8, 0.5, 3
+        ctx = AuditContext(seed=1, engine="batched", n=16, protocol="lesk",
+                           T=T, eps=eps, adversary="overbudget:saturating")
+        auditor = BatchInvariantAuditor(T, eps, reps, context=ctx)
+        k = np.zeros(reps, dtype=np.int64)
+        observed = np.full(reps, np.int8(ChannelState.COLLISION))
+        jam = np.array([False, True, False])  # column 1 jams every slot
+        clean = np.array(
+            [np.int8(ChannelState.NULL), np.int8(ChannelState.COLLISION),
+             np.int8(ChannelState.NULL)]
+        )
+        with pytest.raises(InvariantViolationError) as exc:
+            for slot in range(T + 1):
+                auditor.observe_slot(slot, k, jam, clean)
+        bundle = exc.value.bundle
+        assert bundle.invariant == "budget"
+        assert bundle.column == 1
+
+    def test_channel_check_vectorized(self):
+        auditor = BatchInvariantAuditor(8, 0.5, reps=2)
+        k = np.array([1, 0], dtype=np.int64)
+        jam = np.zeros(2, dtype=bool)
+        bad = np.array([np.int8(ChannelState.SINGLE), np.int8(ChannelState.SINGLE)])
+        with pytest.raises(InvariantViolationError, match="channel"):
+            auditor.observe_slot(0, k, jam, bad)
+
+    def test_corruption_mask_exempts(self):
+        auditor = BatchInvariantAuditor(8, 0.5, reps=2)
+        k = np.array([1, 0], dtype=np.int64)
+        jam = np.zeros(2, dtype=bool)
+        bad = np.array([np.int8(ChannelState.SINGLE), np.int8(ChannelState.SINGLE)])
+        corrupted = np.array([False, True])
+        auditor.observe_slot(0, k, jam, bad, corrupted=corrupted)

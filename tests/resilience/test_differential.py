@@ -1,0 +1,117 @@
+"""Differential mode: scalar vs fast vs vector semantics in lockstep.
+
+The fuzz class is the load-bearing test: 100+ random configurations
+(station count, eps, T, adversary pattern, corruption faults, seed) must
+produce ZERO divergences between the per-station adapter stack, the shared
+scalar-policy stack and the vectorized stack.  Any semantic drift between
+the engines' update rules shows up here as a first-diverging slot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.differential import (
+    DETERMINISTIC_ADVERSARIES,
+    STACKS,
+    DifferentialConfig,
+    first_diverging_slot,
+    run_differential,
+)
+from repro.resilience.faults import FaultModel
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("adversary", DETERMINISTIC_ADVERSARIES)
+    def test_fault_free(self, adversary):
+        for seed in range(3):
+            report = run_differential(
+                DifferentialConfig(n=16, adversary=adversary, seed=seed, max_slots=400)
+            )
+            assert report.agreed, report.divergence.describe()
+            assert report.slots_compared > 0
+
+    def test_corruption_faults(self):
+        faults = FaultModel(
+            flip_rate=0.05, erase_rate=0.05, downgrade_slots=(3, 7, 11)
+        )
+        for seed in range(3):
+            report = run_differential(
+                DifferentialConfig(
+                    n=12, adversary="burst", seed=seed, max_slots=400, faults=faults
+                )
+            )
+            assert report.agreed, report.divergence.describe()
+
+    def test_single_station(self):
+        report = run_differential(DifferentialConfig(n=1, seed=0, max_slots=50))
+        assert report.agreed
+
+
+class TestTamper:
+    @pytest.mark.parametrize("stack", STACKS)
+    def test_detected_at_seeded_slot(self, stack):
+        config = DifferentialConfig(
+            n=16, adversary="none", seed=1, max_slots=400, tamper=(stack, 5)
+        )
+        report = run_differential(config)
+        assert not report.agreed
+        assert report.divergence.slot == 5
+        assert stack in (report.divergence.stack_a, report.divergence.stack_b)
+
+    def test_bisection_finds_seeded_slot(self):
+        config = DifferentialConfig(
+            n=16, adversary="saturating", seed=2, max_slots=400, tamper=("fast", 9)
+        )
+        assert first_diverging_slot(config) == 9
+
+    def test_bisection_none_when_agreed(self):
+        config = DifferentialConfig(n=8, seed=3, max_slots=200)
+        assert first_diverging_slot(config) is None
+
+
+class TestConfigValidation:
+    def test_churn_rejected(self):
+        with pytest.raises(ConfigurationError, match="corruption faults only"):
+            DifferentialConfig(n=8, faults=FaultModel(crash_rate=0.01))
+
+    def test_skew_rejected(self):
+        with pytest.raises(ConfigurationError, match="corruption faults only"):
+            DifferentialConfig(n=8, faults=FaultModel(skew_rate=0.01))
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ConfigurationError, match="deterministic adversary"):
+            DifferentialConfig(n=8, adversary="adaptive-mystery")
+
+    def test_unknown_tamper_stack_rejected(self):
+        with pytest.raises(ConfigurationError, match="tamper stack"):
+            DifferentialConfig(n=8, tamper=("gpu", 3))
+
+
+class TestFuzz:
+    def test_100_random_configs_zero_divergences(self):
+        rng = np.random.default_rng(20260805)
+        diverged = []
+        for i in range(100):
+            n = int(rng.integers(1, 24))
+            eps = float(rng.choice([0.3, 0.5, 0.7]))
+            T = int(rng.choice([4, 8, 16]))
+            adversary = str(rng.choice(DETERMINISTIC_ADVERSARIES))
+            if rng.random() < 0.5:
+                faults = FaultModel(
+                    flip_rate=float(rng.uniform(0, 0.15)),
+                    erase_rate=float(rng.uniform(0, 0.15)),
+                    downgrade_slots=tuple(
+                        sorted(int(s) for s in rng.integers(0, 60, size=rng.integers(0, 4)))
+                    ),
+                )
+            else:
+                faults = FaultModel()
+            config = DifferentialConfig(
+                n=n, eps=eps, T=T, adversary=adversary,
+                max_slots=250, seed=int(rng.integers(1 << 30)), faults=faults,
+            )
+            report = run_differential(config)
+            if not report.agreed:
+                diverged.append((config, report.divergence.describe()))
+        assert not diverged, diverged[:3]

@@ -1,0 +1,90 @@
+"""Violation bundles: serialization, replay, and the audited-run helper."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.bundle import BUNDLE_SCHEMA_VERSION, ReproBundle
+from repro.resilience.faults import FaultModel
+from repro.resilience.replay import audited_election, replay_bundle, replay_file
+
+
+def _violation_bundle(seed=11):
+    """A real budget-violation bundle from an over-budget run."""
+    result, violation, _ = audited_election(
+        n=32, protocol="lesk", eps=0.5, T=8, adversary="saturating",
+        seed=seed, max_slots=4096, overbudget=True,
+    )
+    assert result is None and violation is not None
+    return violation.bundle
+
+
+class TestBundle:
+    def test_round_trip(self, tmp_path):
+        bundle = _violation_bundle()
+        path = tmp_path / "violation.json"
+        bundle.save(path)
+        assert ReproBundle.load(path) == bundle
+
+    def test_schema_version_checked(self):
+        data = _violation_bundle().to_jsonable()
+        data["schema_version"] = BUNDLE_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError, match="schema version"):
+            ReproBundle.from_jsonable(data)
+
+    def test_unknown_field_rejected(self):
+        data = _violation_bundle().to_jsonable()
+        data["mystery"] = True
+        with pytest.raises(ConfigurationError, match="mystery"):
+            ReproBundle.from_jsonable(data)
+
+
+class TestReplay:
+    def test_overbudget_violation_reproduces(self, tmp_path):
+        bundle = _violation_bundle()
+        path = tmp_path / "violation.json"
+        bundle.save(path)
+        replay = replay_file(path)
+        assert replay.reproduced
+        assert replay.violation.bundle.invariant == bundle.invariant
+
+    def test_honest_run_does_not_reproduce(self):
+        data = _violation_bundle().to_jsonable()
+        data["adversary"] = "saturating"  # drop the overbudget: prefix
+        replay = replay_bundle(ReproBundle.from_jsonable(data))
+        assert not replay.reproduced
+        assert replay.violation is None
+        assert replay.slots_run > 0
+
+    def test_faulted_bundle_replays(self):
+        faults = FaultModel(flip_rate=0.05, erase_rate=0.05)
+        _, violation, _ = audited_election(
+            n=32, eps=0.5, T=8, adversary="saturating", seed=3,
+            max_slots=4096, faults=faults, overbudget=True,
+        )
+        bundle = violation.bundle
+        assert bundle.faults == faults.to_jsonable()
+        assert replay_bundle(bundle).reproduced
+
+    def test_unreplayable_bundle_rejected(self):
+        data = _violation_bundle().to_jsonable()
+        data["seed"] = None  # entropy-seeded run: real but not replayable
+        with pytest.raises(ConfigurationError, match="not replayable"):
+            replay_bundle(ReproBundle.from_jsonable(data))
+
+
+class TestAuditedElection:
+    def test_clean_run(self):
+        result, violation, slots = audited_election(
+            n=64, eps=0.5, T=8, adversary="saturating", seed=2,
+        )
+        assert violation is None
+        assert result.elected
+        assert slots == result.slots
+
+    def test_faithful_engine_path(self):
+        result, violation, _ = audited_election(
+            n=16, protocol="lewk", eps=0.5, T=8, adversary="saturating",
+            seed=2, engine="faithful",
+        )
+        assert violation is None
+        assert result is not None
