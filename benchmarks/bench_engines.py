@@ -50,6 +50,10 @@ T = 32
 RESILIENCE_GATE_PCT = 2.0
 #: The relaxed hooks-off gate for CI smoke runs on shared hardware.
 SMOKE_RESILIENCE_GATE_PCT = 5.0
+#: Minimum batched/scalar throughput ratio on the adaptive-adversary
+#: workload (below the oblivious path's 5x: the per-slot observe_outcomes
+#: feedback is batched-side-only work).
+ADAPTIVE_SPEEDUP_FLOOR = 4.0
 
 
 def test_fast_engine_lesk(benchmark):
@@ -183,6 +187,49 @@ def test_batched_vs_scalar_throughput():
     )
 
 
+def test_batched_adaptive_vs_scalar_throughput():
+    """The adaptive-adversary batched path (history-conditioned vector
+    strategies + observe_outcomes feedback) must deliver >= 4x replication
+    throughput over the scalar-fast loop on the same R=256 workload.  The
+    floor is below the oblivious path's 5x because the adversary feedback
+    hook adds per-slot work on the batched side only."""
+    reps = 256
+    adversary = "single-suppressor"
+
+    start = time.perf_counter()
+    for seed in range(reps):
+        simulate_uniform_fast(
+            LESKPolicy(EPS),
+            n=N,
+            adversary=make_adversary(adversary, T=T, eps=EPS),
+            max_slots=100_000,
+            seed=seed,
+        )
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = simulate_uniform_batched(
+        lambda r: VectorLESKPolicy(EPS, r),
+        N,
+        lambda r: make_batched_adversary(adversary, T=T, eps=EPS, reps=r),
+        reps=reps,
+        max_slots=100_000,
+        root_seed=11,
+    )
+    batched_s = time.perf_counter() - start
+
+    assert batch.elected.all()
+    speedup = scalar_s / batched_s
+    print(
+        f"\nR={reps}, n={N}, {adversary}: scalar {scalar_s:.3f}s, "
+        f"batched {batched_s:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 4.0, (
+        f"batched adaptive-adversary path only {speedup:.1f}x faster than "
+        f"scalar ({scalar_s:.3f}s vs {batched_s:.3f}s); acceptance floor is 4x"
+    )
+
+
 def test_geometric_fast_engine(benchmark):
     from repro.protocols.baselines.geometric_fast import simulate_geometric_fast
 
@@ -264,6 +311,52 @@ def measure_throughput(reps: int = 64, repeats: int = 3) -> dict:
         "seconds": round(elapsed, 6),
         "slots_per_sec": round(batch_slots / elapsed, 1),
     }
+
+    # Adaptive-adversary pair: same LESK workload, but the jammer
+    # conditions on history (single-suppressor), exercising the vectorized
+    # strategy + observe_outcomes feedback on the batched side.
+    adaptive = "single-suppressor"
+
+    def fast_adaptive_loop():
+        total = 0
+        for seed in range(reps):
+            total += simulate_uniform_fast(
+                LESKPolicy(EPS),
+                n=N,
+                adversary=make_adversary(adaptive, T=T, eps=EPS),
+                max_slots=100_000,
+                seed=seed,
+            ).slots
+        return total
+
+    elapsed, slots = best_of(fast_adaptive_loop, repeats)
+    results["fast-adaptive"] = {
+        "reps": reps,
+        "adversary": adaptive,
+        "slots": int(slots),
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(slots / elapsed, 1),
+    }
+
+    def batched_adaptive_call():
+        return simulate_uniform_batched(
+            lambda r: VectorLESKPolicy(EPS, r),
+            N,
+            lambda r: make_batched_adversary(adaptive, T=T, eps=EPS, reps=r),
+            reps=4 * reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    elapsed, batch = best_of(batched_adaptive_call, repeats)
+    batch_slots = int(batch.slots.sum())
+    results["batched-adaptive"] = {
+        "reps": 4 * reps,
+        "adversary": adaptive,
+        "slots": batch_slots,
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(batch_slots / elapsed, 1),
+    }
     return results
 
 
@@ -341,7 +434,21 @@ def main(argv: list[str] | None = None) -> int:
     repeats = 2 if args.smoke else 3
     results = measure_throughput(reps=reps, repeats=repeats)
     for engine, row in results.items():
-        print(f"{engine:>9}: {row['slots_per_sec']:>12,.0f} slots/sec")
+        print(f"{engine:>16}: {row['slots_per_sec']:>12,.0f} slots/sec")
+
+    adaptive_speedup = (
+        results["batched-adaptive"]["slots_per_sec"]
+        / results["fast-adaptive"]["slots_per_sec"]
+    )
+    results["adaptive_gate"] = {
+        "adversary": results["batched-adaptive"]["adversary"],
+        "speedup": round(adaptive_speedup, 2),
+        "floor": ADAPTIVE_SPEEDUP_FLOOR,
+    }
+    print(
+        f"batched adaptive-adversary speedup: {adaptive_speedup:.1f}x "
+        f"(floor {ADAPTIVE_SPEEDUP_FLOOR:.0f}x)"
+    )
 
     gate = SMOKE_RESILIENCE_GATE_PCT if args.smoke else RESILIENCE_GATE_PCT
     resilience = measure_resilience_overhead(
@@ -359,15 +466,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     write_bench_json(args.emit_json, "bench_engines", results)
 
+    failed = False
+    if adaptive_speedup < ADAPTIVE_SPEEDUP_FLOOR:
+        print(
+            f"GATE FAILED: batched adaptive-adversary path only "
+            f"{adaptive_speedup:.1f}x faster than scalar; floor is "
+            f"{ADAPTIVE_SPEEDUP_FLOOR:.0f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print("batched adaptive-adversary gate passed")
     if resilience["overhead_pct"] > gate:
         print(
             f"GATE FAILED: resilience hooks-off overhead "
             f"{resilience['overhead_pct']:.2f}% > {gate:.0f}%",
             file=sys.stderr,
         )
-        return 1
-    print("resilience hooks-off gate passed")
-    return 0
+        failed = True
+    else:
+        print("resilience hooks-off gate passed")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -10,13 +10,19 @@ strategy/budget split of :mod:`repro.adversary.base`:
   (T, 1-eps) enforcement;
 * :class:`BatchedAdversary` -- the combination the engine consumes.
 
-Only *oblivious* strategies (plus the saturating jammer) are vectorized:
-their intent depends on the slot index and private randomness alone, never
-on the channel history, so the per-replication masks are trivially
-independent.  Adaptive strategies (single-suppressor, ...) condition on the
-per-replication trace and stay on the scalar path; experiments fall back to
-:func:`repro.experiments.harness.replicate` for them (see
-:func:`is_batchable`).
+The whole scalar suite is vectorized.  Oblivious strategies depend on the
+slot index and private randomness alone, so their per-replication masks are
+trivially independent.  The *adaptive* family
+(:mod:`repro.adversary.adaptive`) conditions on public protocol state --
+the current transmission probability and estimator ``u``, both ``(R,)``
+arrays in :class:`BatchAdversaryView` -- or, for the reactive jammer, on
+the previous slot's observed channel state, which the batched engine feeds
+back through :meth:`VectorJammingStrategy.observe_outcomes` each slot.
+Each strategy's conditioning state is an ``(R,)`` array advanced in
+lockstep, so per-column decisions are exactly the scalar strategy's
+decisions applied elementwise (KS cross-validated per strategy in
+``tests/sim/test_batched_adaptive.py``; slot-exact in
+``resilience/differential.py``).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import numpy as np
 from repro.adversary.budget import JammingBudgetArray
 from repro.errors import ConfigurationError
 from repro.rng import make_rng
+from repro.types import ChannelState
 
 __all__ = [
     "BatchAdversaryView",
@@ -38,6 +45,11 @@ __all__ = [
     "VectorPeriodicFrontJammer",
     "VectorRandomJammer",
     "VectorBurstJammer",
+    "VectorReactiveJammer",
+    "VectorSingleSuppressor",
+    "VectorEstimatorAttacker",
+    "VectorSilenceMasker",
+    "VectorCollisionForcer",
     "BatchedAdversary",
     "BATCHED_STRATEGY_REGISTRY",
     "is_batchable",
@@ -82,6 +94,20 @@ class VectorJammingStrategy(abc.ABC):
         self, view: BatchAdversaryView, rng: np.random.Generator
     ) -> np.ndarray:
         """Want-mask for the current slot, shape ``(view.reps,)``."""
+
+    def observe_outcomes(
+        self, slot: int, observed: np.ndarray, active: np.ndarray
+    ) -> None:
+        """Per-slot history feedback from the engine (default: ignored).
+
+        ``observed`` carries the per-column observed channel-state codes of
+        slot *slot* with the jam applied but **before** any fault
+        corruption -- the same states the scalar engines append to the
+        trace that :class:`~repro.adversary.base.AdversaryView` exposes
+        (the adversary knows what it jammed; it is not fooled by the fault
+        model's corrupted feedback).  History-conditioned strategies
+        (:class:`VectorReactiveJammer`) keep their ``(R,)`` state here.
+        """
 
     def reset(self) -> None:
         """Clear any internal state before a new batch (default: stateless)."""
@@ -160,6 +186,175 @@ class VectorBurstJammer(VectorJammingStrategy):
         return np.full(view.reps, phase < self.burst, dtype=bool)
 
 
+# -- adaptive (history-conditioned) strategies ------------------------------
+#
+# Vector counterparts of repro.adversary.adaptive: the same decision rules
+# applied elementwise over the (R,) protocol-state arrays the batched
+# engine already exposes.  Edge-case handling mirrors the scalar formulas
+# exactly (p <= 0 / p >= 1 clamps; NaN protocol state saturates to a jam
+# request, which the budget then clamps to a saturating pattern).
+
+
+def _p_single_batch(n: int, p: np.ndarray) -> np.ndarray:
+    """Vectorized ``adaptive._p_single``: P[Single] per column (NaN -> 0)."""
+    out = np.zeros(p.shape)
+    if n <= 0:
+        return out
+    mid = (p > 0.0) & (p < 1.0)
+    pm = p[mid]
+    out[mid] = n * pm * np.exp((n - 1) * np.log1p(-pm))
+    if n == 1:
+        out[p >= 1.0] = 1.0
+    return out
+
+
+def _p_null_batch(n: int, p: np.ndarray) -> np.ndarray:
+    """Vectorized P[Null] per column (NaN -> 0; caller saturates NaN)."""
+    out = np.zeros(p.shape)
+    out[p <= 0.0] = 1.0
+    mid = (p > 0.0) & (p < 1.0)
+    out[mid] = np.exp(n * np.log1p(-p[mid]))
+    return out
+
+
+def _saturate_nan(want: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Jam wherever the conditioning value is NaN (unknown protocol state)."""
+    nan = np.isnan(values)
+    if nan.any():
+        want = want | nan
+    return want
+
+
+class VectorReactiveJammer(VectorJammingStrategy):
+    """Batched :class:`~repro.adversary.adaptive.ReactiveJammer`: jam iff
+    the column's *previous* observed state is in ``triggers``.
+
+    The conditioning state is the ``(R,)`` observed-state array of the last
+    slot, fed back by the engine via :meth:`observe_outcomes`; slot 0 never
+    jams (no history), matching the scalar strategy.
+    """
+
+    name = "reactive"
+
+    def __init__(self, triggers=(ChannelState.NULL,)) -> None:
+        self.triggers = frozenset(ChannelState(t) for t in triggers)
+        if not self.triggers:
+            raise ConfigurationError(
+                "VectorReactiveJammer needs at least one trigger state"
+            )
+        self._trigger_codes = np.array(
+            sorted(int(t) for t in self.triggers), dtype=np.int8
+        )
+        self._prev: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self._prev = None
+
+    def observe_outcomes(self, slot, observed, active):
+        self._prev = observed
+
+    def wants_jam_batch(self, view, rng):
+        if view.slot == 0 or self._prev is None:
+            return np.zeros(view.reps, dtype=bool)
+        return np.isin(self._prev, self._trigger_codes)
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(t.name for t in self.triggers))
+        return f"VectorReactiveJammer(triggers={names})"
+
+
+class VectorSingleSuppressor(VectorJammingStrategy):
+    """Batched :class:`~repro.adversary.adaptive.SingleSuppressor`: jam
+    the columns whose ``P[Single]`` meets the threshold."""
+
+    name = "single-suppressor"
+
+    def __init__(self, threshold: float = 0.01) -> None:
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in [0,1], got {threshold}")
+        self.threshold = float(threshold)
+
+    def wants_jam_batch(self, view, rng):
+        p = view.transmit_probabilities
+        if p is None:
+            return np.ones(view.reps, dtype=bool)
+        want = _p_single_batch(view.n, p) >= self.threshold
+        return _saturate_nan(want, p)
+
+
+class VectorEstimatorAttacker(VectorJammingStrategy):
+    """Batched :class:`~repro.adversary.adaptive.EstimatorAttacker`: jam
+    the columns whose estimator ``u`` sits within ``margin`` of ``log2 n``."""
+
+    name = "estimator-attacker"
+
+    def __init__(self, margin: float = 3.0) -> None:
+        if margin <= 0:
+            raise ConfigurationError(f"margin must be > 0, got {margin}")
+        self.margin = float(margin)
+
+    def wants_jam_batch(self, view, rng):
+        u = view.protocol_u
+        if u is None:
+            return np.ones(view.reps, dtype=bool)
+        u0 = np.log2(view.n) if view.n > 0 else 0.0
+        with np.errstate(invalid="ignore"):
+            want = np.abs(u - u0) <= self.margin
+        return _saturate_nan(want, u)
+
+    def __repr__(self) -> str:
+        return f"VectorEstimatorAttacker(margin={self.margin})"
+
+
+class VectorSilenceMasker(VectorJammingStrategy):
+    """Batched :class:`~repro.adversary.adaptive.SilenceMasker`: jam the
+    columns whose ``P[Null]`` meets the threshold."""
+
+    name = "silence-masker"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in [0,1], got {threshold}")
+        self.threshold = float(threshold)
+
+    def wants_jam_batch(self, view, rng):
+        p = view.transmit_probabilities
+        if p is None:
+            return np.ones(view.reps, dtype=bool)
+        want = _p_null_batch(view.n, p) >= self.threshold
+        return _saturate_nan(want, p)
+
+    def __repr__(self) -> str:
+        return f"VectorSilenceMasker(threshold={self.threshold})"
+
+
+class VectorCollisionForcer(VectorJammingStrategy):
+    """Batched :class:`~repro.adversary.adaptive.CollisionForcer`: jam the
+    columns where a collision is not already the likely outcome."""
+
+    name = "collision-forcer"
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        if not (0.0 <= threshold <= 1.0):
+            raise ConfigurationError(f"threshold must be in [0,1], got {threshold}")
+        self.threshold = float(threshold)
+
+    def wants_jam_batch(self, view, rng):
+        p = view.transmit_probabilities
+        if p is None:
+            return np.ones(view.reps, dtype=bool)
+        p_coll = np.maximum(
+            0.0, 1.0 - _p_null_batch(view.n, p) - _p_single_batch(view.n, p)
+        )
+        # Scalar edge cases: p <= 0 -> 0; p >= 1 -> 1 iff n >= 2.
+        p_coll[p >= 1.0] = 1.0 if view.n >= 2 else 0.0
+        want = p_coll < self.threshold
+        return _saturate_nan(want, p)
+
+    def __repr__(self) -> str:
+        return f"VectorCollisionForcer(threshold={self.threshold})"
+
+
 class BatchedAdversary:
     """A vector strategy bound to a per-replication budget and one RNG.
 
@@ -204,6 +399,12 @@ class BatchedAdversary:
         want = self.strategy.wants_jam_batch(view, self._rng)
         return self.budget.grant(want)
 
+    def observe_outcomes(
+        self, slot: int, observed: np.ndarray, active: np.ndarray
+    ) -> None:
+        """Forward per-slot channel feedback to the bound strategy."""
+        self.strategy.observe_outcomes(slot, observed, active)
+
     def __repr__(self) -> str:
         return (
             f"BatchedAdversary({self.strategy!r}, T={self.T}, eps={self.eps}, "
@@ -222,6 +423,11 @@ BATCHED_STRATEGY_REGISTRY = {
     "burst": lambda T, eps: VectorBurstJammer(
         burst=max(1, int((1.0 - eps) * T)), gap=max(1, T - int((1.0 - eps) * T))
     ),
+    "reactive": lambda T, eps: VectorReactiveJammer(),
+    "single-suppressor": lambda T, eps: VectorSingleSuppressor(),
+    "estimator-attacker": lambda T, eps: VectorEstimatorAttacker(),
+    "silence-masker": lambda T, eps: VectorSilenceMasker(),
+    "collision-forcer": lambda T, eps: VectorCollisionForcer(),
 }
 
 

@@ -1,30 +1,105 @@
-"""Shared experiment cells: replicated LESK runs with engine selection.
+"""Shared experiment cells: replicated runs with engine selection.
 
-E01/E02/E12 (and future LESK sweeps) all fill table cells with "reps
-replications of LESK(n, eps, T) against a named adversary".  This module
-picks the fastest engine that can run the cell:
+The experiment tables all fill cells with "reps replications of
+protocol(n, eps, T) against a named adversary".  This module picks the
+fastest engine that can run each cell:
 
 * the batched cross-replication engine (:mod:`repro.sim.batched`) when the
   preset-level switch (:data:`repro.experiments.harness.BATCHED_PRESETS`)
-  is on *and* the adversary has a vectorized implementation;
+  is on *and* the adversary has a vectorized implementation -- which since
+  the adaptive family gained :class:`~repro.adversary.vector`
+  counterparts covers the whole strategy suite;
 * the scalar fast-engine loop via :func:`repro.experiments.harness.replicate`
-  otherwise (adaptive adversaries condition on each replication's trace and
-  cannot be batched).
+  otherwise.  The fallback is never silent: it increments
+  ``engine_fallback_total{reason=...}`` and warns once per component
+  (:func:`repro.experiments.harness.record_engine_fallback`).
 
-Both paths derive their seeds from ``(root_seed, *path)`` with
-:func:`repro.rng.derive_seed` and return plain ``RunResult`` lists, so the
-downstream ``summarize_times`` summaries are engine-agnostic.
+Cell kinds: :func:`lesk_cell` (Algorithm 1), :func:`lesu_cell`
+(Algorithm 2, unknown eps/T), :func:`estimation_cell` (Function 2),
+:func:`sweep_cell` (Nakano--Olariu CD baseline) and :func:`nocd_cell`
+(no-CD repeated sweep).  All derive their seeds from ``(root_seed, *path)``
+with :func:`repro.rng.derive_seed` and return plain ``RunResult`` lists,
+so the downstream ``summarize_times`` summaries are engine-agnostic.
+
+For multi-cell sweeps, :class:`CellSpec` + :func:`run_cells_sharded` chunk
+``(cell x rep-block)`` work units across a worker-process pool
+(:class:`~repro.experiments.harness.ShardedScheduler`): each block runs
+the cell with the path extended by ``(SHARD_BLOCK_TAG, block_index)``, so
+block seeds are stable under any job count, and each worker ships its
+telemetry shard home for merging.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro import telemetry
+from repro.adversary.suite import make_adversary
 from repro.adversary.vector import is_batchable, make_batched_adversary
 from repro.core.config import default_slot_budget
 from repro.core.election import elect_leader
-from repro.experiments.harness import replicate, replicate_batched
-from repro.protocols.vector import VectorLESKPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    SHARD_BLOCK_TAG,
+    ShardedScheduler,
+    record_engine_fallback,
+    replicate,
+    replicate_batched,
+)
+from repro.protocols.baselines.nakano_olariu import NoCDSweepPolicy, UniformSweepPolicy
+from repro.protocols.estimation import EstimationPolicy
+from repro.protocols.vector import (
+    VectorEstimationPolicy,
+    VectorLESKPolicy,
+    VectorLESUPolicy,
+    VectorNoCDSweepPolicy,
+    VectorSweepPolicy,
+)
+from repro.sim.fast import simulate_uniform_fast
 
-__all__ = ["lesk_cell"]
+__all__ = [
+    "lesk_cell",
+    "lesu_cell",
+    "estimation_cell",
+    "sweep_cell",
+    "nocd_cell",
+    "cell_slot_budget",
+    "CellSpec",
+    "CELL_KINDS",
+    "run_shard",
+    "run_cells_sharded",
+]
+
+
+@lru_cache(maxsize=4096)
+def cell_slot_budget(n: int, eps: float, T: int, protocol: str) -> int:
+    """Memoised :func:`~repro.core.config.default_slot_budget`.
+
+    Every cell of a sweep (and every rep-block of a sharded cell) with the
+    same ``(n, eps, T)`` shares one computed budget instead of re-deriving
+    it; the value is pure in its arguments, so caching is invisible to the
+    fixed-seed pins that guard it (``tests/experiments/test_sharded.py``).
+    """
+    return default_slot_budget(n, eps, T, protocol)
+
+
+def estimation_slot_budget(n: int, T: int) -> int:
+    """The generous Estimation(2) slot cap used by experiment T4."""
+    return int(1024 * max(T, math.log2(max(n, 2))) + 4096)
+
+
+def _use_batched(batched: bool, adversary: str) -> bool:
+    """Engine selection plus loud accounting for the scalar fallback."""
+    if not batched:
+        return False
+    if is_batchable(adversary):
+        return True
+    record_engine_fallback(
+        f"adversary {adversary!r}", reason="adversary-not-batchable"
+    )
+    return False
 
 
 def lesk_cell(
@@ -46,11 +121,9 @@ def lesk_cell(
     call.  ``max_slots=None`` selects the same
     :func:`~repro.core.config.default_slot_budget` either way.
     """
-    if batched and is_batchable(adversary):
+    if _use_batched(batched, adversary):
         budget = (
-            max_slots
-            if max_slots is not None
-            else default_slot_budget(n, eps, T, "lesk")
+            max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
         )
         return replicate_batched(
             lambda reps_: VectorLESKPolicy(eps, reps_),
@@ -75,3 +148,250 @@ def lesk_cell(
         root_seed,
         *path,
     )
+
+
+def lesu_cell(
+    n: int,
+    eps: float,
+    T: int,
+    adversary: str,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    batched: bool = True,
+    max_slots: int | None = None,
+) -> list:
+    """Replicated LESU (Algorithm 2, unknown eps/T) elections for one cell."""
+    if _use_batched(batched, adversary):
+        budget = (
+            max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesu")
+        )
+        return replicate_batched(
+            lambda reps_: VectorLESUPolicy(reps_),
+            n,
+            lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
+            reps,
+            root_seed,
+            *path,
+            max_slots=budget,
+        )
+    return replicate(
+        lambda s: elect_leader(
+            n=n,
+            protocol="lesu",
+            eps=eps,
+            T=T,
+            adversary=adversary,
+            seed=s,
+            max_slots=max_slots,
+        ),
+        reps,
+        root_seed,
+        *path,
+    )
+
+
+def estimation_cell(
+    n: int,
+    eps: float,
+    T: int,
+    adversary: str,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    batched: bool = True,
+    max_slots: int | None = None,
+) -> list:
+    """Replicated standalone ``Estimation(2)`` runs (halt on Single).
+
+    Results carry ``policy_result`` (the returned round index) on both
+    engine paths; ``max_slots=None`` selects the T4 cap.
+    """
+    budget = max_slots if max_slots is not None else estimation_slot_budget(n, T)
+    if _use_batched(batched, adversary):
+        return replicate_batched(
+            lambda reps_: VectorEstimationPolicy(reps_, L=2),
+            n,
+            lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
+            reps,
+            root_seed,
+            *path,
+            max_slots=budget,
+        )
+    return replicate(
+        lambda s: simulate_uniform_fast(
+            EstimationPolicy(L=2),
+            n=n,
+            adversary=make_adversary(adversary, T=T, eps=eps),
+            max_slots=budget,
+            seed=s,
+            halt_on_single=True,
+        ),
+        reps,
+        root_seed,
+        *path,
+    )
+
+
+def sweep_cell(
+    n: int,
+    eps: float,
+    T: int,
+    adversary: str,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    batched: bool = True,
+    max_slots: int | None = None,
+) -> list:
+    """Replicated Nakano--Olariu doubling-sweep (CD) baseline runs."""
+    budget = max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
+    if _use_batched(batched, adversary):
+        return replicate_batched(
+            lambda reps_: VectorSweepPolicy(reps_),
+            n,
+            lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
+            reps,
+            root_seed,
+            *path,
+            max_slots=budget,
+        )
+    return replicate(
+        lambda s: simulate_uniform_fast(
+            UniformSweepPolicy(),
+            n=n,
+            adversary=make_adversary(adversary, T=T, eps=eps),
+            max_slots=budget,
+            seed=s,
+        ),
+        reps,
+        root_seed,
+        *path,
+    )
+
+
+def nocd_cell(
+    n: int,
+    eps: float,
+    T: int,
+    adversary: str,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    batched: bool = True,
+    max_slots: int | None = None,
+) -> list:
+    """Replicated no-CD repeated-sweep baseline runs."""
+    budget = max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
+    if _use_batched(batched, adversary):
+        return replicate_batched(
+            lambda reps_: VectorNoCDSweepPolicy(reps_),
+            n,
+            lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
+            reps,
+            root_seed,
+            *path,
+            max_slots=budget,
+        )
+    return replicate(
+        lambda s: simulate_uniform_fast(
+            NoCDSweepPolicy(),
+            n=n,
+            adversary=make_adversary(adversary, T=T, eps=eps),
+            max_slots=budget,
+            seed=s,
+        ),
+        reps,
+        root_seed,
+        *path,
+    )
+
+
+#: Cell-kind registry used by :func:`run_shard` (names are CellSpec.kind).
+CELL_KINDS = {
+    "lesk": lesk_cell,
+    "lesu": lesu_cell,
+    "estimation": estimation_cell,
+    "sweep": sweep_cell,
+    "nocd": nocd_cell,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CellSpec:
+    """One shardable table cell: a cell kind plus its full configuration.
+
+    Plain frozen data so it pickles across the worker-pool boundary; the
+    ``path`` is the cell's seed-derivation path exactly as passed to the
+    unsharded cell functions.
+    """
+
+    kind: str
+    n: int
+    eps: float
+    T: int
+    adversary: str
+    reps: int
+    root_seed: int
+    path: tuple[int, ...]
+    batched: bool = True
+    max_slots: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            known = ", ".join(sorted(CELL_KINDS))
+            raise ConfigurationError(
+                f"unknown cell kind {self.kind!r}; known: {known}"
+            )
+        if self.reps < 1:
+            raise ConfigurationError(f"reps must be >= 1, got {self.reps}")
+
+
+def run_shard(item: tuple) -> tuple[list, dict]:
+    """Pool work item: one ``(spec, block_index, block_reps)`` rep-block.
+
+    Runs the cell with the seed path extended by ``(SHARD_BLOCK_TAG,
+    block_index)`` -- stable under any job count -- inside a scoped
+    telemetry collection, and returns ``(results, telemetry_jsonable)``
+    so the scheduler can merge worker shards into the parent sink.
+    Module-level so pool dispatch can pickle it by reference.
+    """
+    spec, block_index, block_reps = item
+    cell = CELL_KINDS[spec.kind]
+    with telemetry.collecting() as shard:
+        results = cell(
+            spec.n,
+            spec.eps,
+            spec.T,
+            spec.adversary,
+            block_reps,
+            spec.root_seed,
+            *spec.path,
+            SHARD_BLOCK_TAG,
+            block_index,
+            batched=spec.batched,
+            max_slots=spec.max_slots,
+        )
+    return results, shard.to_jsonable()
+
+
+def run_cells_sharded(
+    specs,
+    jobs: int | None = None,
+    block_size: int = 64,
+    threadsafe: bool = False,
+) -> list[list]:
+    """Run several :class:`CellSpec` cells sharded across worker processes.
+
+    Returns one ``RunResult`` list per spec, in spec order; results are
+    identical for any ``jobs`` (the rep-block partition and per-block
+    seeds depend only on the specs and ``block_size``).  Note the sharded
+    law matches the unsharded cell's (same engines, same per-column
+    update rules) but the bitstreams differ: block ``b`` seeds from
+    ``(root_seed, *path, SHARD_BLOCK_TAG, b)`` rather than one batch seed
+    from ``(root_seed, *path)``.
+    """
+    with ShardedScheduler(
+        jobs=jobs, block_size=block_size, threadsafe=threadsafe
+    ) as sched:
+        return sched.run(run_shard, specs)

@@ -18,30 +18,21 @@ from __future__ import annotations
 
 import math
 
-from repro.adversary.suite import make_adversary
 from repro.analysis.bounds import estimation_result_bounds
-from repro.experiments.harness import Column, Table, preset_value, replicate
-from repro.protocols.estimation import EstimationPolicy
-from repro.sim.fast import simulate_uniform_fast
+from repro.experiments.cells import estimation_cell
+from repro.experiments.harness import Column, Table, batched_enabled, preset_value
 
 EXPERIMENT = "T4"
 
 
-def _one(n: int, T: int, eps: float, adversary: str, seed: int):
-    adv = make_adversary(adversary, T=T, eps=eps)
-    policy = EstimationPolicy(L=2)
-    return simulate_uniform_fast(
-        policy,
-        n=n,
-        adversary=adv,
-        max_slots=int(1024 * max(T, math.log2(n)) + 4096),
-        seed=seed,
-        halt_on_single=True,
-    )
+def run(preset: str = "small", seed: int = 2018, batched: bool | None = None) -> Table:
+    """Run experiment T4 at *preset* scale and return its table.
 
-
-def run(preset: str = "small", seed: int = 2018) -> Table:
-    """Run experiment T4 at *preset* scale and return its table."""
+    ``batched=None`` follows the preset-level engine switch; the cell's
+    ``policy_result`` round indices come out of either engine.
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     ns = preset_value(preset, [256, 4096], [128, 1024, 8192, 65536, 2**20])
     Ts = preset_value(preset, [1, 256], [1, 64, 1024, 16384])
     reps = preset_value(preset, 20, 200)
@@ -66,8 +57,8 @@ def run(preset: str = "small", seed: int = 2018) -> Table:
     )
     for gi, n in enumerate(ns):
         for ti, T in enumerate(Ts):
-            results = replicate(
-                lambda s: _one(n, T, eps, adversary, s), reps, seed, 4, gi, ti
+            results = estimation_cell(
+                n, eps, T, adversary, reps, seed, 4, gi, ti, batched=batched
             )
             lo, hi = estimation_result_bounds(n, T)
             rounds = [r.policy_result for r in results if r.policy_result is not None]

@@ -15,8 +15,14 @@ LESU never sees eps or T; only the adversary uses them.
 from __future__ import annotations
 
 from repro.analysis.bounds import lesu_regime, lesu_time_bound
-from repro.core.election import elect_leader
-from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
+from repro.experiments.cells import lesu_cell
+from repro.experiments.harness import (
+    Column,
+    Table,
+    batched_enabled,
+    preset_value,
+    summarize_times,
+)
 
 EXPERIMENT = "T5"
 
@@ -34,17 +40,19 @@ def _columns() -> list[Column]:
     ]
 
 
-def _sweep(table: Table, grid, reps: int, eps: float, adversary: str, seed: int, tag: int):
+def _sweep(
+    table: Table,
+    grid,
+    reps: int,
+    eps: float,
+    adversary: str,
+    seed: int,
+    tag: int,
+    batched: bool,
+):
     for gi, (n, T) in enumerate(grid):
-        results = replicate(
-            lambda s: elect_leader(
-                n=n, protocol="lesu", eps=eps, T=T, adversary=adversary, seed=s
-            ),
-            reps,
-            seed,
-            5,
-            tag,
-            gi,
+        results = lesu_cell(
+            n, eps, T, adversary, reps, seed, 5, tag, gi, batched=batched
         )
         stats = summarize_times(results)
         bound = lesu_time_bound(n, eps, T)
@@ -60,8 +68,14 @@ def _sweep(table: Table, grid, reps: int, eps: float, adversary: str, seed: int,
         )
 
 
-def run(preset: str = "small", seed: int = 2019) -> Table:
-    """Run experiment T5 at *preset* scale and return its table."""
+def run(preset: str = "small", seed: int = 2019, batched: bool | None = None) -> Table:
+    """Run experiment T5 at *preset* scale and return its table.
+
+    ``batched=None`` follows the preset-level engine switch; LESU cells
+    run through :class:`~repro.protocols.vector.VectorLESUPolicy` when on.
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     reps = preset_value(preset, 15, 150)
     eps = 0.5
     adversary = "saturating"
@@ -77,9 +91,9 @@ def run(preset: str = "small", seed: int = 2019) -> Table:
         columns=_columns(),
     )
     # Regime 1: T small, sweep n.
-    _sweep(table, [(n, 4) for n in ns], reps, eps, adversary, seed, 0)
+    _sweep(table, [(n, 4) for n in ns], reps, eps, adversary, seed, 0, batched)
     # Regime 2: n fixed, sweep large T.
-    _sweep(table, [(n_fixed, T) for T in Ts], reps, eps, adversary, seed, 1)
+    _sweep(table, [(n_fixed, T) for T in Ts], reps, eps, adversary, seed, 1, batched)
     table.add_note(
         "stations receive no parameters at all; 'bound shape' is the Thm 2.9 "
         "expression without its big-O constant"

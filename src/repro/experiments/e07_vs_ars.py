@@ -16,8 +16,15 @@ from __future__ import annotations
 
 from repro.adversary.suite import make_adversary
 from repro.analysis.estimators import fit_power_law
-from repro.core.election import elect_leader
-from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
+from repro.experiments.cells import lesk_cell
+from repro.experiments.harness import (
+    Column,
+    Table,
+    batched_enabled,
+    preset_value,
+    replicate,
+    summarize_times,
+)
 from repro.protocols.baselines.ars_fast import simulate_ars_fast
 from repro.protocols.baselines.ars_mac import ars_gamma
 
@@ -31,8 +38,14 @@ def _run_ars(n: int, eps: float, T: int, adversary: str, seed: int, max_slots: i
     )
 
 
-def run(preset: str = "small", seed: int = 2021) -> Table:
-    """Run experiment T7 at *preset* scale and return its table."""
+def run(preset: str = "small", seed: int = 2021, batched: bool | None = None) -> Table:
+    """Run experiment T7 at *preset* scale and return its table.
+
+    ``batched=None`` follows the preset-level engine switch (LESK side
+    only; the ARS baseline is a per-station machine and stays scalar).
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     ns = preset_value(preset, [32, 128, 512], [32, 128, 512, 2048, 8192, 32768])
     reps = preset_value(preset, 8, 40)
     eps = 0.5
@@ -55,15 +68,8 @@ def run(preset: str = "small", seed: int = 2021) -> Table:
     )
     lesk_pts, ars_pts = [], []
     for ni, n in enumerate(ns):
-        lesk = replicate(
-            lambda s: elect_leader(
-                n=n, protocol="lesk", eps=eps, T=T, adversary=adversary, seed=s
-            ),
-            reps,
-            seed,
-            7,
-            ni,
-            0,
+        lesk = lesk_cell(
+            n, eps, T, adversary, reps, seed, 7, ni, 0, batched=batched
         )
         ars = replicate(
             lambda s: _run_ars(n, eps, T, adversary, s, max_slots),

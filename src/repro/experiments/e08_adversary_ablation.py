@@ -16,25 +16,30 @@ a property of LESK's update rule, not of the model.
 from __future__ import annotations
 
 from repro import telemetry
-from repro.adversary.suite import make_adversary, strategy_names
+from repro.adversary.suite import strategy_names
 from repro.analysis.bounds import lesk_time_bound
-from repro.core.election import elect_leader
-from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
-from repro.protocols.baselines.nakano_olariu import UniformSweepPolicy
-from repro.sim.fast import simulate_uniform_fast
+from repro.experiments.cells import lesk_cell, sweep_cell
+from repro.experiments.harness import (
+    Column,
+    Table,
+    batched_enabled,
+    preset_value,
+    summarize_times,
+)
 
 EXPERIMENT = "T8"
 
 
-def _run_sweep_baseline(n: int, eps: float, T: int, adversary: str, seed: int, max_slots: int):
-    adv = make_adversary(adversary, T=T, eps=eps)
-    return simulate_uniform_fast(
-        UniformSweepPolicy(), n=n, adversary=adv, max_slots=max_slots, seed=seed
-    )
+def run(preset: str = "small", seed: int = 2022, batched: bool | None = None) -> Table:
+    """Run experiment T8 at *preset* scale and return its table.
 
-
-def run(preset: str = "small", seed: int = 2022) -> Table:
-    """Run experiment T8 at *preset* scale and return its table."""
+    ``batched=None`` follows the preset-level engine switch; with the
+    adaptive family vectorized, *every* suite strategy runs through the
+    batched engine, and the jam-efficiency counters it publishes are the
+    same families the scalar engines feed.
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     n = preset_value(preset, 1024, 4096)
     reps = preset_value(preset, 15, 150)
     eps = 0.4
@@ -63,26 +68,15 @@ def run(preset: str = "small", seed: int = 2022) -> Table:
         # jam efficiency is computable without trace recording and without
         # mixing in the sweep baseline's jams.
         with telemetry.collecting() as shard:
-            lesk = replicate(
-                lambda s: elect_leader(
-                    n=n, protocol="lesk", eps=eps, T=T, adversary=strategy, seed=s
-                ),
-                reps,
-                seed,
-                8,
-                si,
-                0,
+            lesk = lesk_cell(
+                n, eps, T, strategy, reps, seed, 8, si, 0, batched=batched
             )
         jams = shard.metrics.counter_total("jam_slots_total")
         occupied = shard.metrics.counter_total("jam_occupied_total")
         jam_eff = occupied / jams if jams else None
-        sweep = replicate(
-            lambda s: _run_sweep_baseline(n, eps, T, strategy, s, sweep_budget),
-            reps,
-            seed,
-            8,
-            si,
-            1,
+        sweep = sweep_cell(
+            n, eps, T, strategy, reps, seed, 8, si, 1,
+            batched=batched, max_slots=sweep_budget,
         )
         ls = summarize_times(lesk)
         sw = summarize_times(sweep)

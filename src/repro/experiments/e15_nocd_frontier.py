@@ -23,17 +23,27 @@ measurable:
 
 from __future__ import annotations
 
-from repro.adversary.suite import make_adversary
-from repro.experiments.harness import Column, Table, preset_value, replicate, summarize_times
-from repro.protocols.baselines.nakano_olariu import NoCDSweepPolicy
-from repro.protocols.lesk import LESKPolicy
-from repro.sim.fast import simulate_uniform_fast
+from repro.experiments.cells import lesk_cell, nocd_cell
+from repro.experiments.harness import (
+    Column,
+    Table,
+    batched_enabled,
+    preset_value,
+    summarize_times,
+)
 
 EXPERIMENT = "A3"
 
 
-def run(preset: str = "small", seed: int = 2029) -> Table:
-    """Run experiment A3 at *preset* scale and return its table."""
+def run(preset: str = "small", seed: int = 2029, batched: bool | None = None) -> Table:
+    """Run experiment A3 at *preset* scale and return its table.
+
+    ``batched=None`` follows the preset-level engine switch; both the
+    no-CD sweep and the LESK side vectorize, and ``single-suppressor``
+    (the jammer used here) is now batchable.
+    """
+    if batched is None:
+        batched = batched_enabled(preset)
     ns = preset_value(preset, [2**8, 2**14], [2**8, 2**12, 2**16, 2**20, 2**24])
     reps = preset_value(preset, 10, 60)
     eps = 0.5
@@ -58,33 +68,13 @@ def run(preset: str = "small", seed: int = 2029) -> Table:
     )
     nocd_pts, lesk_pts = [], []
     for ni, n in enumerate(ns):
-        nocd = replicate(
-            lambda s: simulate_uniform_fast(
-                NoCDSweepPolicy(),
-                n=n,
-                adversary=make_adversary(adversary, T=T, eps=eps),
-                max_slots=cap,
-                seed=s,
-            ),
-            reps,
-            seed,
-            15,
-            ni,
-            0,
+        nocd = nocd_cell(
+            n, eps, T, adversary, reps, seed, 15, ni, 0,
+            batched=batched, max_slots=cap,
         )
-        lesk = replicate(
-            lambda s: simulate_uniform_fast(
-                LESKPolicy(eps),
-                n=n,
-                adversary=make_adversary(adversary, T=T, eps=eps),
-                max_slots=cap,
-                seed=s,
-            ),
-            reps,
-            seed,
-            15,
-            ni,
-            1,
+        lesk = lesk_cell(
+            n, eps, T, adversary, reps, seed, 15, ni, 1,
+            batched=batched, max_slots=cap,
         )
         ns_ = summarize_times(nocd)
         ls = summarize_times(lesk)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import csv
 import io
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -24,7 +25,7 @@ import numpy as np
 from repro.analysis.estimators import wilson_interval
 from repro.errors import ConfigurationError
 from repro.rng import derive_seed
-from repro.telemetry import ENERGY_BUCKETS, SLOT_BUCKETS, get_telemetry
+from repro.telemetry import ENERGY_BUCKETS, SLOT_BUCKETS, Telemetry, get_telemetry
 
 __all__ = [
     "Column",
@@ -32,6 +33,9 @@ __all__ = [
     "replicate",
     "replicate_batched",
     "batched_enabled",
+    "record_engine_fallback",
+    "ShardedScheduler",
+    "SHARD_BLOCK_TAG",
     "summarize_times",
     "preset_value",
 ]
@@ -237,6 +241,142 @@ def replicate_batched(
     results = batch.results()
     _record_cell(results, path)
     return results
+
+
+#: Components already warned about in this process -- the fallback warning
+#: fires once per component, the telemetry counter on every fallback.
+_FALLBACK_WARNED: set[str] = set()
+
+_log = logging.getLogger(__name__)
+
+
+def record_engine_fallback(component: str, reason: str) -> None:
+    """Record a silent-no-more fallback from the batched to the scalar path.
+
+    Increments ``engine_fallback_total{reason=...}`` (a no-op when telemetry
+    is disabled) and emits a one-time :mod:`logging` warning naming the
+    unbatchable *component*, so a cell quietly running ~10x slower leaves a
+    visible trace in both the metrics and the log.
+    """
+    get_telemetry().counter("engine_fallback_total", reason=reason).inc()
+    if component not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(component)
+        _log.warning(
+            "batched engine requested but %s has no vectorized "
+            "implementation (reason=%s); falling back to the scalar "
+            "per-slot loop",
+            component,
+            reason,
+        )
+
+
+#: Seed-path component separating shard block indices from repetition
+#: indices: a rep-block's seed derives from ``(root_seed, *cell_path,
+#: SHARD_BLOCK_TAG, block_index)``, which cannot collide with any unsharded
+#: cell path (experiment path components are small non-negative ints).
+SHARD_BLOCK_TAG = 7_000_001
+
+
+class ShardedScheduler:
+    """Chunk ``(cell x rep-block)`` work units onto a persistent worker pool.
+
+    The scheduler cuts every spec's repetitions into fixed-size blocks
+    (``block_size``; the partition depends only on ``reps``, never on the
+    worker count), dispatches ``(spec, block_index, block_reps)`` items to
+    a pool built on :func:`repro.experiments.parallel.subprocess_context`,
+    and regroups the per-block result lists in block order -- so the
+    returned per-spec lists are identical for any ``jobs`` (``jobs=1`` runs
+    the worker in-process).  Workers return ``(results, telemetry_jsonable
+    | None)``; shards shipped home from subprocesses are merged into the
+    caller's live telemetry sink (in-process workers are expected to merge
+    outward themselves via ``telemetry.collecting()``).
+
+    Use as a context manager; the pool persists across :meth:`run` calls:
+
+    >>> with ShardedScheduler(jobs=4) as sched:           # doctest: +SKIP
+    ...     tables = sched.run(run_shard, specs_a)
+    ...     more = sched.run(run_shard, specs_b)
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        block_size: int = 64,
+        threadsafe: bool = False,
+    ) -> None:
+        from repro.experiments.parallel import default_jobs
+
+        if jobs is None:
+            jobs = default_jobs()
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if block_size < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+        self.jobs = int(jobs)
+        self.block_size = int(block_size)
+        self.threadsafe = bool(threadsafe)
+        self._pool = None
+
+    def __enter__(self) -> "ShardedScheduler":
+        from repro.experiments.parallel import subprocess_context
+
+        if self.jobs > 1:
+            ctx = subprocess_context(self.threadsafe)
+            self._pool = ctx.Pool(processes=self.jobs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def blocks_for(self, reps: int) -> list[int]:
+        """The fixed rep-block partition of *reps* (jobs-independent)."""
+        if reps < 1:
+            raise ConfigurationError(f"reps must be >= 1, got {reps}")
+        full, rest = divmod(reps, self.block_size)
+        return [self.block_size] * full + ([rest] if rest else [])
+
+    def run(self, worker: Callable, specs: Sequence) -> list[list]:
+        """Run *worker* over every spec's rep-blocks; one result list per spec.
+
+        ``worker`` takes ``(spec, block_index, block_reps)`` and returns
+        ``(list_of_results, telemetry_jsonable | None)``.  It must be a
+        module-level function when ``jobs > 1`` (pool dispatch pickles by
+        reference).
+        """
+        items: list[tuple] = []
+        groups: list[list[int]] = []
+        for spec in specs:
+            idxs = []
+            for block_index, block_reps in enumerate(self.blocks_for(spec.reps)):
+                idxs.append(len(items))
+                items.append((spec, block_index, block_reps))
+            groups.append(idxs)
+
+        if self._pool is None:
+            outs = [worker(item) for item in items]
+            pooled = False
+        else:
+            from repro.experiments.parallel import _check_picklable_fn
+
+            _check_picklable_fn(worker)
+            chunksize = max(1, len(items) // (self.jobs * 4))
+            outs = self._pool.map(worker, items, chunksize=chunksize)
+            pooled = True
+
+        tel = get_telemetry()
+        merged: list[list] = []
+        for idxs in groups:
+            spec_results: list = []
+            for i in idxs:
+                results, tel_json = outs[i]
+                spec_results.extend(results)
+                if pooled and tel.enabled and tel_json:
+                    tel.merge(Telemetry.from_jsonable(tel_json))
+            merged.append(spec_results)
+        return merged
 
 
 def _record_cell(results: Sequence, path: tuple) -> None:

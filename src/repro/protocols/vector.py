@@ -15,20 +15,33 @@ Implemented policies:
 
 * :class:`VectorLESKPolicy` -- Algorithm 1 (the paper's headline protocol);
 * :class:`VectorSweepPolicy` -- the Nakano--Olariu geometric
-  doubling-sweep baseline (``repro.protocols.baselines.nakano_olariu``).
+  doubling-sweep baseline (``repro.protocols.baselines.nakano_olariu``);
+* :class:`VectorEstimationPolicy` -- ``Estimation(L)`` (Function 2);
+* :class:`VectorLESUPolicy` -- Algorithm 2 (estimation phase + diagonal
+  LESK sub-run schedule), the weak-CD/unknown-eps protocol;
+* :class:`VectorNoCDSweepPolicy` -- the no-CD repeated sweep baseline.
 """
 
 from __future__ import annotations
 
 import abc
+from functools import lru_cache
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.protocols.lesk import lesk_parameter_a
+from repro.protocols.lesu import DEFAULT_C, SubRun, lesu_schedule
 from repro.types import ChannelState
 
-__all__ = ["VectorUniformPolicy", "VectorLESKPolicy", "VectorSweepPolicy"]
+__all__ = [
+    "VectorUniformPolicy",
+    "VectorLESKPolicy",
+    "VectorSweepPolicy",
+    "VectorEstimationPolicy",
+    "VectorLESUPolicy",
+    "VectorNoCDSweepPolicy",
+]
 
 #: Largest exponent for which ``2**-u`` is a positive double (matches
 #: ``repro.protocols.base.probability_from_exponent``).
@@ -86,6 +99,13 @@ class VectorUniformPolicy(abc.ABC):
     def completed(self) -> np.ndarray:
         """Mask of columns that finished of their own accord."""
         return np.zeros(self.reps, dtype=bool)
+
+    @property
+    def policy_results(self) -> np.ndarray | None:
+        """Per-column policy result values (int64, ``-1`` = none), or
+        ``None`` for policies without a result notion -- the batched
+        counterpart of the scalar ``UniformPolicy.result``."""
+        return None
 
 
 class VectorLESKPolicy(VectorUniformPolicy):
@@ -184,3 +204,265 @@ class VectorSweepPolicy(VectorUniformPolicy):
 
     def __repr__(self) -> str:
         return f"VectorSweepPolicy(reps={self.reps})"
+
+
+class VectorNoCDSweepPolicy(VectorUniformPolicy):
+    """Batched no-CD sweep baseline: each exponent of sweep ``K`` repeated
+    ``K`` times, per column identical to
+    :class:`~repro.protocols.baselines.nakano_olariu.NoCDSweepPolicy`."""
+
+    def __init__(self, reps: int, initial_ceiling: int = 2) -> None:
+        super().__init__(reps)
+        if initial_ceiling < 1:
+            raise ConfigurationError(
+                f"initial_ceiling must be >= 1, got {initial_ceiling}"
+            )
+        self._u = np.zeros(self.reps, dtype=np.int64)
+        self._ceiling = np.full(self.reps, int(initial_ceiling), dtype=np.int64)
+        self._repeat_left = self._ceiling.copy()
+        self._completed = np.zeros(self.reps, dtype=bool)
+
+    def transmit_probabilities(self, step: int) -> np.ndarray:
+        return probabilities_from_exponents(self._u.astype(np.float64))
+
+    def observe_batch(self, step, states, active):
+        singles = active & (states == _SINGLE)
+        self._completed |= singles
+        advance = active & ~singles
+        self._repeat_left[advance] -= 1
+        move = advance & (self._repeat_left <= 0)
+        self._u[move] += 1
+        wrap = move & (self._u > self._ceiling)
+        self._u[wrap] = 0
+        self._ceiling[wrap] *= 2
+        # Scalar semantics: the repeat count is refilled from the ceiling
+        # *after* a potential doubling.
+        self._repeat_left[move] = self._ceiling[move]
+
+    @property
+    def u(self) -> np.ndarray:
+        return self._u.astype(np.float64)
+
+    @property
+    def completed(self) -> np.ndarray:
+        return self._completed
+
+    def __repr__(self) -> str:
+        return f"VectorNoCDSweepPolicy(reps={self.reps})"
+
+
+class VectorEstimationPolicy(VectorUniformPolicy):
+    """Batched ``Estimation(L)`` (Function 2), one column per replication.
+
+    Per column identical to
+    :class:`~repro.protocols.estimation.EstimationPolicy`: round ``r`` has
+    ``2**r`` slots at probability ``2**-(2**r)``; a round with at least
+    ``L`` nulls (or hitting ``max_round``) sets the column's result.
+    :attr:`policy_results` exposes the per-column returned round indices.
+    """
+
+    def __init__(self, reps: int, L: int = 2, max_round: int = 60) -> None:
+        super().__init__(reps)
+        if L < 1:
+            raise ConfigurationError(f"L must be >= 1, got {L}")
+        if max_round < 1:
+            raise ConfigurationError(f"max_round must be >= 1, got {max_round}")
+        self.L = int(L)
+        self.max_round = int(max_round)
+        self._round = np.ones(self.reps, dtype=np.int64)
+        self._left = np.full(self.reps, 2, dtype=np.int64)
+        self._nulls = np.zeros(self.reps, dtype=np.int64)
+        self._result = np.full(self.reps, -1, dtype=np.int64)
+        # Round r's probability 2**-(2**r) only depends on r: precompute the
+        # whole table once per batch instead of exponentiating every slot.
+        self._prob_table = _estimation_probability_table(self.max_round)
+
+    def transmit_probabilities(self, step: int) -> np.ndarray:
+        return self._prob_table[self._round]
+
+    def observe_batch(self, step, states, active):
+        act = active & (self._result < 0)
+        self._nulls[act & (states == _NULL)] += 1
+        self._left[act] -= 1
+        expired = act & (self._left == 0)
+        if not expired.any():
+            return
+        done = expired & (
+            (self._nulls >= self.L) | (self._round >= self.max_round)
+        )
+        self._result[done] = self._round[done]
+        cont = expired & ~done
+        self._round[cont] += 1
+        self._left[cont] = 2 ** self._round[cont]
+        self._nulls[cont] = 0
+
+    @property
+    def current_round(self) -> np.ndarray:
+        return self._round
+
+    @property
+    def completed(self) -> np.ndarray:
+        return self._result >= 0
+
+    @property
+    def policy_results(self) -> np.ndarray:
+        return self._result
+
+    def __repr__(self) -> str:
+        return f"VectorEstimationPolicy(L={self.L}, reps={self.reps})"
+
+
+@lru_cache(maxsize=None)
+def _estimation_probability_table(max_round: int) -> np.ndarray:
+    """``table[r] = 2**-(2**r)`` for rounds ``0..max_round`` (read-only)."""
+    exponents = np.minimum(2.0 ** np.arange(max_round + 1), _MAX_EXPONENT + 1.0)
+    table = probabilities_from_exponents(exponents)
+    table.setflags(write=False)
+    return table
+
+
+class _LESUScheduleTable:
+    """Flat, lazily extended view of one ``lesu_schedule(t0)`` stream.
+
+    Columns of a batch (and rep-blocks of a sharded sweep) that produced
+    the same estimation result share the same ``t0 = c * 2**(1 + round)``,
+    so the sub-run sequence is memoised per ``(c, round)`` key via
+    :func:`_lesu_table` instead of re-walking the generator per column.
+    """
+
+    def __init__(self, t0: float) -> None:
+        self._it = lesu_schedule(t0)
+        self._subruns: list[SubRun] = []
+
+    def get(self, index: int) -> SubRun:
+        while len(self._subruns) <= index:
+            self._subruns.append(next(self._it))
+        return self._subruns[index]
+
+
+@lru_cache(maxsize=None)
+def _lesu_table(c: float, round_index: int) -> _LESUScheduleTable:
+    return _LESUScheduleTable(c * 2.0 ** (1 + round_index))
+
+
+#: Sub-run durations are clamped here when stored (int64 safety): diagonals
+#: deep enough to overflow are beyond any reachable ``max_slots`` anyway.
+_DURATION_CAP = np.int64(2) ** 62
+
+
+class VectorLESUPolicy(VectorUniformPolicy):
+    """Batched Algorithm 2 (LESU): estimation phase + diagonal LESK
+    sub-run schedule, one column per replication.
+
+    Per column identical to :class:`~repro.protocols.lesu.LESUPolicy`:
+    runs ``Estimation(L)`` until a round with ``L`` nulls fixes
+    ``t0 = c * 2**(1 + round)``, then sweeps LESK sub-runs
+    ``LESK(2**(-j/3))`` for ``ceil(3 * 2**i * t0 / j)`` slots along the
+    diagonal schedule.  Each sub-run starts a fresh LESK walk (``u = 0``);
+    a ``Single`` completes the column.  During estimation the estimator
+    exposure ``u`` is ``2**round`` -- the same value the scalar policy
+    shows an :class:`~repro.adversary.adaptive.EstimatorAttacker`.
+    """
+
+    def __init__(
+        self,
+        reps: int,
+        c: float = DEFAULT_C,
+        L: int = 2,
+        max_round: int = 60,
+    ) -> None:
+        super().__init__(reps)
+        if c <= 0:
+            raise ConfigurationError(f"c must be > 0, got {c}")
+        self.c = float(c)
+        self.L = int(L)
+        self.max_round = int(max_round)
+        # Estimation-phase state (mirrors VectorEstimationPolicy).
+        self._in_est = np.ones(self.reps, dtype=bool)
+        self._est_round = np.ones(self.reps, dtype=np.int64)
+        self._est_left = np.full(self.reps, 2, dtype=np.int64)
+        self._est_nulls = np.zeros(self.reps, dtype=np.int64)
+        self._est_result = np.full(self.reps, -1, dtype=np.int64)
+        self._est_prob_table = _estimation_probability_table(self.max_round)
+        # Election-phase state: current sub-run index, its remaining slots
+        # and LESK parameter, and the in-sub-run estimator walk.
+        self._sub_index = np.full(self.reps, -1, dtype=np.int64)
+        self._steps_left = np.zeros(self.reps, dtype=np.int64)
+        self._a = np.ones(self.reps)
+        self._u = np.zeros(self.reps)
+        self._completed = np.zeros(self.reps, dtype=bool)
+        self.subruns_started = np.zeros(self.reps, dtype=np.int64)
+
+    def _start_subruns(self, cols: np.ndarray) -> None:
+        """Enter each selected column's sub-run ``self._sub_index[col]``."""
+        for col in np.flatnonzero(cols):
+            table = _lesu_table(self.c, int(self._est_result[col]))
+            sub = table.get(int(self._sub_index[col]))
+            self._a[col] = lesk_parameter_a(sub.eps)
+            self._steps_left[col] = min(sub.duration, int(_DURATION_CAP))
+            self._u[col] = 0.0  # fresh LESK walk per sub-run
+            self.subruns_started[col] += 1
+
+    def transmit_probabilities(self, step: int) -> np.ndarray:
+        return np.where(
+            self._in_est,
+            self._est_prob_table[self._est_round],
+            probabilities_from_exponents(self._u),
+        )
+
+    def observe_batch(self, step, states, active):
+        singles = active & (states == _SINGLE)
+        self._completed |= singles
+        act = active & ~singles
+        # Scalar semantics: a column still estimating at entry only runs
+        # the estimation update this slot -- the sub-run machinery starts
+        # on the *next* observation, and the halting Single never advances
+        # either phase.
+        in_est = act & self._in_est
+        election = act & ~self._in_est
+
+        if in_est.any():
+            self._est_nulls[in_est & (states == _NULL)] += 1
+            self._est_left[in_est] -= 1
+            expired = in_est & (self._est_left == 0)
+            if expired.any():
+                done = expired & (
+                    (self._est_nulls >= self.L)
+                    | (self._est_round >= self.max_round)
+                )
+                self._est_result[done] = self._est_round[done]
+                cont = expired & ~done
+                self._est_round[cont] += 1
+                self._est_left[cont] = 2 ** self._est_round[cont]
+                self._est_nulls[cont] = 0
+                if done.any():
+                    self._in_est[done] = False
+                    self._sub_index[done] = 0
+                    self._start_subruns(done)
+
+        if election.any():
+            nulls = election & (states == _NULL)
+            collisions = election & (states == _COLLISION)
+            self._u[nulls] -= 1.0
+            np.maximum(self._u, 0.0, out=self._u, where=nulls)
+            self._u[collisions] += 1.0 / self._a[collisions]
+            self._steps_left[election] -= 1
+            over = election & (self._steps_left <= 0)
+            if over.any():
+                self._sub_index[over] += 1
+                self._start_subruns(over)
+
+    @property
+    def u(self) -> np.ndarray:
+        return np.where(self._in_est, 2.0**self._est_round, self._u)
+
+    @property
+    def in_estimation(self) -> np.ndarray:
+        return self._in_est
+
+    @property
+    def completed(self) -> np.ndarray:
+        return self._completed
+
+    def __repr__(self) -> str:
+        return f"VectorLESUPolicy(c={self.c}, reps={self.reps})"

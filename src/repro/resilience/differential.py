@@ -23,11 +23,20 @@ Each *stack* is one semantic implementation driven by a shared world:
 
 The shared world fixes, per slot: one uniform per station (transmit iff
 ``U < p``, the adapters' own coupling), the churn/skew participation mask,
-the fault corruption flags, and a *deterministic* jam-intent sequence
-(adaptive randomized adversaries would entangle RNG streams again).  Every
-stack computes its own ``p``, its own budget grant and its own observed
-state; per-slot fingerprints are compared with a small float tolerance
-(``np.exp2(-u)`` and ``2.0**-u`` may differ in the last ulp).
+the fault corruption flags, and a jam-intent sequence that is a
+*deterministic function of public history* -- either one of the scripted
+patterns in :data:`DETERMINISTIC_ADVERSARIES`, or one of the suite's
+adaptive strategies (:data:`ADAPTIVE_DIFFERENTIAL_ADVERSARIES`): those
+condition only on the trace / protocol state and never draw randomness,
+so the scalar stacks can host the real scalar
+:class:`~repro.adversary.base.JammingStrategy` and the vector stack the
+real :class:`~repro.adversary.vector.VectorJammingStrategy`, exercising
+the scalar-vs-vector adversary pair in the same lockstep harness.
+(*Randomized* strategies would entangle RNG streams and stay excluded.)
+Every stack computes its own ``p``, its own jam intent, its own budget
+grant and its own observed state; per-slot fingerprints are compared with
+a small float tolerance (``np.exp2(-u)`` and ``2.0**-u`` may differ in
+the last ulp).
 
 :func:`run_differential` scans and reports the first divergence;
 :func:`first_diverging_slot` binary-searches it by re-running prefixes
@@ -44,7 +53,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.adversary.base import AdversaryView
 from repro.adversary.budget import JammingBudget, JammingBudgetArray
+from repro.adversary.suite import STRATEGY_REGISTRY
+from repro.adversary.vector import BATCHED_STRATEGY_REGISTRY, BatchAdversaryView
 from repro.channel.channel import resolve_slot
 from repro.channel.faulty import corrupt_observed
 from repro.channel.feedback import feedback_for
@@ -65,14 +77,29 @@ __all__ = [
     "first_diverging_slot",
     "STACKS",
     "DETERMINISTIC_ADVERSARIES",
+    "ADAPTIVE_DIFFERENTIAL_ADVERSARIES",
 ]
 
 STACKS = ("scalar", "fast", "vector")
 
-#: Deterministic jam-intent patterns (slot -> want-jam).  Randomized or
-#: trace-adaptive strategies would need per-stack RNG streams, defeating
-#: the shared-world coupling; these cover never/always/periodic/bursty.
+#: Scripted jam-intent patterns (slot -> want-jam); cover
+#: never/always/periodic/bursty without any adversary state.  (The
+#: "periodic-front" here is the local 4T-period script, not the suite's
+#: Lemma 2.7 jammer -- the scripts are private to differential mode.)
 DETERMINISTIC_ADVERSARIES = ("none", "saturating", "periodic-front", "burst")
+
+#: Suite strategies usable in differential mode: the adaptive family is
+#: deterministic given public history (no RNG draws), so each stack hosts
+#: its own instance -- scalar strategies for the scalar/fast stacks, their
+#: vector counterparts for the vector stack -- and the harness checks the
+#: *pair* agrees slot by slot.  Randomized strategies ("random") stay out.
+ADAPTIVE_DIFFERENTIAL_ADVERSARIES = (
+    "reactive",
+    "single-suppressor",
+    "estimator-attacker",
+    "silence-masker",
+    "collision-forcer",
+)
 
 #: ``2.0**-u`` (scalar) vs ``np.exp2(-u)`` (vector) may differ by one ulp.
 FLOAT_TOL = 1e-12
@@ -95,6 +122,100 @@ def _want_jam(adversary: str, slot: int, T: int) -> bool:
         f"unknown deterministic adversary {adversary!r}; "
         f"known: {DETERMINISTIC_ADVERSARIES}"
     )
+
+
+class _TraceShim:
+    """Minimal stand-in for :class:`~repro.channel.trace.ChannelTrace`.
+
+    Records the *pre-fault-corruption* observed state per slot -- exactly
+    what the real engines' traces feed the adversary (the jammer knows what
+    it jammed and is not fooled by corrupted feedback).  Only the query the
+    adaptive suite actually performs (``observed_state``) is implemented.
+    """
+
+    __slots__ = ("_observed",)
+
+    def __init__(self) -> None:
+        self._observed: list[int] = []
+
+    def record(self, slot: int, observed: ChannelState) -> None:
+        assert slot == len(self._observed), "slots must be recorded in order"
+        self._observed.append(int(observed))
+
+    def observed_state(self, slot: int) -> ChannelState:
+        return ChannelState(self._observed[slot])
+
+
+class _ScalarIntent:
+    """Jam intent for a scalar-semantics stack: a scripted pattern, or a
+    real (stateful) scalar strategy instance fed a minimal trace shim."""
+
+    def __init__(self, config: "DifferentialConfig") -> None:
+        self.config = config
+        self.trace = _TraceShim()
+        self.strategy = (
+            STRATEGY_REGISTRY[config.adversary](config.T, config.eps)
+            if config.adversary in ADAPTIVE_DIFFERENTIAL_ADVERSARIES
+            else None
+        )
+
+    def want(self, slot: int, budget: JammingBudget, p: float, u: float) -> bool:
+        if self.strategy is None:
+            return _want_jam(self.config.adversary, slot, self.config.T)
+        view = AdversaryView(
+            slot=slot,
+            n=self.config.n,
+            trace=self.trace,  # type: ignore[arg-type]  # duck-typed shim
+            budget=budget,
+            transmit_probability=p,
+            protocol_u=u,
+        )
+        # rng=None asserts the strategy is deterministic: any draw raises.
+        return bool(self.strategy.wants_jam(view, None))
+
+    def observe(self, slot: int, observed: ChannelState) -> None:
+        if self.strategy is not None:
+            self.trace.record(slot, observed)
+
+
+class _VectorIntent:
+    """Jam intent for the vector stack: the scripted pattern lifted to a
+    1-column mask, or the real vectorized strategy counterpart."""
+
+    def __init__(self, config: "DifferentialConfig") -> None:
+        self.config = config
+        self.strategy = (
+            BATCHED_STRATEGY_REGISTRY[config.adversary](config.T, config.eps)
+            if config.adversary in ADAPTIVE_DIFFERENTIAL_ADVERSARIES
+            else None
+        )
+        if self.strategy is not None:
+            self.strategy.reset()
+
+    def want(
+        self,
+        slot: int,
+        budget: JammingBudgetArray,
+        p: np.ndarray,
+        u: np.ndarray,
+        active: np.ndarray,
+    ) -> np.ndarray:
+        if self.strategy is None:
+            return np.array([_want_jam(self.config.adversary, slot, self.config.T)])
+        view = BatchAdversaryView(
+            slot=slot,
+            n=self.config.n,
+            reps=1,
+            budget=budget,
+            transmit_probabilities=p,
+            protocol_u=u,
+            active=active,
+        )
+        return np.asarray(self.strategy.wants_jam_batch(view, None), dtype=bool)
+
+    def observe(self, slot: int, observed: np.ndarray, active: np.ndarray) -> None:
+        if self.strategy is not None:
+            self.strategy.observe_outcomes(slot, observed, active)
 
 
 @dataclass(frozen=True)
@@ -129,10 +250,12 @@ class DifferentialConfig:
             )
         if self.max_slots < 1:
             raise ConfigurationError(f"max_slots must be >= 1, got {self.max_slots}")
-        if self.adversary not in DETERMINISTIC_ADVERSARIES:
+        known = DETERMINISTIC_ADVERSARIES + ADAPTIVE_DIFFERENTIAL_ADVERSARIES
+        if self.adversary not in known:
             raise ConfigurationError(
-                f"differential mode needs a deterministic adversary, got "
-                f"{self.adversary!r}; known: {DETERMINISTIC_ADVERSARIES}"
+                f"differential mode needs a deterministic (scripted or "
+                f"history-conditioned) adversary, got {self.adversary!r}; "
+                f"known: {known}"
             )
         if self.tamper is not None and self.tamper[0] not in STACKS:
             raise ConfigurationError(
@@ -251,6 +374,7 @@ class _ScalarStack:
     def __init__(self, config: DifferentialConfig) -> None:
         self.config = config
         self.budget = JammingBudget(config.T, config.eps)
+        self.intent = _ScalarIntent(config)
         self.stations = []
         self.rngs = []
         for sid in range(config.n):
@@ -295,8 +419,9 @@ class _ScalarStack:
             actions[sid] = action
             if action is Action.TRANSMIT:
                 k += 1
-        jammed = self.budget.grant(_want_jam(cfg.adversary, slot, cfg.T))
+        jammed = self.budget.grant(self.intent.want(slot, self.budget, p, u))
         outcome = resolve_slot(slot, k, jammed)
+        self.intent.observe(slot, outcome.observed_state)
         observed = (
             corrupt_observed(outcome.observed_state, flags)
             if flags is not None
@@ -340,6 +465,7 @@ class _FastStack:
     def __init__(self, config: DifferentialConfig) -> None:
         self.config = config
         self.budget = JammingBudget(config.T, config.eps)
+        self.intent = _ScalarIntent(config)
         self.policy = LESKPolicy(config.eps)
         self.halted = False
 
@@ -353,8 +479,9 @@ class _FastStack:
             k = 0
         else:
             k = int(np.count_nonzero(part & (world.uniforms[slot] < p)))
-        jammed = self.budget.grant(_want_jam(cfg.adversary, slot, cfg.T))
+        jammed = self.budget.grant(self.intent.want(slot, self.budget, p, u))
         outcome = resolve_slot(slot, k, jammed)
+        self.intent.observe(slot, outcome.observed_state)
         observed = (
             corrupt_observed(outcome.observed_state, flags)
             if flags is not None
@@ -384,6 +511,7 @@ class _VectorStack:
     def __init__(self, config: DifferentialConfig) -> None:
         self.config = config
         self.budget = JammingBudgetArray(config.T, config.eps, reps=1)
+        self.intent = _VectorIntent(config)
         self.policy = VectorLESKPolicy(config.eps, reps=1)
         self.active = np.ones(1, dtype=bool)
         self.halted = False
@@ -399,7 +527,8 @@ class _VectorStack:
             k = 0
         else:
             k = int(np.count_nonzero(part & (world.uniforms[slot] < p)))
-        jammed = bool(self.budget.grant(np.array([_want_jam(cfg.adversary, slot, cfg.T)]))[0])
+        want = self.intent.want(slot, self.budget, p_arr, self.policy.u, self.active)
+        jammed = bool(self.budget.grant(want)[0])
         k_arr = np.array([k], dtype=np.int64)
         # The batched engine's observation expressions, verbatim.
         observed_arr = np.where(
@@ -407,6 +536,9 @@ class _VectorStack:
             np.int8(ChannelState.COLLISION),
             np.minimum(k_arr, 2).astype(np.int8),
         )
+        # Pre-fault-corruption feedback, mirroring the batched engine's
+        # observe_outcomes hook placement.
+        self.intent.observe(slot, observed_arr, self.active)
         erased = False
         if flags is not None:
             if flags.downgrade:

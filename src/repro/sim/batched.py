@@ -22,9 +22,13 @@ update rule -- so per-replication run distributions are *identical* to
 ``simulate_uniform_fast`` (the per-column bitstreams differ, the laws do
 not).  Cross-validated by KS tests in ``tests/sim/test_batched.py``.
 
-Scope: uniform policies with a vector implementation, against vectorized
-(oblivious or saturating) adversaries.  Adaptive adversaries condition on
-each replication's trace and stay on the scalar path.
+Scope: uniform policies with a vector implementation, against any
+registered vectorized adversary -- oblivious patterns and the adaptive
+family alike.  Adaptive strategies condition on the per-column protocol
+state exposed through :class:`BatchAdversaryView` and on per-slot channel
+feedback delivered via the adversary's ``observe_outcomes`` hook (the
+pre-fault-corruption observed states, matching the scalar trace the
+adversary sees).
 """
 
 from __future__ import annotations
@@ -72,6 +76,7 @@ class BatchRunResult:
     policy_completed: np.ndarray  # bool: column finished of its own accord
     timed_out: np.ndarray  # bool
     leader_survived: np.ndarray | None = None  # bool; None = fault-free batch
+    policy_results: np.ndarray | None = None  # int64, -1 = no result
 
     def results(self) -> list[RunResult]:
         """Per-replication :class:`RunResult` views (harness-compatible)."""
@@ -79,6 +84,9 @@ class BatchRunResult:
         for r in range(self.reps):
             elected = bool(self.elected[r])
             first = int(self.first_single_slot[r])
+            presult: object | None = None
+            if self.policy_results is not None and self.policy_results[r] >= 0:
+                presult = int(self.policy_results[r])
             out.append(
                 RunResult(
                     n=self.n,
@@ -94,6 +102,7 @@ class BatchRunResult:
                         transmissions=int(self.transmissions[r]),
                         listening=int(self.listening[r]),
                     ),
+                    policy_result=presult,
                     timed_out=bool(self.timed_out[r]),
                     leader_survived=(
                         True
@@ -190,6 +199,10 @@ def simulate_uniform_batched(
         jam_denied[mask] = adversary.budget.denied_requests[mask]
         timed_out[mask] = as_timeout
 
+    # History-conditioned strategies (the adaptive family) receive the slot
+    # outcomes through this hook; duck-typed test adversaries may omit it.
+    notify = getattr(adversary, "observe_outcomes", None)
+
     for slot in range(max_slots):
         if not active.any():
             break
@@ -231,6 +244,13 @@ def simulate_uniform_batched(
             rec.record_batch_slot(slot, k, jammed, active)
 
         observed = np.where(jammed, _COLLISION, _true_states(k))
+        if notify is not None:
+            # Pre-fault-corruption states: the adversary knows what it
+            # jammed and is not fooled by the fault model's corrupted
+            # feedback -- same semantics as the scalar engines' trace.
+            # (The fault block below rebinds ``observed`` via np.where, so
+            # the array handed over here is a stable snapshot.)
+            notify(slot, observed, active)
         if bf is not None:
             # Same order as channel.faulty.corrupt_observed: erase wins
             # (handled below by masking the policy update and the win
@@ -306,6 +326,7 @@ def simulate_uniform_batched(
         )
     if bf is not None and tel.enabled:
         bf.publish(tel)
+    presults = getattr(policy, "policy_results", None)
     return BatchRunResult(
         n=n,
         reps=reps,
@@ -320,6 +341,7 @@ def simulate_uniform_batched(
         policy_completed=policy_done,
         timed_out=timed_out,
         leader_survived=leader_survived,
+        policy_results=presults,
     )
 
 

@@ -12,6 +12,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.resilience.differential import (
+    ADAPTIVE_DIFFERENTIAL_ADVERSARIES,
     DETERMINISTIC_ADVERSARIES,
     STACKS,
     DifferentialConfig,
@@ -47,6 +48,32 @@ class TestAgreement:
         report = run_differential(DifferentialConfig(n=1, seed=0, max_slots=50))
         assert report.agreed
 
+    @pytest.mark.parametrize("adversary", ADAPTIVE_DIFFERENTIAL_ADVERSARIES)
+    def test_adaptive_scalar_vector_strategy_pairs(self, adversary):
+        """The real scalar strategy (scalar/fast stacks) and its vector
+        counterpart (vector stack) must want the same jams slot by slot."""
+        for seed in range(3):
+            report = run_differential(
+                DifferentialConfig(
+                    n=64, adversary=adversary, seed=seed, max_slots=512
+                )
+            )
+            assert report.agreed, report.divergence.describe()
+            assert report.slots_compared > 0
+
+    def test_adaptive_with_corruption_faults(self):
+        """Corruption rewrites the policies' feedback but never the
+        adversary's trace (the jammer knows what it jammed), so the
+        stacks stay comparable under adaptive strategies too."""
+        faults = FaultModel(flip_rate=0.05, erase_rate=0.05, downgrade_slots=(2, 9))
+        for adversary in ("reactive", "silence-masker"):
+            report = run_differential(
+                DifferentialConfig(
+                    n=16, adversary=adversary, seed=4, max_slots=400, faults=faults
+                )
+            )
+            assert report.agreed, report.divergence.describe()
+
 
 class TestTamper:
     @pytest.mark.parametrize("stack", STACKS)
@@ -65,6 +92,15 @@ class TestTamper:
         )
         assert first_diverging_slot(config) == 9
 
+    def test_detected_under_adaptive_adversary(self):
+        config = DifferentialConfig(
+            n=64, adversary="reactive", seed=3, max_slots=512, tamper=("vector", 5)
+        )
+        report = run_differential(config)
+        assert not report.agreed
+        assert report.divergence.slot == 5
+        assert first_diverging_slot(config) == 5
+
     def test_bisection_none_when_agreed(self):
         config = DifferentialConfig(n=8, seed=3, max_slots=200)
         assert first_diverging_slot(config) is None
@@ -80,8 +116,14 @@ class TestConfigValidation:
             DifferentialConfig(n=8, faults=FaultModel(skew_rate=0.01))
 
     def test_unknown_adversary_rejected(self):
-        with pytest.raises(ConfigurationError, match="deterministic adversary"):
+        with pytest.raises(ConfigurationError, match="deterministic"):
             DifferentialConfig(n=8, adversary="adaptive-mystery")
+
+    def test_randomized_adversary_rejected(self):
+        # "random" draws from an RNG per slot: it cannot be shared-world
+        # coupled across stacks and must stay excluded.
+        with pytest.raises(ConfigurationError, match="deterministic"):
+            DifferentialConfig(n=8, adversary="random")
 
     def test_unknown_tamper_stack_rejected(self):
         with pytest.raises(ConfigurationError, match="tamper stack"):
@@ -104,6 +146,30 @@ class TestFuzz:
                     downgrade_slots=tuple(
                         sorted(int(s) for s in rng.integers(0, 60, size=rng.integers(0, 4)))
                     ),
+                )
+            else:
+                faults = FaultModel()
+            config = DifferentialConfig(
+                n=n, eps=eps, T=T, adversary=adversary,
+                max_slots=250, seed=int(rng.integers(1 << 30)), faults=faults,
+            )
+            report = run_differential(config)
+            if not report.agreed:
+                diverged.append((config, report.divergence.describe()))
+        assert not diverged, diverged[:3]
+
+    def test_50_random_adaptive_configs_zero_divergences(self):
+        rng = np.random.default_rng(20260806)
+        diverged = []
+        for i in range(50):
+            n = int(rng.integers(1, 96))
+            eps = float(rng.choice([0.3, 0.5, 0.7]))
+            T = int(rng.choice([4, 8, 16]))
+            adversary = str(rng.choice(ADAPTIVE_DIFFERENTIAL_ADVERSARIES))
+            if rng.random() < 0.3:
+                faults = FaultModel(
+                    flip_rate=float(rng.uniform(0, 0.1)),
+                    erase_rate=float(rng.uniform(0, 0.1)),
                 )
             else:
                 faults = FaultModel()

@@ -189,10 +189,12 @@ class TestInvariants:
         with pytest.raises(ConfigurationError):
             batched_lesk("saturating", max_slots=0)
         with pytest.raises(ConfigurationError):
-            make_batched_adversary("single-suppressor", T=T, eps=EPS, reps=4)
+            make_batched_adversary("no-such-strategy", T=T, eps=EPS, reps=4)
 
     def test_is_batchable(self):
-        assert is_batchable("none")
-        assert is_batchable("saturating")
-        assert not is_batchable("single-suppressor")
-        assert not is_batchable("estimator-attacker")
+        from repro.adversary.suite import strategy_names
+
+        # The adaptive family is vectorized too: full registry coverage.
+        for name in strategy_names():
+            assert is_batchable(name), name
+        assert not is_batchable("no-such-strategy")
