@@ -26,25 +26,35 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.adversary.budget import JammingBudget
 from repro.adversary.suite import make_adversary
 from repro.adversary.vector import make_batched_adversary
-from repro.core.config import ElectionConfig
+from repro.core.config import ElectionConfig, default_slot_budget
 from repro.core.election import make_protocol_stations
 from repro.protocols.lesk import LESKPolicy
-from repro.protocols.vector import VectorLESKPolicy
+from repro.protocols.vector import VectorLESKPolicy, VectorLESUPolicy
 from repro.resilience.faults import NO_FAULTS
 from repro.sim.batched import simulate_uniform_batched
 from repro.sim.engine import simulate_stations
 from repro.sim.fast import simulate_uniform_fast
+from repro.sim.vectorized import simulate_stations_vectorized
 from repro.types import CDMode
 
 N = 512
 EPS = 0.5
 T = 32
+
+#: Heavy-tail adaptive cell for the dead-rep compaction gate: LESU against
+#: the single-suppressor jammer has a long retirement tail, so packing the
+#: retired columns out is where compaction pays.
+COMPACT_N = 64
+COMPACT_T = 8
+COMPACT_INTERVAL = 16
+COMPACT_SEED = 2026
 
 #: Maximum tolerated resilience hooks-off overhead (percent) at full size.
 RESILIENCE_GATE_PCT = 2.0
@@ -54,6 +64,17 @@ SMOKE_RESILIENCE_GATE_PCT = 5.0
 #: workload (below the oblivious path's 5x: the per-slot observe_outcomes
 #: feedback is batched-side-only work).
 ADAPTIVE_SPEEDUP_FLOOR = 4.0
+#: Minimum vectorized-faithful/scalar-faithful throughput ratio at n=512
+#: (the fidelity-gap closure this engine exists for), and its relaxed CI
+#: smoke floor.
+VECTORIZED_SPEEDUP_FLOOR = 50.0
+SMOKE_VECTORIZED_SPEEDUP_FLOOR = 25.0
+#: Minimum compaction/no-compaction throughput ratio on the heavy-tail
+#: adaptive cell, and its relaxed CI smoke floor.
+COMPACTION_SPEEDUP_FLOOR = 1.5
+SMOKE_COMPACTION_SPEEDUP_FLOOR = 1.2
+#: Lines of cumulative-time profile kept per engine row by ``--profile``.
+PROFILE_TOP = 20
 
 
 def test_fast_engine_lesk(benchmark):
@@ -139,6 +160,23 @@ def test_batched_engine_lesk(benchmark):
             N,
             lambda reps: make_batched_adversary("saturating", T=T, eps=EPS, reps=reps),
             reps=256,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    batch = benchmark(run)
+    assert batch.elected.all()
+
+
+def test_vectorized_faithful_engine_lesk(benchmark):
+    """R=16 faithful replications advanced as an (R, n) matrix."""
+
+    def run():
+        return simulate_stations_vectorized(
+            lambda w: VectorLESKPolicy(EPS, w),
+            N,
+            lambda r: make_batched_adversary("saturating", T=T, eps=EPS, reps=r),
+            reps=16,
             max_slots=100_000,
             root_seed=11,
         )
@@ -293,6 +331,30 @@ def measure_throughput(reps: int = 64, repeats: int = 3) -> dict:
         "slots_per_sec": round(slots / elapsed, 1),
     }
 
+    # Vectorized faithful: the same per-station model as the scalar
+    # faithful row, advanced as an (R, n) matrix -- the row pair the
+    # >= 50x fidelity-gap gate compares.
+    vec_reps = max(4, reps // 2)
+
+    def vectorized_call():
+        return simulate_stations_vectorized(
+            lambda w: VectorLESKPolicy(EPS, w),
+            N,
+            lambda r: make_batched_adversary("saturating", T=T, eps=EPS, reps=r),
+            reps=vec_reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    elapsed, batch = best_of(vectorized_call, repeats)
+    batch_slots = int(batch.slots.sum())
+    results["vectorized-faithful"] = {
+        "reps": vec_reps,
+        "slots": batch_slots,
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(batch_slots / elapsed, 1),
+    }
+
     def batched_call():
         return simulate_uniform_batched(
             lambda r: VectorLESKPolicy(EPS, r),
@@ -357,7 +419,46 @@ def measure_throughput(reps: int = 64, repeats: int = 3) -> dict:
         "seconds": round(elapsed, 6),
         "slots_per_sec": round(batch_slots / elapsed, 1),
     }
+
+    # Dead-rep compaction pair: the heavy-tail adaptive cell where most
+    # columns retire early but a long tail keeps the batch alive, so the
+    # per-slot width reduction is the whole story.  Fixed at 256 columns
+    # even in smoke mode: below ~100 columns the per-slot dispatch floor
+    # hides the width reduction, and the cell costs ~20ms either way.
+    compact_reps = 256
+    for row, interval in (
+        ("batched-nocompact", None),
+        ("batched-compaction", COMPACT_INTERVAL),
+    ):
+        elapsed, batch = best_of(
+            lambda: _compaction_cell(compact_reps, interval), repeats
+        )
+        batch_slots = int(batch.slots.sum())
+        results[row] = {
+            "reps": compact_reps,
+            "n": COMPACT_N,
+            "adversary": adaptive,
+            "policy": "lesu",
+            "compact_interval": interval,
+            "slots": batch_slots,
+            "seconds": round(elapsed, 6),
+            "slots_per_sec": round(batch_slots / elapsed, 1),
+        }
     return results
+
+
+def _compaction_cell(reps: int, compact_interval: int | None):
+    return simulate_uniform_batched(
+        VectorLESUPolicy,
+        COMPACT_N,
+        lambda r: make_batched_adversary(
+            "single-suppressor", T=COMPACT_T, eps=EPS, reps=r
+        ),
+        reps=reps,
+        max_slots=default_slot_budget(COMPACT_N, EPS, COMPACT_T),
+        root_seed=COMPACT_SEED,
+        compact_interval=compact_interval,
+    )
 
 
 def measure_resilience_overhead(
@@ -417,6 +518,82 @@ def measure_resilience_overhead(
     }
 
 
+def profile_engines(out_dir: Path, reps: int = 8) -> list[Path]:
+    """cProfile one workload per engine row; top-20 cumulative each.
+
+    Writes ``profile_<engine>.txt`` per row into *out_dir* -- small
+    single-shot workloads (profiling overhead distorts absolute numbers;
+    the call ranking is what the files are for).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    def fast_workload():
+        for seed in range(reps):
+            simulate_uniform_fast(
+                LESKPolicy(EPS),
+                n=N,
+                adversary=make_adversary("saturating", T=T, eps=EPS),
+                max_slots=100_000,
+                seed=seed,
+            )
+
+    def faithful_workload():
+        config = ElectionConfig(n=N, protocol="lesk", eps=EPS, T=T)
+        simulate_stations(
+            make_protocol_stations(config),
+            adversary=make_adversary("saturating", T=T, eps=EPS),
+            cd_mode=CDMode.STRONG,
+            max_slots=100_000,
+            seed=11,
+            stop_on_first_single=True,
+        )
+
+    def batched_workload():
+        simulate_uniform_batched(
+            lambda r: VectorLESKPolicy(EPS, r),
+            N,
+            lambda r: make_batched_adversary("saturating", T=T, eps=EPS, reps=r),
+            reps=8 * reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    def vectorized_workload():
+        simulate_stations_vectorized(
+            lambda w: VectorLESKPolicy(EPS, w),
+            N,
+            lambda r: make_batched_adversary("saturating", T=T, eps=EPS, reps=r),
+            reps=reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    def compaction_workload():
+        _compaction_cell(32 * reps, COMPACT_INTERVAL)
+
+    workloads = {
+        "fast": fast_workload,
+        "faithful": faithful_workload,
+        "batched": batched_workload,
+        "vectorized-faithful": vectorized_workload,
+        "batched-compaction": compaction_workload,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, workload in workloads.items():
+        profiler = cProfile.Profile()
+        profiler.runcall(workload)
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP)
+        path = out_dir / f"profile_{name.replace('-', '_')}.txt"
+        path.write_text(buf.getvalue())
+        paths.append(path)
+    return paths
+
+
 def main(argv: list[str] | None = None) -> int:
     """Script entry point: time the engines and emit BENCH_engines.json."""
     from bench_common import write_bench_json
@@ -428,7 +605,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke", action="store_true", help="reduced sizes for CI smoke"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each engine row (top-20 cumulative) into results/",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        out_dir = Path(__file__).resolve().parent.parent / "results"
+        for path in profile_engines(out_dir, reps=4 if args.smoke else 8):
+            print(f"wrote {path}")
 
     reps = 16 if args.smoke else 64
     repeats = 2 if args.smoke else 3
@@ -448,6 +635,41 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"batched adaptive-adversary speedup: {adaptive_speedup:.1f}x "
         f"(floor {ADAPTIVE_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+    vectorized_floor = (
+        SMOKE_VECTORIZED_SPEEDUP_FLOOR if args.smoke else VECTORIZED_SPEEDUP_FLOOR
+    )
+    vectorized_speedup = (
+        results["vectorized-faithful"]["slots_per_sec"]
+        / results["faithful"]["slots_per_sec"]
+    )
+    results["vectorized_gate"] = {
+        "speedup": round(vectorized_speedup, 2),
+        "floor": vectorized_floor,
+        "smoke": args.smoke,
+    }
+    print(
+        f"vectorized-faithful speedup: {vectorized_speedup:.1f}x "
+        f"(floor {vectorized_floor:.0f}x)"
+    )
+
+    compaction_floor = (
+        SMOKE_COMPACTION_SPEEDUP_FLOOR if args.smoke else COMPACTION_SPEEDUP_FLOOR
+    )
+    compaction_speedup = (
+        results["batched-compaction"]["slots_per_sec"]
+        / results["batched-nocompact"]["slots_per_sec"]
+    )
+    results["compaction_gate"] = {
+        "speedup": round(compaction_speedup, 2),
+        "floor": compaction_floor,
+        "compact_interval": COMPACT_INTERVAL,
+        "smoke": args.smoke,
+    }
+    print(
+        f"dead-rep compaction speedup: {compaction_speedup:.2f}x "
+        f"(floor {compaction_floor:.1f}x)"
     )
 
     gate = SMOKE_RESILIENCE_GATE_PCT if args.smoke else RESILIENCE_GATE_PCT
@@ -477,6 +699,26 @@ def main(argv: list[str] | None = None) -> int:
         failed = True
     else:
         print("batched adaptive-adversary gate passed")
+    if vectorized_speedup < vectorized_floor:
+        print(
+            f"GATE FAILED: vectorized-faithful engine only "
+            f"{vectorized_speedup:.1f}x faster than the scalar faithful "
+            f"engine; floor is {vectorized_floor:.0f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print("vectorized-faithful gate passed")
+    if compaction_speedup < compaction_floor:
+        print(
+            f"GATE FAILED: dead-rep compaction only {compaction_speedup:.2f}x "
+            f"faster than the uncompacted batch on the heavy-tail cell; "
+            f"floor is {compaction_floor:.1f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print("dead-rep compaction gate passed")
     if resilience["overhead_pct"] > gate:
         print(
             f"GATE FAILED: resilience hooks-off overhead "

@@ -276,7 +276,8 @@ class JammingBudgetArray:
                 f"want_jam must have shape ({self.reps},), got {want.shape}"
             )
         granted = want & self._allowed()
-        refused = want & ~granted
+        # granted is a subset of want, so xor is the set difference.
+        refused = want ^ granted
         if self.strict and refused.any():
             rep = int(np.flatnonzero(refused)[0])
             raise BudgetViolationError(
@@ -284,11 +285,32 @@ class JammingBudgetArray:
                 f"(T={self.T}, 1-eps={self._rate:.4g}) budget"
             )
         self._denied += refused
-        self._jams += granted
+        # Rebind instead of updating in place: the fresh array doubles as
+        # the buffered prefix column, saving the defensive copy.
+        jams = self._jams + granted
+        self._jams = jams
         self._slot += 1
-        self._recent_prefix.append(self._jams.copy())
-        self._pending_phi.append(self._jams - self._rate * self._slot)
+        self._recent_prefix.append(jams)
+        self._pending_phi.append(jams - self._rate * self._slot)
         return granted
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop every column not selected by ``keep`` (sorted index array).
+
+        The surviving columns' decision streams are unchanged: conditions
+        (A) and (B) are elementwise, so slicing every per-column array --
+        including the buffered prefix counts and the pending/lagged ``phi``
+        state -- preserves each kept column's grant sequence exactly.
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        self.reps = int(keep.size)
+        self._jams = self._jams[keep]
+        self._denied = self._denied[keep]
+        self._recent_prefix = deque(
+            (col[keep] for col in self._recent_prefix), maxlen=self.T
+        )
+        self._min_phi_lagged = self._min_phi_lagged[keep]
+        self._pending_phi = deque(col[keep] for col in self._pending_phi)
 
     # -- internals ----------------------------------------------------------
 

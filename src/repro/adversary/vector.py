@@ -89,6 +89,11 @@ class VectorJammingStrategy(abc.ABC):
 
     name: str = "vector-strategy"
 
+    #: Whether :meth:`wants_jam_batch` reads ``view.protocol_u``.  Engines
+    #: may skip materializing the policy's estimator array when this is
+    #: ``False``; unknown subclasses inherit the conservative ``True``.
+    uses_protocol_u: bool = True
+
     @abc.abstractmethod
     def wants_jam_batch(
         self, view: BatchAdversaryView, rng: np.random.Generator
@@ -112,6 +117,16 @@ class VectorJammingStrategy(abc.ABC):
     def reset(self) -> None:
         """Clear any internal state before a new batch (default: stateless)."""
 
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop every column not selected by ``keep`` (sorted index array).
+
+        Called by the batched engine's dead-rep compaction.  Strategies
+        whose decisions are elementwise functions of the per-slot view
+        carry no per-column state and inherit this no-op; the
+        history-conditioned and randomized members override it so the
+        surviving columns' want-streams are unchanged.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -120,6 +135,7 @@ class VectorNoJamming(VectorJammingStrategy):
     """Never jams any replication."""
 
     name = "none"
+    uses_protocol_u = False
 
     def wants_jam_batch(self, view, rng):
         return np.zeros(view.reps, dtype=bool)
@@ -129,6 +145,7 @@ class VectorSaturatingJammer(VectorJammingStrategy):
     """Requests a jam in every slot of every replication (budget-clamped)."""
 
     name = "saturating"
+    uses_protocol_u = False
 
     def wants_jam_batch(self, view, rng):
         return np.ones(view.reps, dtype=bool)
@@ -139,6 +156,7 @@ class VectorPeriodicFrontJammer(VectorJammingStrategy):
     only, hence identical across replications."""
 
     name = "periodic-front"
+    uses_protocol_u = False
 
     def __init__(self, T: int, eps: float) -> None:
         if T < 1:
@@ -157,20 +175,44 @@ class VectorRandomJammer(VectorJammingStrategy):
     """Independent Bernoulli(rate) jam requests per replication per slot."""
 
     name = "random"
+    uses_protocol_u = False
 
     def __init__(self, rate: float) -> None:
         if not (0.0 <= rate <= 1.0):
             raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
         self.rate = float(rate)
+        # Dead-rep compaction support: the strategy keeps drawing at the
+        # original batch width and selects the surviving columns, so each
+        # column's Bernoulli stream is pinned to its original rep index
+        # regardless of the compaction schedule.
+        self._full_reps: int | None = None
+        self._orig_idx: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self._full_reps = None
+        self._orig_idx = None
+
+    def compact(self, keep):
+        if self._orig_idx is None:
+            self._orig_idx = np.asarray(keep, dtype=np.int64).copy()
+        else:
+            self._orig_idx = self._orig_idx[keep]
 
     def wants_jam_batch(self, view, rng):
-        return rng.random(view.reps) < self.rate
+        if self._full_reps is None:
+            # First slot always runs pre-compaction, at the full width.
+            self._full_reps = view.reps
+        draw = rng.random(self._full_reps) < self.rate
+        if self._orig_idx is not None:
+            return draw[self._orig_idx]
+        return draw
 
 
 class VectorBurstJammer(VectorJammingStrategy):
     """Deterministic burst/gap duty cycle, identical across replications."""
 
     name = "burst"
+    uses_protocol_u = False
 
     def __init__(self, burst: int, gap: int, offset: int = 0) -> None:
         if burst < 0 or gap < 0 or burst + gap == 0:
@@ -196,24 +238,32 @@ class VectorBurstJammer(VectorJammingStrategy):
 
 
 def _p_single_batch(n: int, p: np.ndarray) -> np.ndarray:
-    """Vectorized ``adaptive._p_single``: P[Single] per column (NaN -> 0)."""
-    out = np.zeros(p.shape)
+    """Vectorized ``adaptive._p_single``: P[Single] per column (NaN -> NaN,
+    saturated to a jam request by the caller)."""
     if n <= 0:
-        return out
-    mid = (p > 0.0) & (p < 1.0)
-    pm = p[mid]
-    out[mid] = n * pm * np.exp((n - 1) * np.log1p(-pm))
+        return np.zeros(p.shape)
+    # n*p*(1-p)**(n-1) evaluated in log space, unmasked: p=0 gives 0 via the
+    # leading factor, p=1 gives exp(-inf)=0 (n>=2), so the values match the
+    # masked formula exactly while costing a constant number of ufunc calls.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = n * p * np.exp((n - 1) * np.log1p(-p))
     if n == 1:
+        # (1-1)*log1p(-1) is 0*-inf = NaN: patch the p>=1 columns to 1.
         out[p >= 1.0] = 1.0
     return out
 
 
 def _p_null_batch(n: int, p: np.ndarray) -> np.ndarray:
-    """Vectorized P[Null] per column (NaN -> 0; caller saturates NaN)."""
-    out = np.zeros(p.shape)
-    out[p <= 0.0] = 1.0
-    mid = (p > 0.0) & (p < 1.0)
-    out[mid] = np.exp(n * np.log1p(-p[mid]))
+    """Vectorized P[Null] per column (NaN -> NaN, saturated by the caller).
+
+    ``(1-p)**n`` in log space, unmasked: ``p <= 0`` gives ``exp(n*log1p(|p|))
+    >= 1``... so the sub-zero clamp is kept explicit; ``p = 0`` gives exactly
+    ``exp(0) = 1`` and ``p = 1`` gives ``exp(-inf) = 0``, matching the masked
+    formula exactly with a constant number of ufunc calls.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.exp(n * np.log1p(-p))
+    out[p < 0.0] = 1.0
     return out
 
 
@@ -235,6 +285,7 @@ class VectorReactiveJammer(VectorJammingStrategy):
     """
 
     name = "reactive"
+    uses_protocol_u = False
 
     def __init__(self, triggers=(ChannelState.NULL,)) -> None:
         self.triggers = frozenset(ChannelState(t) for t in triggers)
@@ -249,6 +300,10 @@ class VectorReactiveJammer(VectorJammingStrategy):
 
     def reset(self) -> None:
         self._prev = None
+
+    def compact(self, keep):
+        if self._prev is not None:
+            self._prev = self._prev[keep]
 
     def observe_outcomes(self, slot, observed, active):
         self._prev = observed
@@ -268,6 +323,7 @@ class VectorSingleSuppressor(VectorJammingStrategy):
     the columns whose ``P[Single]`` meets the threshold."""
 
     name = "single-suppressor"
+    uses_protocol_u = False
 
     def __init__(self, threshold: float = 0.01) -> None:
         if not (0.0 <= threshold <= 1.0):
@@ -311,6 +367,7 @@ class VectorSilenceMasker(VectorJammingStrategy):
     columns whose ``P[Null]`` meets the threshold."""
 
     name = "silence-masker"
+    uses_protocol_u = False
 
     def __init__(self, threshold: float = 0.5) -> None:
         if not (0.0 <= threshold <= 1.0):
@@ -333,6 +390,7 @@ class VectorCollisionForcer(VectorJammingStrategy):
     columns where a collision is not already the likely outcome."""
 
     name = "collision-forcer"
+    uses_protocol_u = False
 
     def __init__(self, threshold: float = 0.9) -> None:
         if not (0.0 <= threshold <= 1.0):
@@ -394,10 +452,20 @@ class BatchedAdversary:
         """Registry name of the bound strategy (telemetry label)."""
         return getattr(self.strategy, "name", type(self.strategy).__name__)
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The strategy's conditioning stream (engines may drive it)."""
+        return self._rng
+
     def decide(self, view: BatchAdversaryView) -> np.ndarray:
         """Budget-checked jam mask for the current slot, shape ``(reps,)``."""
         want = self.strategy.wants_jam_batch(view, self._rng)
         return self.budget.grant(want)
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Forward dead-rep compaction to the strategy and the budget."""
+        self.strategy.compact(keep)
+        self.budget.compact(keep)
 
     def observe_outcomes(
         self, slot: int, observed: np.ndarray, active: np.ndarray

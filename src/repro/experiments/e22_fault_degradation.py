@@ -28,14 +28,20 @@ from __future__ import annotations
 
 from statistics import mean
 
+from repro.adversary.vector import make_batched_adversary
+from repro.core.config import default_slot_budget
 from repro.core.election import elect_leader
 from repro.experiments.harness import (
     Column,
     Table,
     preset_value,
+    record_engine_fallback,
     replicate,
+    replicate_vectorized,
     summarize_times,
+    vectorized_enabled,
 )
+from repro.protocols.vector import VectorLESKPolicy, VectorLESUPolicy
 from repro.resilience.faults import NO_FAULTS, FaultModel
 
 EXPERIMENT = "A10"
@@ -62,8 +68,27 @@ def _fault_model(kind: str, rate: float, n: int, T: int) -> FaultModel:
     raise ValueError(f"unknown fault kind {kind!r}")
 
 
-def run(preset: str = "small", seed: int = 2026) -> Table:
-    """Run experiment A10 at *preset* scale and return its table."""
+def _vector_policy_factory(protocol: str, eps: float):
+    if protocol == "lesk":
+        return lambda width: VectorLESKPolicy(eps, width)
+    return lambda width: VectorLESUPolicy(width)
+
+
+def run(
+    preset: str = "small", seed: int = 2026, vectorized: bool | None = None
+) -> Table:
+    """Run experiment A10 at *preset* scale and return its table.
+
+    *vectorized* overrides the preset switch
+    (:data:`~repro.experiments.harness.VECTORIZED_PRESETS`): when on, the
+    corruption cells and the fault-free baseline run as one audited
+    :func:`~repro.sim.vectorized.simulate_stations_vectorized` batch per
+    cell -- the same per-station faithful model, minus the scalar station
+    loop.  Churn cells always stay on the scalar path: restart
+    supervision after a doomed leader lives in
+    :func:`~repro.core.election.elect_leader`, which reruns one scalar
+    election at a time.
+    """
     n = preset_value(preset, 128, 1024)
     eps = 0.5
     T = 16
@@ -74,6 +99,9 @@ def run(preset: str = "small", seed: int = 2026) -> Table:
         [0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5],
     )
     adversary = "saturating"
+    use_vectorized = (
+        vectorized if vectorized is not None else vectorized_enabled(preset)
+    )
 
     table = Table(
         name=EXPERIMENT,
@@ -102,26 +130,52 @@ def run(preset: str = "small", seed: int = 2026) -> Table:
                 if rate == 0.0 and ki > 0:
                     continue  # the fault-free baseline is one row per protocol
                 faults = _fault_model(kind, rate, n, T)
-                results = replicate(
-                    lambda s: elect_leader(
-                        n=n,
-                        protocol=protocol,
-                        eps=eps,
-                        T=T,
-                        adversary=adversary,
-                        seed=s,
-                        engine="fast",
-                        faults=faults,
-                        audit=True,
-                        max_restarts=MAX_RESTARTS,
-                    ),
-                    reps,
-                    seed,
-                    22,
-                    pi,
-                    ki,
-                    ri,
-                )
+                if use_vectorized and kind != "churn":
+                    # Corruption (and the fault-free baseline) schedules
+                    # no crashes, so restart supervision is moot and the
+                    # whole cell runs as one audited vectorized batch.
+                    results = replicate_vectorized(
+                        _vector_policy_factory(protocol, eps),
+                        n,
+                        lambda r: make_batched_adversary(
+                            adversary, T=T, eps=eps, reps=r
+                        ),
+                        reps,
+                        seed,
+                        22,
+                        pi,
+                        ki,
+                        ri,
+                        max_slots=default_slot_budget(n, eps, T, protocol),
+                        faults=None if faults is NO_FAULTS else faults,
+                        audit_T=T,
+                        audit_eps=eps,
+                    )
+                else:
+                    if use_vectorized:
+                        record_engine_fallback(
+                            "e22-churn", "restart-supervision"
+                        )
+                    results = replicate(
+                        lambda s: elect_leader(
+                            n=n,
+                            protocol=protocol,
+                            eps=eps,
+                            T=T,
+                            adversary=adversary,
+                            seed=s,
+                            engine="fast",
+                            faults=faults,
+                            audit=True,
+                            max_restarts=MAX_RESTARTS,
+                        ),
+                        reps,
+                        seed,
+                        22,
+                        pi,
+                        ki,
+                        ri,
+                    )
                 # "Clean" success: elected AND the leader is not scheduled
                 # to crash within the horizon (leader_survived).
                 clean = [r for r in results if r.elected and r.leader_survived]

@@ -32,7 +32,9 @@ __all__ = [
     "Table",
     "replicate",
     "replicate_batched",
+    "replicate_vectorized",
     "batched_enabled",
+    "vectorized_enabled",
     "record_engine_fallback",
     "ShardedScheduler",
     "SHARD_BLOCK_TAG",
@@ -47,10 +49,23 @@ __all__ = [
 #: force the scalar path, e.g. when bisecting a statistics regression.
 BATCHED_PRESETS: dict[str, bool] = {"small": True, "smoke": True, "full": True}
 
+#: Preset-level switch for the vectorized faithful engine
+#: (:mod:`repro.sim.vectorized`): presets mapped to True run their audited
+#: per-station cells -- the differential/audit experiments, where the
+#: faithful model is required but the scalar station loop is the
+#: bottleneck -- through :func:`replicate_vectorized`; others keep the
+#: scalar :func:`repro.sim.engine.simulate_stations` loop.
+VECTORIZED_PRESETS: dict[str, bool] = {"small": True, "smoke": True, "full": True}
+
 
 def batched_enabled(preset: str) -> bool:
     """Whether the batched engine is enabled for *preset*."""
     return BATCHED_PRESETS.get(preset, False)
+
+
+def vectorized_enabled(preset: str) -> bool:
+    """Whether the vectorized faithful engine is enabled for *preset*."""
+    return VECTORIZED_PRESETS.get(preset, False)
 
 
 def preset_value(preset: str, small, full):
@@ -237,6 +252,56 @@ def replicate_batched(
         reps=reps,
         max_slots=max_slots,
         root_seed=derive_seed(root_seed, *path),
+    )
+    results = batch.results()
+    _record_cell(results, path)
+    return results
+
+
+def replicate_vectorized(
+    policy_factory: Callable,
+    n: int,
+    adversary_factory: Callable,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    max_slots: int,
+    faults=None,
+    audit_T: int | None = None,
+    audit_eps: float | None = None,
+) -> list:
+    """Faithful-model counterpart of :func:`replicate_batched`.
+
+    Runs all *reps* replications of the *per-station* model in one
+    :func:`repro.sim.vectorized.simulate_stations_vectorized` call:
+    *policy_factory* receives the cell width ``n * reps`` (one policy
+    column per station per replication), *faults* are realized
+    independently per replication, and passing ``audit_T``/``audit_eps``
+    attaches a :class:`~repro.resilience.auditor.BatchInvariantAuditor`
+    so every slot of every replication is budget/channel-audited.
+    Seeding is path-stable exactly like :func:`replicate_batched`; the
+    run-law matches the scalar faithful loop (see
+    ``tests/sim/test_vectorized.py``).
+    """
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    from repro.resilience.auditor import BatchInvariantAuditor
+    from repro.sim.vectorized import simulate_stations_vectorized
+
+    auditor = None
+    if audit_T is not None:
+        if audit_eps is None:
+            raise ConfigurationError("audit_T requires audit_eps")
+        auditor = BatchInvariantAuditor(audit_T, audit_eps, reps)
+    batch = simulate_stations_vectorized(
+        policy_factory,
+        n,
+        adversary_factory,
+        reps=reps,
+        max_slots=max_slots,
+        root_seed=derive_seed(root_seed, *path),
+        faults=faults,
+        auditor=auditor,
     )
     results = batch.results()
     _record_cell(results, path)

@@ -107,6 +107,20 @@ class VectorUniformPolicy(abc.ABC):
         counterpart of the scalar ``UniformPolicy.result``."""
         return None
 
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop every column not selected by ``keep`` (sorted index array).
+
+        Used by the batched engine's dead-rep compaction: retired columns
+        are packed out of the live batch, and since every update rule is
+        elementwise, slicing the per-column state arrays preserves the
+        surviving columns' trajectories exactly.  Policies whose state is
+        fully covered override this; the base raises so a policy with
+        unknown extra state cannot be silently mis-compacted.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support dead-rep compaction"
+        )
+
 
 class VectorLESKPolicy(VectorUniformPolicy):
     """Batched Algorithm 1: the LESK estimator walk, one column per rep.
@@ -145,10 +159,10 @@ class VectorLESKPolicy(VectorUniformPolicy):
         singles = active & (states == _SINGLE)
         self.nulls_seen += nulls
         self.collisions_seen += collisions
-        self._u[nulls] -= 1.0
+        np.subtract(self._u, 1.0, out=self._u, where=nulls)
         if self.floor_at_zero:
             np.maximum(self._u, 0.0, out=self._u, where=nulls)
-        self._u[collisions] += 1.0 / self.a
+        np.add(self._u, 1.0 / self.a, out=self._u, where=collisions)
         self._completed |= singles
 
     @property
@@ -158,6 +172,13 @@ class VectorLESKPolicy(VectorUniformPolicy):
     @property
     def completed(self) -> np.ndarray:
         return self._completed
+
+    def compact(self, keep):
+        self.reps = int(np.asarray(keep).size)
+        self._u = self._u[keep]
+        self._completed = self._completed[keep]
+        self.nulls_seen = self.nulls_seen[keep]
+        self.collisions_seen = self.collisions_seen[keep]
 
     def __repr__(self) -> str:
         return f"VectorLESKPolicy(eps={self.eps}, reps={self.reps})"
@@ -201,6 +222,12 @@ class VectorSweepPolicy(VectorUniformPolicy):
     @property
     def completed(self) -> np.ndarray:
         return self._completed
+
+    def compact(self, keep):
+        self.reps = int(np.asarray(keep).size)
+        self._u = self._u[keep]
+        self._ceiling = self._ceiling[keep]
+        self._completed = self._completed[keep]
 
     def __repr__(self) -> str:
         return f"VectorSweepPolicy(reps={self.reps})"
@@ -246,6 +273,13 @@ class VectorNoCDSweepPolicy(VectorUniformPolicy):
     @property
     def completed(self) -> np.ndarray:
         return self._completed
+
+    def compact(self, keep):
+        self.reps = int(np.asarray(keep).size)
+        self._u = self._u[keep]
+        self._ceiling = self._ceiling[keep]
+        self._repeat_left = self._repeat_left[keep]
+        self._completed = self._completed[keep]
 
     def __repr__(self) -> str:
         return f"VectorNoCDSweepPolicy(reps={self.reps})"
@@ -307,6 +341,13 @@ class VectorEstimationPolicy(VectorUniformPolicy):
     @property
     def policy_results(self) -> np.ndarray:
         return self._result
+
+    def compact(self, keep):
+        self.reps = int(np.asarray(keep).size)
+        self._round = self._round[keep]
+        self._left = self._left[keep]
+        self._nulls = self._nulls[keep]
+        self._result = self._result[keep]
 
     def __repr__(self) -> str:
         return f"VectorEstimationPolicy(L={self.L}, reps={self.reps})"
@@ -392,6 +433,10 @@ class VectorLESUPolicy(VectorUniformPolicy):
         self._u = np.zeros(self.reps)
         self._completed = np.zeros(self.reps, dtype=bool)
         self.subruns_started = np.zeros(self.reps, dtype=np.int64)
+        # Cached ``self._in_est.any()``: long runs spend almost all slots
+        # with every column past estimation, where the flag elides the
+        # whole estimation branch (and its mask algebra) per slot.
+        self._any_in_est = True
 
     def _start_subruns(self, cols: np.ndarray) -> None:
         """Enter each selected column's sub-run ``self._sub_index[col]``."""
@@ -404,6 +449,10 @@ class VectorLESUPolicy(VectorUniformPolicy):
             self.subruns_started[col] += 1
 
     def transmit_probabilities(self, step: int) -> np.ndarray:
+        if not self._any_in_est:
+            # Post-estimation fast path (the common regime for long runs):
+            # identical values, without the table gather and the blend.
+            return probabilities_from_exponents(self._u)
         return np.where(
             self._in_est,
             self._est_prob_table[self._est_round],
@@ -413,13 +462,18 @@ class VectorLESUPolicy(VectorUniformPolicy):
     def observe_batch(self, step, states, active):
         singles = active & (states == _SINGLE)
         self._completed |= singles
-        act = active & ~singles
+        # singles is a subset of active, so xor is the set difference.
+        act = active ^ singles
+        if not self._any_in_est:
+            self._observe_election(act, states)
+            return
         # Scalar semantics: a column still estimating at entry only runs
         # the estimation update this slot -- the sub-run machinery starts
         # on the *next* observation, and the halting Single never advances
         # either phase.
         in_est = act & self._in_est
-        election = act & ~self._in_est
+        # in_est is a subset of act, so xor is the set difference.
+        election = act ^ in_est
 
         if in_est.any():
             self._est_nulls[in_est & (states == _NULL)] += 1
@@ -439,18 +493,23 @@ class VectorLESUPolicy(VectorUniformPolicy):
                     self._in_est[done] = False
                     self._sub_index[done] = 0
                     self._start_subruns(done)
+                    self._any_in_est = bool(self._in_est.any())
 
         if election.any():
-            nulls = election & (states == _NULL)
-            collisions = election & (states == _COLLISION)
-            self._u[nulls] -= 1.0
-            np.maximum(self._u, 0.0, out=self._u, where=nulls)
-            self._u[collisions] += 1.0 / self._a[collisions]
-            self._steps_left[election] -= 1
-            over = election & (self._steps_left <= 0)
-            if over.any():
-                self._sub_index[over] += 1
-                self._start_subruns(over)
+            self._observe_election(election, states)
+
+    def _observe_election(self, election: np.ndarray, states: np.ndarray) -> None:
+        """Advance the LESK sub-run walk for the selected columns."""
+        nulls = election & (states == _NULL)
+        collisions = election & (states == _COLLISION)
+        np.subtract(self._u, 1.0, out=self._u, where=nulls)
+        np.maximum(self._u, 0.0, out=self._u, where=nulls)
+        np.add(self._u, 1.0 / self._a, out=self._u, where=collisions)
+        np.subtract(self._steps_left, 1, out=self._steps_left, where=election)
+        over = election & (self._steps_left <= 0)
+        if over.any():
+            self._sub_index[over] += 1
+            self._start_subruns(over)
 
     @property
     def u(self) -> np.ndarray:
@@ -463,6 +522,22 @@ class VectorLESUPolicy(VectorUniformPolicy):
     @property
     def completed(self) -> np.ndarray:
         return self._completed
+
+    def compact(self, keep):
+        self.reps = int(np.asarray(keep).size)
+        self._in_est = self._in_est[keep]
+        self._est_round = self._est_round[keep]
+        self._est_left = self._est_left[keep]
+        self._est_nulls = self._est_nulls[keep]
+        self._est_result = self._est_result[keep]
+        self._sub_index = self._sub_index[keep]
+        self._steps_left = self._steps_left[keep]
+        self._a = self._a[keep]
+        self._u = self._u[keep]
+        self._completed = self._completed[keep]
+        self.subruns_started = self.subruns_started[keep]
+        if self._any_in_est:
+            self._any_in_est = bool(self._in_est.any())
 
     def __repr__(self) -> str:
         return f"VectorLESUPolicy(c={self.c}, reps={self.reps})"

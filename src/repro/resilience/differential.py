@@ -19,7 +19,11 @@ Each *stack* is one semantic implementation driven by a shared world:
   (the fast engine's semantics), same scalar budget class;
 * ``vector``  -- a :class:`~repro.protocols.vector.VectorLESKPolicy` with
   ``reps=1`` and a :class:`~repro.adversary.budget.JammingBudgetArray`,
-  with the batched engine's vectorized observation/corruption expressions.
+  with the batched engine's vectorized observation/corruption expressions;
+* ``vectorized`` -- the vectorized *faithful* engine's semantics
+  (:mod:`repro.sim.vectorized`): a width-``n`` vector policy, one column
+  per station cell, per-cell transmit decisions ``U < p`` from the shared
+  uniforms, and the engine's strong-CD observation/halting expressions.
 
 The shared world fixes, per slot: one uniform per station (transmit iff
 ``U < p``, the adapters' own coupling), the churn/skew participation mask,
@@ -80,7 +84,7 @@ __all__ = [
     "ADAPTIVE_DIFFERENTIAL_ADVERSARIES",
 ]
 
-STACKS = ("scalar", "fast", "vector")
+STACKS = ("scalar", "fast", "vector", "vectorized")
 
 #: Scripted jam-intent patterns (slot -> want-jam); cover
 #: never/always/periodic/bursty without any adversary state.  (The
@@ -583,7 +587,109 @@ class _VectorStack:
         )
 
 
-_STACK_TYPES = {"scalar": _ScalarStack, "fast": _FastStack, "vector": _VectorStack}
+class _VectorizedFaithfulStack:
+    """The vectorized faithful engine's per-cell semantics, one rep.
+
+    Width-``n`` :class:`VectorLESKPolicy` (one column per station cell),
+    per-cell transmit decisions from the shared uniforms, and the
+    strong-CD observation/halting expressions of
+    :func:`repro.sim.vectorized.simulate_stations_vectorized` -- verbatim,
+    so a semantic drift in that engine's update path diverges here.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, config: DifferentialConfig) -> None:
+        self.config = config
+        self.budget = JammingBudgetArray(config.T, config.eps, reps=1)
+        self.intent = _VectorIntent(config)
+        self.policy = VectorLESKPolicy(config.eps, reps=config.n)
+        self.cell_done = np.zeros(config.n, dtype=bool)
+        self.rep_active = np.ones(1, dtype=bool)
+        self.halted = False
+
+    def step(self, slot: int, world: _SharedWorld) -> SlotFingerprint:
+        cfg = self.config
+        part = world.participating[slot]
+        flags = world.flags[slot]
+        p_vec = self.policy.transmit_probabilities(slot)
+        u_vec = self.policy.u
+        alive = part & ~self.cell_done
+        live_p = p_vec[alive]
+        p = float(live_p[0]) if live_p.size else 0.0
+        if live_p.size and float(live_p.max() - live_p.min()) > FLOAT_TOL:
+            p = math.nan
+        u = float(u_vec[alive][0]) if alive.any() else math.nan
+        # The engine's station-0 probe hints (0.0 once that cell is done).
+        p_hint = 0.0 if self.cell_done[0] else float(p_vec[0])
+        transmit = alive & (world.uniforms[slot] < p_vec)
+        k = int(np.count_nonzero(transmit))
+        want = self.intent.want(
+            slot,
+            self.budget,
+            np.array([p_hint]),
+            u_vec[:1],
+            self.rep_active,
+        )
+        jammed = bool(self.budget.grant(want)[0])
+        # The engine's channel/corruption expressions, one rep wide.
+        observed_arr = np.where(
+            np.array([jammed]),
+            np.int8(ChannelState.COLLISION),
+            np.minimum(np.array([k], dtype=np.int64), 2).astype(np.int8),
+        )
+        self.intent.observe(slot, observed_arr, self.rep_active)
+        erased = False
+        if flags is not None:
+            if flags.downgrade:
+                observed_arr = np.where(
+                    observed_arr == np.int8(ChannelState.SINGLE),
+                    np.int8(ChannelState.COLLISION),
+                    observed_arr,
+                )
+            if flags.flip:
+                observed_arr = np.where(
+                    observed_arr == np.int8(ChannelState.NULL),
+                    np.int8(ChannelState.COLLISION),
+                    np.where(
+                        observed_arr == np.int8(ChannelState.COLLISION),
+                        np.int8(ChannelState.NULL),
+                        observed_arr,
+                    ),
+                )
+            erased = flags.erase
+        if cfg.tamper == (self.name, slot):
+            tampered = _tampered(None if erased else ChannelState(int(observed_arr[0])))
+            erased = tampered is None
+            if not erased:
+                observed_arr = np.array([np.int8(tampered)])
+        heard = (
+            k == 1 and not jammed and not erased
+            and int(observed_arr[0]) == int(ChannelState.SINGLE)
+        )
+        self.halted = heard
+        if not self.halted:
+            observers = alive if not erased else np.zeros(cfg.n, dtype=bool)
+            states = np.broadcast_to(observed_arr, (cfg.n,))
+            self.policy.observe_batch(slot, states, observers)
+            self.cell_done |= self.policy.completed
+        return SlotFingerprint(
+            slot=slot,
+            p=p,
+            k=k,
+            jammed=jammed,
+            observed=_ERASED if erased else int(observed_arr[0]),
+            halted=self.halted,
+            u=u,
+        )
+
+
+_STACK_TYPES = {
+    "scalar": _ScalarStack,
+    "fast": _FastStack,
+    "vector": _VectorStack,
+    "vectorized": _VectorizedFaithfulStack,
+}
 
 
 def _run_stack(

@@ -38,7 +38,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.adversary.vector import BatchAdversaryView, BatchedAdversary
+from repro.adversary.vector import (
+    BatchAdversaryView,
+    BatchedAdversary,
+    VectorJammingStrategy,
+)
 from repro.errors import ConfigurationError
 from repro.protocols.vector import VectorUniformPolicy
 from repro.rng import RngLike, make_rng
@@ -124,6 +128,8 @@ def simulate_uniform_batched(
     halt_on_single: bool = True,
     faults=None,
     auditor=None,
+    compact_interval: int | None = None,
+    compact_rng: str = "packed",
 ) -> BatchRunResult:
     """Run *reps* independent replications of a uniform policy in lockstep.
 
@@ -153,6 +159,27 @@ def simulate_uniform_batched(
         build.
     auditor:
         Optional :class:`~repro.resilience.auditor.BatchInvariantAuditor`.
+    compact_interval:
+        ``None`` (default) keeps every retired column materialized for the
+        whole run -- the legacy layout.  An integer ``>= 1`` enables
+        dead-rep compaction: every ``compact_interval`` slots the retired
+        columns are packed out of the policy, strategy and budget state,
+        so per-slot work tracks the *live* width.  Results are identical
+        for every surviving column across *all* interval choices; only the
+        post-retirement conditioning of already-retired columns (which no
+        result reads) differs.
+    compact_rng:
+        Transmitter-draw stream layout under compaction (ignored without
+        ``compact_interval``).  ``"packed"`` (default) draws the binomial
+        transmitter counts at the *active* width -- the consumed stream
+        depends only on the schedule-independent active set, so results
+        are bit-identical across every ``compact_interval``, but differ
+        from the legacy full-width bitstream (same law; KS/differential
+        cross-validated).  ``"legacy"`` keeps the full-width draw over
+        frozen retired probabilities, reproducing the no-compaction
+        results bit-for-bit at a per-slot cost floor of one full-width
+        binomial.  Fault streams and the random jammer's Bernoulli stream
+        stay pinned per original rep in both modes.
     """
     if n < 1:
         raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -160,6 +187,14 @@ def simulate_uniform_batched(
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
     if max_slots < 1:
         raise ConfigurationError(f"max_slots must be >= 1, got {max_slots}")
+    if compact_interval is not None and compact_interval < 1:
+        raise ConfigurationError(
+            f"compact_interval must be >= 1 or None, got {compact_interval}"
+        )
+    if compact_rng not in ("packed", "legacy"):
+        raise ConfigurationError(
+            f"compact_rng must be 'packed' or 'legacy', got {compact_rng!r}"
+        )
 
     rng = make_rng(root_seed)
     policy = policy_factory(reps)
@@ -172,6 +207,21 @@ def simulate_uniform_batched(
     # Fault streams spawn only when faults are enabled, *after* the
     # adversary's spawn: the fault-free bitstream is untouched.
     bf = _realize_batch_faults(faults, n, reps, max_slots, rng)
+
+    if compact_interval is not None:
+        return _simulate_compact(
+            policy,
+            adversary,
+            bf,
+            rng,
+            n=n,
+            reps=reps,
+            max_slots=max_slots,
+            halt_on_single=halt_on_single,
+            auditor=auditor,
+            interval=int(compact_interval),
+            packed_rng=compact_rng == "packed",
+        )
 
     active = np.ones(reps, dtype=bool)
     slots = np.full(reps, max_slots, dtype=np.int64)
@@ -203,6 +253,14 @@ def simulate_uniform_batched(
     # outcomes through this hook; duck-typed test adversaries may omit it.
     notify = getattr(adversary, "observe_outcomes", None)
 
+    # Per-slot scratch, hoisted out of the loop.  ``true8`` is refreshed
+    # with ``where=active`` only: retired columns keep a stale true-state,
+    # which nothing result-bearing reads (their policies, counters and
+    # budget snapshots are all frozen or masked by ``active``).
+    true8 = np.empty(reps, dtype=np.int8)
+    p_eff_buf = np.empty(reps, dtype=np.float64)
+    energy_tmp = np.empty(reps, dtype=np.int64)
+
     for slot in range(max_slots):
         if not active.any():
             break
@@ -227,23 +285,27 @@ def simulate_uniform_batched(
             # rewrite observations below.
             awake = bf.awake_count(slot)
             flip, erase, downgrade = bf.begin_slot(slot, active)
-            p_eff = np.clip(p, 0.0, 1.0) * bf.p_scale
+            np.clip(p, 0.0, 1.0, out=p_eff_buf)
+            p_eff_buf *= bf.p_scale
+            p_eff = p_eff_buf
         else:
             awake = n
             flip = erase = None
             downgrade = False
-            p_eff = np.clip(p, 0.0, 1.0)
+            p_eff = np.clip(p, 0.0, 1.0, out=p_eff_buf)
 
         # One binomial call for the whole batch; p is exact 0/1 at the
         # clamped extremes, which rng.binomial honors deterministically.
         k = rng.binomial(awake, p_eff)
 
-        transmissions[active] += k[active]
-        listening[active] += awake - k[active]
+        np.add(transmissions, k, out=transmissions, where=active)
+        np.subtract(awake, k, out=energy_tmp)
+        np.add(listening, energy_tmp, out=listening, where=active)
         if rec is not None:
             rec.record_batch_slot(slot, k, jammed, active)
 
-        observed = np.where(jammed, _COLLISION, _true_states(k))
+        np.minimum(k, 2, out=true8, where=active)
+        observed = np.where(jammed, _COLLISION, true8)
         if notify is not None:
             # Pre-fault-corruption states: the adversary knows what it
             # jammed and is not fooled by the fault model's corrupted
@@ -342,6 +404,340 @@ def simulate_uniform_batched(
         timed_out=timed_out,
         leader_survived=leader_survived,
         policy_results=presults,
+    )
+
+
+def _simulate_compact(
+    policy: VectorUniformPolicy,
+    adversary: BatchedAdversary,
+    bf,
+    rng,
+    *,
+    n: int,
+    reps: int,
+    max_slots: int,
+    halt_on_single: bool,
+    auditor,
+    interval: int,
+    packed_rng: bool,
+) -> BatchRunResult:
+    """Dead-rep compaction loop: per-slot work tracks the *live* width.
+
+    Layout: ``live_orig`` maps live-column positions to original rep
+    indices (always ascending, so winner draws keep the legacy column
+    order); ``live_active`` marks live columns not yet retired; retired
+    columns are packed out of the policy/strategy/budget state every
+    ``interval`` slots via their ``compact(keep)`` hooks.
+
+    Stream contract (``compact_rng`` in :func:`simulate_uniform_batched`):
+    in *packed* mode the transmitter binomial is drawn at the active
+    width -- per-slot stream consumption equals the number of active
+    columns, presented in ascending original order, a quantity that does
+    not depend on the packing schedule -- so every ``compact_interval``
+    choice produces bit-identical results (same law as the legacy
+    stream; KS/differential cross-validated).  In *legacy* mode the draw
+    stays at the original full width with retired columns' last clipped
+    probabilities frozen in ``p_full`` (their policy state is frozen, so
+    the legacy engine would recompute the same values), consuming exactly
+    the no-compaction bitstream: results reproduce
+    ``compact_interval=None`` bit for bit.  In both modes winner draws
+    use schedule-independent counts in ascending original order, fault
+    masks are realized at full width per original rep, and the adversary
+    conditions its own spawned stream per original rep.
+    """
+    live_orig = np.arange(reps, dtype=np.int64)
+    live_active = np.ones(reps, dtype=bool)
+    active_full = np.ones(reps, dtype=bool)
+    if not packed_rng:
+        p_full = np.zeros(reps, dtype=np.float64)
+        p_eff_buf = np.empty(reps, dtype=np.float64)
+
+    slots = np.full(reps, max_slots, dtype=np.int64)
+    elected = np.zeros(reps, dtype=bool)
+    leaders = np.full(reps, -1, dtype=np.int64)
+    first_single = np.full(reps, -1, dtype=np.int64)
+    fs_live = np.full(reps, -1, dtype=np.int64)
+    jams = np.zeros(reps, dtype=np.int64)
+    jam_denied = np.zeros(reps, dtype=np.int64)
+    transmissions = np.zeros(reps, dtype=np.int64)
+    listening = np.zeros(reps, dtype=np.int64)
+    policy_done = np.zeros(reps, dtype=bool)
+    timed_out = np.ones(reps, dtype=bool)
+    leader_survived = np.ones(reps, dtype=bool) if bf is not None else None
+    has_presults = policy.policy_results is not None
+    presults_full = np.full(reps, -1, dtype=np.int64) if has_presults else None
+
+    tel = get_telemetry()
+    rec = (
+        EngineRecorder(tel, "batched", adversary.strategy_name)
+        if tel.enabled
+        else None
+    )
+    if rec is not None or auditor is not None:
+        jammed_full = np.zeros(reps, dtype=bool)
+        observed_full = np.full(reps, _NULL, dtype=np.int8)
+        k_buf = np.zeros(reps, dtype=np.int64) if packed_rng else None
+
+    notify = getattr(adversary, "observe_outcomes", None)
+    strat = getattr(adversary, "strategy", None)
+    wants_jam = None
+    if strat is not None:
+        # Elide per-slot feedback when the adversary merely forwards to a
+        # strategy that inherits the base no-op, and the estimator
+        # materialization when the strategy never reads it.
+        if (
+            type(adversary).observe_outcomes is BatchedAdversary.observe_outcomes
+            and type(strat).observe_outcomes
+            is VectorJammingStrategy.observe_outcomes
+        ):
+            notify = None
+        wants_u = getattr(strat, "uses_protocol_u", True)
+        if type(adversary) is BatchedAdversary:
+            # Inline ``decide``: grant(wants_jam_batch(...)) without the
+            # extra frame.  Subclasses keep the virtual call.
+            wants_jam = strat.wants_jam_batch
+            adv_rng = adversary.rng
+    else:
+        wants_u = True
+    budget = adversary.budget
+
+    # Live-width energy accumulators, scattered back at pack/finish.  In
+    # the fault-free batch ``awake == n`` every slot, so listening is
+    # recovered at the end as ``n * slots - transmissions`` instead of
+    # being accumulated per slot.
+    tx_live = np.zeros(reps, dtype=np.int64)
+    if bf is not None:
+        listen_live = np.zeros(reps, dtype=np.int64)
+        energy_tmp = np.empty(reps, dtype=np.int64)
+
+    # Reused per-slot view: only the per-slot fields are rewritten.
+    view = BatchAdversaryView(slot=0, n=n, reps=reps, budget=budget)
+
+    n_live = reps
+    all_live = True
+    pending_retired = False
+
+    def snapshot(pos: np.ndarray, orig: np.ndarray, slot: int) -> None:
+        slots[orig] = slot + 1
+        jams[orig] = budget.jams_granted[pos]
+        jam_denied[orig] = budget.denied_requests[pos]
+        timed_out[orig] = False
+
+    for slot in range(max_slots):
+        if n_live == 0:
+            break
+        if pending_retired and slot % interval == 0:
+            # Pack the retired columns out of every per-column state.
+            if has_presults:
+                presults_full[live_orig] = policy.policy_results
+            first_single[live_orig] = fs_live
+            transmissions[live_orig] = tx_live
+            if bf is not None:
+                listening[live_orig] = listen_live
+            keep = np.flatnonzero(live_active)
+            policy.compact(keep)
+            adversary.compact(keep)
+            budget = adversary.budget
+            view.budget = budget
+            live_orig = live_orig[keep]
+            fs_live = fs_live[keep]
+            tx_live = tx_live[keep]
+            if bf is not None:
+                listen_live = listen_live[keep]
+                energy_tmp = np.empty(keep.size, dtype=np.int64)
+            live_active = np.ones(keep.size, dtype=bool)
+            all_live = True
+            pending_retired = False
+
+        width = live_orig.size
+        p = policy.transmit_probabilities(slot)
+        view.slot = slot
+        view.reps = width
+        view.transmit_probabilities = p
+        view.protocol_u = policy.u if wants_u else None
+        view.active = live_active
+        if wants_jam is not None:
+            jammed = budget.grant(wants_jam(view, adv_rng))
+        else:
+            jammed = adversary.decide(view)
+
+        if bf is not None:
+            awake = bf.awake_count(slot)
+            flip_full, erase_full, downgrade = bf.begin_slot(slot, active_full)
+            flip = flip_full[live_orig]
+            erase = erase_full[live_orig]
+        else:
+            awake = n
+            flip = erase = None
+            downgrade = False
+
+        if packed_rng:
+            # Active-width draw, ascending original order.
+            if all_live:
+                p_act = p.clip(0.0, 1.0)
+            else:
+                p_act = p[live_active].clip(0.0, 1.0)
+            if bf is not None:
+                p_act *= bf.p_scale
+            k = rng.binomial(awake, p_act)
+            if not all_live:
+                k_act = k
+                k = np.zeros(width, dtype=np.int64)
+                k[live_active] = k_act
+            tx_live += k
+        else:
+            # Full-width draw over frozen probabilities: the legacy stream.
+            p_full[live_orig] = p.clip(0.0, 1.0)
+            if bf is not None:
+                np.multiply(p_full, bf.p_scale, out=p_eff_buf)
+                k_all = rng.binomial(awake, p_eff_buf)
+            else:
+                k_all = rng.binomial(awake, p_full)
+            k = k_all[live_orig]
+            np.add(tx_live, k, out=tx_live, where=live_active)
+
+        if bf is not None:
+            np.subtract(awake, k, out=energy_tmp)
+            np.add(listen_live, energy_tmp, out=listen_live, where=live_active)
+        if rec is not None or auditor is not None:
+            if packed_rng:
+                k_rep = k_buf
+                k_rep[:] = 0
+                k_rep[live_orig] = k
+            else:
+                k_rep = k_all
+            jammed_full[:] = False
+            jammed_full[live_orig] = jammed
+            if rec is not None:
+                rec.record_batch_slot(slot, k_rep, jammed_full, active_full)
+
+        observed = np.where(jammed, _COLLISION, np.minimum(k, 2))
+        if notify is not None:
+            notify(slot, observed, live_active)
+        if bf is not None:
+            if downgrade:
+                observed = np.where(observed == _SINGLE, _COLLISION, observed)
+            if flip.any():
+                flipped = np.where(
+                    observed == _NULL,
+                    _COLLISION,
+                    np.where(observed == _COLLISION, _NULL, observed),
+                )
+                observed = np.where(flip, flipped, observed)
+        if auditor is not None:
+            if bf is not None:
+                corrupted = np.zeros(reps, dtype=bool)
+                corrupted[live_orig] = flip | erase
+                if downgrade:
+                    corrupted = np.ones(reps, dtype=bool)
+            else:
+                corrupted = None
+            observed_full[live_orig] = observed
+            auditor.observe_slot(
+                slot,
+                k_rep,
+                jammed_full,
+                observed_full,
+                corrupted=corrupted,
+                active=active_full,
+            )
+
+        # For booleans ``a & ~b`` is ``a > b``; one ufunc fewer per slot.
+        successful_single = (k == 1) > jammed
+        if bf is not None:
+            successful_single &= (observed == _SINGLE) & ~erase
+
+        if halt_on_single:
+            # A live column with a successful Single always wins here, and
+            # a winner can never have first_single set already (it would
+            # have won that earlier slot), so the fresh-single update
+            # collapses into the win handling.  Packed draws leave k == 0
+            # in retired columns, so the mask is already implicit there.
+            if packed_rng or all_live:
+                won = successful_single
+            else:
+                won = live_active & successful_single
+            if won.any():
+                pos = np.flatnonzero(won)
+                orig = live_orig[pos]
+                fs_live[pos] = slot
+                if bf is not None:
+                    chosen = bf.pick_awake_stations(slot, pos.size, rng)
+                    leaders[orig] = chosen
+                    leader_survived[orig] = bf.leaders_survive(chosen)
+                else:
+                    leaders[orig] = rng.integers(n, size=pos.size)
+                elected[orig] = True
+                snapshot(pos, orig, slot)
+                live_active[pos] = False
+                active_full[orig] = False
+                pending_retired = True
+                all_live = False
+                n_live -= pos.size
+                if n_live == 0:
+                    break
+        else:
+            fresh_single = live_active & successful_single & (fs_live < 0)
+            if fresh_single.any():
+                fs_live[fresh_single] = slot
+
+        if bf is not None:
+            policy.observe_batch(slot, observed, live_active & ~erase)
+        else:
+            policy.observe_batch(slot, observed, live_active)
+        done = policy.completed if all_live else live_active & policy.completed
+        if done.any():
+            pos = np.flatnonzero(done)
+            orig = live_orig[pos]
+            policy_done[orig] = True
+            snapshot(pos, orig, slot)
+            live_active[pos] = False
+            active_full[orig] = False
+            pending_retired = True
+            all_live = False
+            n_live -= pos.size
+
+    if n_live:
+        pos = np.flatnonzero(live_active)
+        orig = live_orig[pos]
+        jams[orig] = budget.jams_granted[pos]
+        jam_denied[orig] = budget.denied_requests[pos]
+    first_single[live_orig] = fs_live
+    transmissions[live_orig] = tx_live
+    if bf is not None:
+        listening[live_orig] = listen_live
+    else:
+        # awake == n in every slot: listening = n * slots - transmissions.
+        np.multiply(slots, n, out=listening)
+        listening -= transmissions
+    if has_presults:
+        presults_full[live_orig] = policy.policy_results
+
+    if rec is not None:
+        rec.finish(
+            runs=reps,
+            elections=int(elected.sum()),
+            timeouts=int((timed_out & ~elected & ~policy_done).sum()),
+            jam_denied=int(jam_denied.sum()),
+            last_slot=int(slots.max()),
+        )
+    if bf is not None and tel.enabled:
+        bf.publish(tel)
+    return BatchRunResult(
+        n=n,
+        reps=reps,
+        slots=slots,
+        elected=elected,
+        leaders=leaders,
+        first_single_slot=first_single,
+        jams=jams,
+        jam_denied=jam_denied,
+        transmissions=transmissions,
+        listening=listening,
+        policy_completed=policy_done,
+        timed_out=timed_out,
+        leader_survived=leader_survived,
+        policy_results=presults_full,
     )
 
 
