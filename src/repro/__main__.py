@@ -9,6 +9,7 @@ Commands
                cheating adversary that must trip the auditor: exit 3)
 ``replay``     re-execute a saved violation bundle (exit 0 iff it reproduces)
 ``experiments``forward to ``repro.experiments.run_all``
+``sweep``      supervised sharded cell sweep (``repro.experiments.sweep``)
 ``telemetry``  report on a run directory's telemetry export
 
 Examples::
@@ -21,6 +22,7 @@ Examples::
     python -m repro audit --n 256 --adversary saturating --seed 7 --overbudget
     python -m repro replay violation.json
     python -m repro experiments --preset small --only T1
+    python -m repro sweep --kind lesk --n 64,128 --jobs 4 --out runs/sweep
     python -m repro telemetry report runs/smoke
 """
 
@@ -170,6 +172,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.run_all import main as run_all_main
 
         return run_all_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from repro.experiments.sweep import main as sweep_main
+
+        return sweep_main(argv[1:])
     if argv and argv[0] == "telemetry":
         from repro.telemetry.report import main as telemetry_main
 
@@ -222,6 +228,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "experiments",
         help="regenerate experiment tables (all arguments forwarded)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "sweep",
+        help="supervised sharded cell sweep (all arguments forwarded)",
         add_help=False,
     )
     sub.add_parser(

@@ -11,6 +11,7 @@ __all__ = [
     "ExperimentTimeoutError",
     "ChecksumMismatchError",
     "InvariantViolationError",
+    "ShardFailureError",
 ]
 
 
@@ -79,3 +80,21 @@ class ChecksumMismatchError(ReproError):
     runner treats such a checkpoint as absent and recomputes the
     experiment on ``--resume``.
     """
+
+
+class ShardFailureError(ReproError):
+    """Raised when a supervised sharded sweep cannot produce complete results.
+
+    The block-level supervisor (:mod:`repro.experiments.shard_supervisor`)
+    quarantines a rep-block after its bounded retries are exhausted; with
+    ``keep_going`` off (the default for library callers, which expect every
+    spec's full result list) the sweep aborts with this error.  The
+    attached :attr:`report` is the :class:`~repro.experiments
+    .shard_supervisor.ShardReport` naming every quarantined block and why.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        #: The supervision report (retries, redispatches, quarantined
+        #: blocks) for the failed sweep; None when unavailable.
+        self.report = report

@@ -69,7 +69,10 @@ __all__ = [
     "CellSpec",
     "CELL_KINDS",
     "run_shard",
+    "run_cell_direct",
+    "run_cells",
     "run_cells_sharded",
+    "run_cells_sharded_report",
 ]
 
 
@@ -375,11 +378,71 @@ def run_shard(item: tuple) -> tuple[list, dict]:
     return results, shard.to_jsonable()
 
 
+def run_cell_direct(spec: CellSpec) -> list:
+    """Run one cell unsharded, exactly as the direct cell call would.
+
+    Bit-identical to calling the cell function with the spec's parameters
+    (one batch seed from ``(root_seed, *path)``; no ``SHARD_BLOCK_TAG``
+    in the derivation), so experiments that route through
+    :func:`run_cells` preserve their fixed-seed pins when sharding is not
+    requested.
+    """
+    cell = CELL_KINDS[spec.kind]
+    return cell(
+        spec.n,
+        spec.eps,
+        spec.T,
+        spec.adversary,
+        spec.reps,
+        spec.root_seed,
+        *spec.path,
+        batched=spec.batched,
+        max_slots=spec.max_slots,
+    )
+
+
+def run_cells(
+    specs,
+    jobs: int | None = None,
+    block_size: int | None = None,
+    threadsafe: bool = False,
+) -> list[list]:
+    """Run several cells, sharding when sharding is configured.
+
+    The single entry point for the sharded experiments (E04/E05/E07/E08/
+    E15/E20): with an explicit *jobs* -- or an ambient
+    :class:`~repro.experiments.shard_supervisor.ShardContext` installed by
+    ``run_all --shard-jobs`` -- the cells run on the supervised sharded
+    path (block seeds include ``SHARD_BLOCK_TAG``); otherwise each spec
+    runs unsharded via :func:`run_cell_direct`, bit-identical to the
+    direct cell calls the experiments used to make.
+    """
+    from repro.experiments.shard_supervisor import get_shard_context
+
+    context = get_shard_context()
+    if jobs is None:
+        jobs = context.jobs
+    if jobs is None:
+        return [run_cell_direct(spec) for spec in specs]
+    if block_size is None:
+        block_size = context.block_size or 64
+    return run_cells_sharded(
+        specs,
+        jobs=jobs,
+        block_size=block_size,
+        threadsafe=threadsafe or context.threadsafe,
+        block_timeout=context.block_timeout,
+        checkpoint_dir=context.checkpoint_dir,
+        fault_plan=context.fault_plan,
+    )
+
+
 def run_cells_sharded(
     specs,
     jobs: int | None = None,
     block_size: int = 64,
     threadsafe: bool = False,
+    **supervision,
 ) -> list[list]:
     """Run several :class:`CellSpec` cells sharded across worker processes.
 
@@ -390,8 +453,34 @@ def run_cells_sharded(
     update rules) but the bitstreams differ: block ``b`` seeds from
     ``(root_seed, *path, SHARD_BLOCK_TAG, b)`` rather than one batch seed
     from ``(root_seed, *path)``.
+
+    Extra keyword arguments (``retry``, ``block_timeout``, ``keep_going``,
+    ``checkpoint_dir``, ``fault_plan``, ``speculate``, ``supervised``)
+    pass through to :class:`~repro.experiments.harness.ShardedScheduler`.
     """
     with ShardedScheduler(
-        jobs=jobs, block_size=block_size, threadsafe=threadsafe
+        jobs=jobs, block_size=block_size, threadsafe=threadsafe, **supervision
     ) as sched:
         return sched.run(run_shard, specs)
+
+
+def run_cells_sharded_report(
+    specs,
+    jobs: int | None = None,
+    block_size: int = 64,
+    threadsafe: bool = False,
+    **supervision,
+):
+    """Supervised sharded run returning ``(results, spec_shards, report)``.
+
+    ``spec_shards[i]`` is a per-spec :class:`~repro.telemetry.Telemetry`
+    merged from spec *i*'s block shards (None when no telemetry was
+    collected, e.g. blocks restored from checkpoint), so callers like the
+    E08 jam-efficiency columns can read per-spec counters; ``report`` is
+    the supervisor's :class:`~repro.experiments.shard_supervisor
+    .ShardReport` (quarantined blocks, retries, speculation).
+    """
+    with ShardedScheduler(
+        jobs=jobs, block_size=block_size, threadsafe=threadsafe, **supervision
+    ) as sched:
+        return sched.run_report(run_shard, specs)

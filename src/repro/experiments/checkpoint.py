@@ -48,6 +48,9 @@ __all__ = [
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
 CHECKPOINT_SUBDIR = "checkpoints"
+#: Block-level checkpoints written by the shard supervisor during sharded
+#: sweeps (content-addressed; see experiments.shard_supervisor).
+SHARD_SUBDIR = "shards"
 MANIFEST_FORMAT = 1
 
 #: Manifest keys that change results: a resume with a different value is
@@ -55,7 +58,7 @@ MANIFEST_FORMAT = 1
 #: rebuilt checkout or a NumPy upgrade *may* shift numbers, but refusing
 #: would make every local resume after an unrelated commit impossible.
 _MANIFEST_STRICT_KEYS = ("format", "preset", "ids", "seed")
-_MANIFEST_ADVISORY_KEYS = ("git_sha", "python", "numpy")
+_MANIFEST_ADVISORY_KEYS = ("git_sha", "python", "numpy", "sharded")
 
 
 def atomic_write_text(path: Path, text: str) -> None:
@@ -103,11 +106,20 @@ def _git_sha() -> str | None:
     return out.stdout.strip() if out.returncode == 0 else None
 
 
-def build_manifest(preset: str, ids: list[str], seed: int | None) -> dict:
-    """The self-describing header of a run directory."""
+def build_manifest(
+    preset: str, ids: list[str], seed: int | None, sharded: dict | None = None
+) -> dict:
+    """The self-describing header of a run directory.
+
+    *sharded* records the intra-experiment sharding configuration
+    (``shard_jobs`` et al.) when enabled.  It is advisory, not strict:
+    block checkpoints are content-addressed over the full cell spec and
+    partition, so resuming with different shard settings is safe (blocks
+    that match restore, the rest recompute) -- but worth a warning.
+    """
     import numpy
 
-    return {
+    manifest = {
         "format": MANIFEST_FORMAT,
         "preset": preset,
         "ids": list(ids),
@@ -117,6 +129,9 @@ def build_manifest(preset: str, ids: list[str], seed: int | None) -> dict:
         "numpy": numpy.__version__,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
+    if sharded is not None:
+        manifest["sharded"] = sharded
+    return manifest
 
 
 def corrupt_checkpoint(path: Path, seed: int = 0) -> None:
@@ -175,6 +190,10 @@ class RunDir:
         self.journal_path.unlink(missing_ok=True)
         for stale in checkpoints.glob("*.json"):
             stale.unlink(missing_ok=True)
+        shards = self.root / SHARD_SUBDIR
+        if shards.is_dir():
+            for stale in shards.glob("block-*.json"):
+                stale.unlink(missing_ok=True)
         atomic_write_text(
             self.manifest_path, json.dumps(manifest, indent=2, sort_keys=True)
         )

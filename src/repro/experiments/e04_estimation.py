@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 
 from repro.analysis.bounds import estimation_result_bounds
-from repro.experiments.cells import estimation_cell
+from repro.experiments.cells import CellSpec, run_cells
 from repro.experiments.harness import Column, Table, batched_enabled, preset_value
 
 EXPERIMENT = "T4"
@@ -55,28 +55,33 @@ def run(preset: str = "small", seed: int = 2018, batched: bool | None = None) ->
             Column("slots_per_bound", "slots/max{log n,T}", ".1f"),
         ],
     )
-    for gi, n in enumerate(ns):
-        for ti, T in enumerate(Ts):
-            results = estimation_cell(
-                n, eps, T, adversary, reps, seed, 4, gi, ti, batched=batched
-            )
-            lo, hi = estimation_result_bounds(n, T)
-            rounds = [r.policy_result for r in results if r.policy_result is not None]
-            singles = sum(1 for r in results if r.elected)
-            in_bracket = sum(1 for i in rounds if lo <= i <= hi)
-            denom = len(rounds) if rounds else 1
-            slots = sorted(r.slots for r in results)
-            median_slots = slots[len(slots) // 2]
-            table.add_row(
-                n=n,
-                T=T,
-                bracket=f"[{lo:.1f}, {hi:.0f}]",
-                rounds=f"{min(rounds)}-{max(rounds)}" if rounds else "-",
-                in_bracket=in_bracket / denom,
-                singles=singles / len(results),
-                median_slots=median_slots,
-                slots_per_bound=median_slots / max(math.log2(n), T),
-            )
+    specs = [
+        CellSpec(
+            kind="estimation", n=n, eps=eps, T=T, adversary=adversary,
+            reps=reps, root_seed=seed, path=(4, gi, ti), batched=batched,
+        )
+        for gi, n in enumerate(ns)
+        for ti, T in enumerate(Ts)
+    ]
+    for spec, results in zip(specs, run_cells(specs)):
+        n, T = spec.n, spec.T
+        lo, hi = estimation_result_bounds(n, T)
+        rounds = [r.policy_result for r in results if r.policy_result is not None]
+        singles = sum(1 for r in results if r.elected)
+        in_bracket = sum(1 for i in rounds if lo <= i <= hi)
+        denom = len(rounds) if rounds else 1
+        slots = sorted(r.slots for r in results)
+        median_slots = slots[len(slots) // 2]
+        table.add_row(
+            n=n,
+            T=T,
+            bracket=f"[{lo:.1f}, {hi:.0f}]",
+            rounds=f"{min(rounds)}-{max(rounds)}" if rounds else "-",
+            in_bracket=in_bracket / denom,
+            singles=singles / len(results),
+            median_slots=median_slots,
+            slots_per_bound=median_slots / max(math.log2(n), T),
+        )
     table.add_note(
         "runs ending in a Single elect a leader outright (the lemma's other branch); "
         "'in-bracket' is over the remaining runs"

@@ -15,7 +15,7 @@ LESU never sees eps or T; only the adversary uses them.
 from __future__ import annotations
 
 from repro.analysis.bounds import lesu_regime, lesu_time_bound
-from repro.experiments.cells import lesu_cell
+from repro.experiments.cells import CellSpec, run_cells
 from repro.experiments.harness import (
     Column,
     Table,
@@ -50,10 +50,15 @@ def _sweep(
     tag: int,
     batched: bool,
 ):
-    for gi, (n, T) in enumerate(grid):
-        results = lesu_cell(
-            n, eps, T, adversary, reps, seed, 5, tag, gi, batched=batched
+    specs = [
+        CellSpec(
+            kind="lesu", n=n, eps=eps, T=T, adversary=adversary,
+            reps=reps, root_seed=seed, path=(5, tag, gi), batched=batched,
         )
+        for gi, (n, T) in enumerate(grid)
+    ]
+    for spec, results in zip(specs, run_cells(specs)):
+        n, T = spec.n, spec.T
         stats = summarize_times(results)
         bound = lesu_time_bound(n, eps, T)
         table.add_row(

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.adversary.suite import make_adversary
 from repro.analysis.estimators import fit_power_law
-from repro.experiments.cells import lesk_cell
+from repro.experiments.cells import CellSpec, run_cells
 from repro.experiments.harness import (
     Column,
     Table,
@@ -66,11 +66,17 @@ def run(preset: str = "small", seed: int = 2021, batched: bool | None = None) ->
             Column("ars_success", "ARS success", ".3f"),
         ],
     )
+    lesk_specs = [
+        CellSpec(
+            kind="lesk", n=n, eps=eps, T=T, adversary=adversary,
+            reps=reps, root_seed=seed, path=(7, ni, 0), batched=batched,
+        )
+        for ni, n in enumerate(ns)
+    ]
+    lesk_cells = run_cells(lesk_specs)
     lesk_pts, ars_pts = [], []
     for ni, n in enumerate(ns):
-        lesk = lesk_cell(
-            n, eps, T, adversary, reps, seed, 7, ni, 0, batched=batched
-        )
+        lesk = lesk_cells[ni]
         ars = replicate(
             lambda s: _run_ars(n, eps, T, adversary, s, max_slots),
             reps,

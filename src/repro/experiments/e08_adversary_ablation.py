@@ -18,7 +18,12 @@ from __future__ import annotations
 from repro import telemetry
 from repro.adversary.suite import strategy_names
 from repro.analysis.bounds import lesk_time_bound
-from repro.experiments.cells import lesk_cell, sweep_cell
+from repro.experiments.cells import (
+    CellSpec,
+    run_cell_direct,
+    run_cells,
+    run_cells_sharded_report,
+)
 from repro.experiments.harness import (
     Column,
     Table,
@@ -28,6 +33,39 @@ from repro.experiments.harness import (
 )
 
 EXPERIMENT = "T8"
+
+
+def _lesk_with_jam_shards(specs):
+    """Run the LESK cells, returning per-spec results and telemetry shards.
+
+    Unsharded: each cell runs inside a scoped collection (merged outward
+    into any live run-level sink), so jam efficiency is computable without
+    trace recording and without mixing in the sweep baseline's jams.
+    Under an ambient shard context (``run_all --shard-jobs``) the
+    supervised path returns the same per-spec shards, merged across that
+    spec's rep-blocks; a block restored from checkpoint contributes no
+    counters (its shard is None and jam eff renders as '-').
+    """
+    from repro.experiments.shard_supervisor import get_shard_context
+
+    context = get_shard_context()
+    if context.jobs is None:
+        results, shards = [], []
+        for spec in specs:
+            with telemetry.collecting() as shard:
+                results.append(run_cell_direct(spec))
+            shards.append(shard)
+        return results, shards
+    results, shards, _report = run_cells_sharded_report(
+        specs,
+        jobs=context.jobs,
+        block_size=context.block_size or 64,
+        threadsafe=context.threadsafe,
+        block_timeout=context.block_timeout,
+        checkpoint_dir=context.checkpoint_dir,
+        fault_plan=context.fault_plan,
+    )
+    return results, shards
 
 
 def run(preset: str = "small", seed: int = 2022, batched: bool | None = None) -> Table:
@@ -62,22 +100,32 @@ def run(preset: str = "small", seed: int = 2022, batched: bool | None = None) ->
         ],
     )
     bound = lesk_time_bound(n, eps, T)
-    for si, strategy in enumerate(strategy_names()):
-        # Scoped collection: the engines' per-strategy jam counters land in
-        # a private shard (merged outward into any live run-level sink), so
-        # jam efficiency is computable without trace recording and without
-        # mixing in the sweep baseline's jams.
-        with telemetry.collecting() as shard:
-            lesk = lesk_cell(
-                n, eps, T, strategy, reps, seed, 8, si, 0, batched=batched
-            )
-        jams = shard.metrics.counter_total("jam_slots_total")
-        occupied = shard.metrics.counter_total("jam_occupied_total")
-        jam_eff = occupied / jams if jams else None
-        sweep = sweep_cell(
-            n, eps, T, strategy, reps, seed, 8, si, 1,
-            batched=batched, max_slots=sweep_budget,
+    strategies = strategy_names()
+    lesk_specs = [
+        CellSpec(
+            kind="lesk", n=n, eps=eps, T=T, adversary=strategy,
+            reps=reps, root_seed=seed, path=(8, si, 0), batched=batched,
         )
+        for si, strategy in enumerate(strategies)
+    ]
+    sweep_specs = [
+        CellSpec(
+            kind="sweep", n=n, eps=eps, T=T, adversary=strategy,
+            reps=reps, root_seed=seed, path=(8, si, 1), batched=batched,
+            max_slots=sweep_budget,
+        )
+        for si, strategy in enumerate(strategies)
+    ]
+    lesk_cells, jam_shards = _lesk_with_jam_shards(lesk_specs)
+    sweep_cells = run_cells(sweep_specs)
+    for si, strategy in enumerate(strategies):
+        lesk, shard = lesk_cells[si], jam_shards[si]
+        jams = shard.metrics.counter_total("jam_slots_total") if shard else 0
+        occupied = (
+            shard.metrics.counter_total("jam_occupied_total") if shard else 0
+        )
+        jam_eff = occupied / jams if jams else None
+        sweep = sweep_cells[si]
         ls = summarize_times(lesk)
         sw = summarize_times(sweep)
         table.add_row(

@@ -23,7 +23,7 @@ measurable:
 
 from __future__ import annotations
 
-from repro.experiments.cells import lesk_cell, nocd_cell
+from repro.experiments.cells import CellSpec, run_cells
 from repro.experiments.harness import (
     Column,
     Table,
@@ -66,16 +66,28 @@ def run(preset: str = "small", seed: int = 2029, batched: bool | None = None) ->
             Column("ratio", "no-CD/LESK", ".1f"),
         ],
     )
+    nocd_specs = [
+        CellSpec(
+            kind="nocd", n=n, eps=eps, T=T, adversary=adversary,
+            reps=reps, root_seed=seed, path=(15, ni, 0), batched=batched,
+            max_slots=cap,
+        )
+        for ni, n in enumerate(ns)
+    ]
+    lesk_specs = [
+        CellSpec(
+            kind="lesk", n=n, eps=eps, T=T, adversary=adversary,
+            reps=reps, root_seed=seed, path=(15, ni, 1), batched=batched,
+            max_slots=cap,
+        )
+        for ni, n in enumerate(ns)
+    ]
+    nocd_cells = run_cells(nocd_specs)
+    lesk_cells = run_cells(lesk_specs)
     nocd_pts, lesk_pts = [], []
     for ni, n in enumerate(ns):
-        nocd = nocd_cell(
-            n, eps, T, adversary, reps, seed, 15, ni, 0,
-            batched=batched, max_slots=cap,
-        )
-        lesk = lesk_cell(
-            n, eps, T, adversary, reps, seed, 15, ni, 1,
-            batched=batched, max_slots=cap,
-        )
+        nocd = nocd_cells[ni]
+        lesk = lesk_cells[ni]
         ns_ = summarize_times(nocd)
         ls = summarize_times(lesk)
         table.add_row(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.adversary.search import find_worst_pattern
 from repro.analysis.bounds import lesk_exact_slot_bound, lesk_time_bound
-from repro.experiments.cells import lesk_cell
+from repro.experiments.cells import CellSpec, run_cells
 from repro.experiments.harness import (
     Column,
     Table,
@@ -57,10 +57,16 @@ def run(preset: str = "small", seed: int = 2034, batched: bool | None = None) ->
             Column("evaluated", "patterns tried"),
         ],
     )
+    baseline_specs = [
+        CellSpec(
+            kind="lesk", n=n, eps=eps, T=T, adversary="none",
+            reps=reps, root_seed=seed, path=(20, gi), batched=batched,
+        )
+        for gi, (n, eps, T) in enumerate(grid)
+    ]
+    baseline_cells = run_cells(baseline_specs)
     for gi, (n, eps, T) in enumerate(grid):
-        baseline = summarize_times(
-            lesk_cell(n, eps, T, "none", reps, seed, 20, gi, batched=batched)
-        )["median_slots"]
+        baseline = summarize_times(baseline_cells[gi])["median_slots"]
         result = find_worst_pattern(
             lambda: LESKPolicy(eps),
             n=n,

@@ -30,19 +30,53 @@ Fault kinds:
 The compact spec syntax used by ``run_all --inject-faults`` is
 ``ID:KIND@ATTEMPT`` joined by commas, e.g. ``"T1:raise@1,T7:hang@2"``
 (``@ATTEMPT`` defaults to 1).
+
+**Shard-level faults** target the block supervisor
+(:mod:`repro.experiments.shard_supervisor`) instead of an experiment:
+the pseudo-id ``block<N>`` names the N-th work unit of a sharded sweep
+(its deterministic global task ordinal, counting ``(spec, block)`` pairs
+in dispatch order), and ``@EXECUTION`` counts that block's dispatches --
+so ``block2:kill@1`` SIGKILLs the worker the first time block 2 runs,
+and the retry (execution 2) is undisturbed.  Block fault kinds:
+
+``kill``
+    ``SIGKILL`` the worker process mid-block: exercises death detection
+    and orphan re-dispatch.  Needs real worker processes (``jobs > 1``).
+``hang``
+    Sleep forever: exercises the per-block deadline kill.  Also needs
+    ``jobs > 1``.
+``corrupt-result``
+    Let the block succeed but deterministically perturb its results:
+    exercises speculative-duplicate mismatch detection.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import re
+import signal
 import time
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Fault", "FaultPlan", "InjectedFaultError", "FAULT_KINDS"]
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InjectedFaultError",
+    "FAULT_KINDS",
+    "BLOCK_FAULT_KINDS",
+]
 
 FAULT_KINDS = ("raise", "config", "hang", "corrupt")
+
+#: Fault kinds valid for ``block<N>`` pseudo-ids (shard-level chaos).
+BLOCK_FAULT_KINDS = ("kill", "hang", "corrupt-result")
+
+#: Pseudo-id naming a sharded work unit by its global task ordinal.
+_BLOCK_ID_RE = re.compile(r"^block(\d+)$")
 
 #: How long a ``hang`` fault sleeps per poll; the loop below never exits,
 #: short naps just keep the worker promptly killable.
@@ -62,7 +96,13 @@ class Fault:
     attempt: int = 1
 
     def __post_init__(self):
-        if self.kind not in FAULT_KINDS:
+        if self.block_index() is not None:
+            if self.kind not in BLOCK_FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown block fault kind {self.kind!r} for "
+                    f"{self.exp_id!r}; expected one of {BLOCK_FAULT_KINDS}"
+                )
+        elif self.kind not in FAULT_KINDS:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
             )
@@ -70,6 +110,11 @@ class Fault:
             raise ConfigurationError(
                 f"fault attempt must be >= 1, got {self.attempt}"
             )
+
+    def block_index(self) -> int | None:
+        """The task ordinal for ``block<N>`` pseudo-ids, else None."""
+        match = _BLOCK_ID_RE.match(self.exp_id)
+        return int(match.group(1)) if match else None
 
     def to_spec(self) -> str:
         """Render as one ``ID:KIND@ATTEMPT`` spec atom."""
@@ -122,7 +167,9 @@ class FaultPlan:
         mistake fails fast at the CLI.  Returns ``self`` for chaining.
         """
         known = set(known_ids)
-        unknown = sorted({f.exp_id for f in self.faults} - known)
+        unknown = sorted(
+            {f.exp_id for f in self.faults if f.block_index() is None} - known
+        )
         if unknown:
             raise ConfigurationError(
                 f"fault plan names unknown experiment ids {unknown}; "
@@ -158,3 +205,64 @@ class FaultPlan:
         """Whether to corrupt the checkpoint written by this attempt."""
         fault = self.fault_for(exp_id, attempt)
         return fault is not None and fault.kind == "corrupt"
+
+    # -- shard-level (block) faults -----------------------------------------
+
+    def block_fault_for(self, task_id: int, execution: int) -> Fault | None:
+        """The fault planned for this (task ordinal, execution), if any."""
+        for fault in self.faults:
+            if fault.block_index() == task_id and fault.attempt == execution:
+                return fault
+        return None
+
+    def fire_block(self, task_id: int, execution: int,
+                   in_process: bool = False) -> None:
+        """Trigger any pre-run block fault (called inside the shard worker).
+
+        With ``in_process=True`` (the supervisor's ``jobs=1`` inline path)
+        ``kill``/``hang`` faults raise :class:`~repro.errors
+        .ConfigurationError` instead of firing: killing or hanging would
+        take down the caller itself, and a chaos drill that silently
+        skips its faults is worse than one that fails loudly.
+        """
+        fault = self.block_fault_for(task_id, execution)
+        if fault is None or fault.kind == "corrupt-result":
+            return
+        if in_process:
+            raise ConfigurationError(
+                f"injected {fault.kind}@block fault for block {task_id} "
+                f"(execution {execution}) needs worker processes; run the "
+                "sharded sweep with jobs > 1"
+            )
+        if fault.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault.kind == "hang":
+            while True:  # hold the worker until its block deadline kills it
+                time.sleep(_HANG_NAP_S)
+
+    def should_corrupt_block(self, task_id: int, execution: int) -> bool:
+        """Whether to perturb the payload produced by this execution."""
+        fault = self.block_fault_for(task_id, execution)
+        return fault is not None and fault.kind == "corrupt-result"
+
+    def corrupt_block_payload(self, payload):
+        """Deterministically perturb a block payload (silent-corruption drill).
+
+        Bumps ``slots`` on every run result so the corrupted payload is
+        structurally valid but numerically wrong -- exactly what the
+        supervisor's speculative-duplicate verification must catch.
+        Payloads without run results pass through unchanged.
+        """
+        if isinstance(payload, tuple) and len(payload) == 2:
+            results, tel = payload
+        else:
+            results, tel = payload, None
+        try:
+            corrupted = [
+                dataclasses.replace(r, slots=r.slots + 1) for r in results
+            ]
+        except (TypeError, AttributeError):
+            return payload
+        return (corrupted, tel) if tel is not None or isinstance(
+            payload, tuple
+        ) else corrupted

@@ -343,20 +343,28 @@ SHARD_BLOCK_TAG = 7_000_001
 
 
 class ShardedScheduler:
-    """Chunk ``(cell x rep-block)`` work units onto a persistent worker pool.
+    """Chunk ``(cell x rep-block)`` work units onto supervised workers.
 
     The scheduler cuts every spec's repetitions into fixed-size blocks
     (``block_size``; the partition depends only on ``reps``, never on the
-    worker count), dispatches ``(spec, block_index, block_reps)`` items to
-    a pool built on :func:`repro.experiments.parallel.subprocess_context`,
-    and regroups the per-block result lists in block order -- so the
-    returned per-spec lists are identical for any ``jobs`` (``jobs=1`` runs
-    the worker in-process).  Workers return ``(results, telemetry_jsonable
-    | None)``; shards shipped home from subprocesses are merged into the
-    caller's live telemetry sink (in-process workers are expected to merge
-    outward themselves via ``telemetry.collecting()``).
+    worker count) and regroups the per-block result lists in block order,
+    so the returned per-spec lists are identical for any ``jobs``
+    (``jobs=1`` runs the worker in-process).  Workers return ``(results,
+    telemetry_jsonable | None)``; each block's telemetry shard is merged
+    into the caller's live sink exactly once.
 
-    Use as a context manager; the pool persists across :meth:`run` calls:
+    ``supervised=True`` (the default) executes blocks through the
+    block-level supervisor (:class:`repro.experiments.shard_supervisor
+    .BlockSupervisor`): per-block deadlines with kill-on-timeout, worker
+    death detection and re-dispatch, bounded seeded-backoff retry,
+    poison-block quarantine (``keep_going``), straggler speculation, and
+    atomic block checkpoints (``checkpoint_dir``).  ``supervised=False``
+    keeps the plain persistent ``Pool.map`` path -- no recovery, but
+    marginally less dispatch bookkeeping; it is the baseline the
+    supervised path's overhead gate is measured against.
+
+    Use as a context manager; the legacy pool persists across :meth:`run`
+    calls (the supervised path spawns its workers per run):
 
     >>> with ShardedScheduler(jobs=4) as sched:           # doctest: +SKIP
     ...     tables = sched.run(run_shard, specs_a)
@@ -368,6 +376,14 @@ class ShardedScheduler:
         jobs: int | None = None,
         block_size: int = 64,
         threadsafe: bool = False,
+        *,
+        supervised: bool = True,
+        retry=None,
+        block_timeout: float | None = None,
+        keep_going: bool = False,
+        speculate: bool = True,
+        checkpoint_dir=None,
+        fault_plan=None,
     ) -> None:
         from repro.experiments.parallel import default_jobs
 
@@ -380,19 +396,32 @@ class ShardedScheduler:
         self.jobs = int(jobs)
         self.block_size = int(block_size)
         self.threadsafe = bool(threadsafe)
+        self.supervised = bool(supervised)
+        self.retry = retry
+        self.block_timeout = block_timeout
+        self.keep_going = bool(keep_going)
+        self.speculate = bool(speculate)
+        self.checkpoint_dir = checkpoint_dir
+        self.fault_plan = fault_plan
         self._pool = None
 
     def __enter__(self) -> "ShardedScheduler":
         from repro.experiments.parallel import subprocess_context
 
-        if self.jobs > 1:
+        if not self.supervised and self.jobs > 1:
             ctx = subprocess_context(self.threadsafe)
             self._pool = ctx.Pool(processes=self.jobs)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._pool is not None:
-            self._pool.close()
+            if exc_type is not None:
+                # A failing sweep must not block on in-flight pool work:
+                # close()+join() waits for every dispatched item, which can
+                # hang forever behind a wedged worker.
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
 
@@ -403,14 +432,8 @@ class ShardedScheduler:
         full, rest = divmod(reps, self.block_size)
         return [self.block_size] * full + ([rest] if rest else [])
 
-    def run(self, worker: Callable, specs: Sequence) -> list[list]:
-        """Run *worker* over every spec's rep-blocks; one result list per spec.
-
-        ``worker`` takes ``(spec, block_index, block_reps)`` and returns
-        ``(list_of_results, telemetry_jsonable | None)``.  It must be a
-        module-level function when ``jobs > 1`` (pool dispatch pickles by
-        reference).
-        """
+    def _items_for(self, specs: Sequence):
+        """Expand specs into per-block work items plus regrouping indices."""
         items: list[tuple] = []
         groups: list[list[int]] = []
         for spec in specs:
@@ -419,7 +442,105 @@ class ShardedScheduler:
                 idxs.append(len(items))
                 items.append((spec, block_index, block_reps))
             groups.append(idxs)
+        return items, groups
 
+    def run(self, worker: Callable, specs: Sequence) -> list[list]:
+        """Run *worker* over every spec's rep-blocks; one result list per spec.
+
+        ``worker`` takes ``(spec, block_index, block_reps)`` and returns
+        ``(list_of_results, telemetry_jsonable | None)``.  It must be a
+        module-level function when ``jobs > 1`` (worker dispatch pickles
+        by reference).
+        """
+        if self.supervised:
+            merged, _shards, _report = self.run_report(
+                worker, specs, collect_spec_shards=False
+            )
+            return merged
+        return self._run_pool(worker, specs)
+
+    def run_report(
+        self,
+        worker: Callable,
+        specs: Sequence,
+        *,
+        collect_spec_shards: bool = True,
+    ):
+        """Supervised run returning ``(merged, spec_shards, report)``.
+
+        ``spec_shards[i]`` is a :class:`~repro.telemetry.Telemetry` built
+        from spec *i*'s block shards (None when the blocks carried no
+        telemetry -- e.g. restored from checkpoint, which stores results
+        only), letting callers read per-spec counters the way a scoped
+        ``telemetry.collecting()`` would.  ``report`` is the supervisor's
+        :class:`~repro.experiments.shard_supervisor.ShardReport`; with
+        ``keep_going`` quarantined blocks leave their spec's result list
+        short and are itemized there.
+
+        ``collect_spec_shards=False`` skips rebuilding the per-spec
+        telemetry views (every slot stays None); the global-sink merge in
+        the supervisor is unaffected.  :meth:`run` uses this -- decoding
+        every block's telemetry only to discard it is where the supervised
+        path would otherwise lose its overhead budget.
+        """
+        if not self.supervised:
+            raise ConfigurationError(
+                "run_report requires a supervised scheduler; the legacy "
+                "Pool.map path has no supervision report"
+            )
+        from repro.experiments.shard_supervisor import (
+            BlockCheckpointStore,
+            BlockSupervisor,
+            SupervisionConfig,
+        )
+        from repro.experiments.retry import RetryPolicy
+
+        items, groups = self._items_for(specs)
+        config = SupervisionConfig(
+            jobs=self.jobs,
+            retry=self.retry if self.retry is not None else RetryPolicy(),
+            block_timeout=self.block_timeout,
+            keep_going=self.keep_going,
+            speculate=self.speculate,
+            fault_plan=self.fault_plan,
+            threadsafe=self.threadsafe,
+        )
+        store = (
+            BlockCheckpointStore(self.checkpoint_dir)
+            if self.checkpoint_dir is not None
+            else None
+        )
+        supervisor = BlockSupervisor(worker, config, store)
+        supervisor_items = []
+        for spec_index, idxs in enumerate(groups):
+            for i in idxs:
+                supervisor_items.append((spec_index, items[i][1], items[i]))
+        payloads, report = supervisor.run(supervisor_items, self.block_size)
+
+        merged: list[list] = []
+        spec_shards: list[Telemetry | None] = []
+        for idxs in groups:
+            spec_results: list = []
+            shard: Telemetry | None = None
+            for i in idxs:
+                payload = payloads[i]
+                if payload is None:
+                    continue  # quarantined under keep_going
+                results, tel_json = payload
+                spec_results.extend(results)
+                if collect_spec_shards and tel_json:
+                    block_tel = Telemetry.from_jsonable(tel_json)
+                    if shard is None:
+                        shard = block_tel
+                    else:
+                        shard.merge(block_tel)
+            merged.append(spec_results)
+            spec_shards.append(shard)
+        return merged, spec_shards, report
+
+    def _run_pool(self, worker: Callable, specs: Sequence) -> list[list]:
+        """The legacy unsupervised ``Pool.map`` path (overhead baseline)."""
+        items, groups = self._items_for(specs)
         if self._pool is None:
             outs = [worker(item) for item in items]
             pooled = False

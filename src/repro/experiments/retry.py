@@ -1,0 +1,50 @@
+"""Bounded retry policy shared by the experiment runner and shard supervisor.
+
+Lives in its own module (rather than :mod:`repro.experiments.runner`, its
+original home) so the block-level shard supervisor can reuse the exact
+same backoff semantics without importing the experiment-level runner --
+``runner`` re-exports :class:`RetryPolicy`, so existing imports keep
+working.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    The delay before attempt ``k+1`` is ``base * 2**(k-1)`` capped at
+    *cap*, scaled by a jitter factor in ``[0.5, 1.5)`` drawn from a stream
+    seeded by ``(seed, unit id, attempt)`` -- deterministic per
+    slot, decorrelated across units so a pool of retries does not
+    stampede in lockstep.  The *unit id* is an experiment id for the
+    experiment runner and a ``spec/block`` key for the shard supervisor.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    retry_timeouts: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff base/cap must be >= 0")
+
+    def delay(self, exp_id: str, attempt: int) -> float:
+        """Backoff before retrying after failed attempt number *attempt*."""
+        raw = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        jitter = random.Random(f"{self.seed}:{exp_id}:{attempt}").random()
+        return raw * (0.5 + jitter)

@@ -29,7 +29,16 @@ Options::
     --keep-going          collect failures and keep running (default);
     --no-keep-going       abort dispatch at the first failure
     --inject-faults SPEC  chaos testing: deterministic faults, e.g.
-                          "T1:raise@1,T7:hang@2" (see repro.experiments.faults)
+                          "T1:raise@1,T7:hang@2" (see repro.experiments.faults);
+                          block<N>:kill/hang/corrupt-result@E atoms target
+                          the shard supervisor's work units
+    --shard-jobs N        split each experiment's sharded cells across N
+                          supervised shard workers (block-level retry,
+                          quarantine, speculation, checkpoints under
+                          DIR/shards/; see docs/runner.md)
+    --shard-block-size N  repetitions per shard block (default 64)
+    --shard-timeout S     wall-clock budget per shard block; a hung block's
+                          worker is killed and the block retried/quarantined
 
 Exit status: 0 every table produced, 2 partial success (some experiments
 failed but the rest completed and were checkpointed), 1 total failure or
@@ -160,6 +169,9 @@ def main(argv: list[str] | None = None) -> int:
         help="collect failures and keep running (default on)",
     )
     parser.add_argument("--inject-faults", type=str, default=None, metavar="SPEC")
+    parser.add_argument("--shard-jobs", type=int, default=None, metavar="N")
+    parser.add_argument("--shard-block-size", type=int, default=None, metavar="N")
+    parser.add_argument("--shard-timeout", type=float, default=None, metavar="S")
     parser.add_argument(
         "--telemetry",
         action="store_true",
@@ -173,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.retries < 1:
         parser.error("--retries must be >= 1")
+    if args.shard_jobs is not None and args.shard_jobs < 1:
+        parser.error("--shard-jobs must be >= 1")
+    if args.shard_block_size is not None and args.shard_block_size < 1:
+        parser.error("--shard-block-size must be >= 1")
+    if (args.shard_block_size or args.shard_timeout) and args.shard_jobs is None:
+        parser.error("--shard-block-size/--shard-timeout require --shard-jobs")
     if args.out and args.resume:
         parser.error("--out and --resume are mutually exclusive "
                      "(--resume already names the run directory)")
@@ -195,7 +213,14 @@ def main(argv: list[str] | None = None) -> int:
 
     run_dir = None
     resume = args.resume is not None
-    manifest = build_manifest(args.preset, ids, args.seed)
+    sharded = None
+    if args.shard_jobs is not None:
+        sharded = {
+            "shard_jobs": args.shard_jobs,
+            "shard_block_size": args.shard_block_size,
+            "shard_timeout": args.shard_timeout,
+        }
+    manifest = build_manifest(args.preset, ids, args.seed, sharded=sharded)
     if resume:
         run_dir = RunDir(args.resume)
         try:
@@ -223,6 +248,9 @@ def main(argv: list[str] | None = None) -> int:
         fault_plan=fault_plan,
         telemetry=args.telemetry,
         telemetry_stride=args.telemetry_stride,
+        shard_jobs=args.shard_jobs,
+        shard_block_size=args.shard_block_size,
+        shard_block_timeout=args.shard_timeout,
     )
     runner = Runner(ids, EXPERIMENT_MODULES, config, run_dir=run_dir, resume=resume)
     outcomes = runner.run(on_outcome=_OrderedPrinter(ids))

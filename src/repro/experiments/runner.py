@@ -33,11 +33,11 @@ and restored checkpoints render byte-identically by construction.
 from __future__ import annotations
 
 import importlib
-import random
 import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait as futures_wait
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Callable
@@ -48,6 +48,8 @@ from repro.experiments.checkpoint import RunDir, atomic_write_text, corrupt_chec
 from repro.experiments.faults import FaultPlan
 from repro.experiments.harness import Column, Table
 from repro.experiments.parallel import subprocess_context
+from repro.experiments.retry import RetryPolicy
+from repro.experiments.shard_supervisor import shard_context
 from repro.telemetry.export import prometheus_text, write_jsonl
 from repro.telemetry.report import TELEMETRY_JSONL, TELEMETRY_PROM, TELEMETRY_SUBDIR
 
@@ -65,40 +67,18 @@ _OK_STATUSES = ("ok", "restored")
 
 
 @dataclass(frozen=True, slots=True)
-class RetryPolicy:
-    """Bounded retry with exponential backoff and seeded jitter.
-
-    The delay before attempt ``k+1`` is ``base * 2**(k-1)`` capped at
-    *cap*, scaled by a jitter factor in ``[0.5, 1.5)`` drawn from a stream
-    seeded by ``(seed, experiment id, attempt)`` -- deterministic per
-    slot, decorrelated across experiments so a pool of retries does not
-    stampede in lockstep.
-    """
-
-    max_attempts: int = 3
-    backoff_base: float = 0.5
-    backoff_cap: float = 30.0
-    retry_timeouts: bool = False
-    seed: int = 0
-
-    def __post_init__(self):
-        if self.max_attempts < 1:
-            raise ConfigurationError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.backoff_base < 0 or self.backoff_cap < 0:
-            raise ConfigurationError("backoff base/cap must be >= 0")
-
-    def delay(self, exp_id: str, attempt: int) -> float:
-        """Backoff before retrying after failed attempt number *attempt*."""
-        raw = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
-        jitter = random.Random(f"{self.seed}:{exp_id}:{attempt}").random()
-        return raw * (0.5 + jitter)
-
-
-@dataclass(frozen=True, slots=True)
 class RunnerConfig:
-    """Knobs of one supervised run (see the module docstring)."""
+    """Knobs of one supervised run (see the module docstring).
+
+    ``shard_jobs`` (with optional ``shard_block_size`` /
+    ``shard_block_timeout``) turns on *intra-experiment* sharding: each
+    attempt installs an ambient
+    :class:`~repro.experiments.shard_supervisor.ShardContext`, so
+    experiments whose cells route through
+    :func:`repro.experiments.cells.run_cells` split their rep-blocks
+    across supervised shard workers -- with block-level checkpoints under
+    ``<run_dir>/shards/`` when the run is checkpointed.
+    """
 
     preset: str = "small"
     seed: int | None = None  # None -> each experiment's module default
@@ -110,6 +90,9 @@ class RunnerConfig:
     isolate: bool = True  # False: in-process attempts (no timeout/kill)
     telemetry: bool = False  # collect per-attempt metrics and merge them
     telemetry_stride: int = _telemetry.DEFAULT_STRIDE
+    shard_jobs: int | None = None  # None: experiments run their cells unsharded
+    shard_block_size: int | None = None
+    shard_block_timeout: float | None = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -119,6 +102,14 @@ class RunnerConfig:
         if self.telemetry_stride < 1:
             raise ConfigurationError(
                 f"telemetry_stride must be >= 1, got {self.telemetry_stride}"
+            )
+        if self.shard_jobs is not None and self.shard_jobs < 1:
+            raise ConfigurationError(
+                f"shard_jobs must be >= 1, got {self.shard_jobs}"
+            )
+        if self.shard_block_size is not None and self.shard_block_size < 1:
+            raise ConfigurationError(
+                f"shard_block_size must be >= 1, got {self.shard_block_size}"
             )
 
 
@@ -152,7 +143,8 @@ class _AttemptFailure(Exception):
 
 
 def _attempt_worker(
-    conn, module_name, exp_id, preset, seed, attempt, fault_plan, tel_stride=None
+    conn, module_name, exp_id, preset, seed, attempt, fault_plan, tel_stride=None,
+    shard=None,
 ):
     """Child-process body: run one experiment attempt, ship the result back.
 
@@ -165,8 +157,21 @@ def _attempt_worker(
     sink and its registry ships home alongside the table (as JSON, the
     same merge-safe form the exporters use), so the parent can aggregate
     across processes regardless of the start method.
+
+    With *shard* set (a dict of :class:`~repro.experiments
+    .shard_supervisor.ShardContext` fields), the attempt installs the
+    ambient shard context so the experiment's cells run on the supervised
+    sharded path; the child process is discarded afterwards, so no
+    restore is needed.
     """
     try:
+        if shard is not None:
+            from repro.experiments.shard_supervisor import (
+                ShardContext as _ShardContext,
+                configure_shard_context,
+            )
+
+            configure_shard_context(_ShardContext(**shard))
         if fault_plan is not None:
             fault_plan.fire(exp_id, attempt)
         module = importlib.import_module(module_name)
@@ -276,6 +281,30 @@ class Runner:
             permanent=payload["permanent"],
         )
 
+    def _shard_settings(self) -> dict | None:
+        """The ambient shard-context fields for attempts, or None.
+
+        Block checkpoints live in one shared ``<run_dir>/shards/``
+        directory for all experiments: block checkpoint keys are
+        content-addressed over the full cell spec (kind, parameters, seed
+        path), so blocks from different experiments can never collide.
+        """
+        if self.config.shard_jobs is None:
+            return None
+        checkpoint_dir = (
+            str(self.run_dir.root / "shards") if self.run_dir is not None else None
+        )
+        return {
+            "jobs": self.config.shard_jobs,
+            "block_size": self.config.shard_block_size,
+            "block_timeout": self.config.shard_block_timeout,
+            "checkpoint_dir": checkpoint_dir,
+            "fault_plan": self.config.fault_plan,
+            # Inline attempts may be dispatched from runner threads; shard
+            # workers must then avoid fork-under-threads.
+            "threadsafe": not self.config.isolate and self.config.jobs > 1,
+        }
+
     def _attempt_inline(self, exp_id: str, attempt: int):
         """In-process attempt (no isolation: hangs/timeouts unsupported)."""
         try:
@@ -286,16 +315,22 @@ class Runner:
             kwargs = {"preset": self.config.preset}
             if self.config.seed is not None:
                 kwargs["seed"] = self.config.seed
-            if self.config.telemetry:
-                with _telemetry.collecting(
-                    stride=self.config.telemetry_stride
-                ) as tel:
+            shard = self._shard_settings()
+            with ExitStack() as stack:
+                if shard is not None:
+                    stack.enter_context(shard_context(**shard))
+                if self.config.telemetry:
+                    tel = stack.enter_context(
+                        _telemetry.collecting(stride=self.config.telemetry_stride)
+                    )
                     table = module.run(**kwargs)
-                return "ok", {
-                    "table": table.to_jsonable(),
-                    "telemetry": tel.to_jsonable(),
-                }
-            return "ok", module.run(**kwargs).to_jsonable()
+                    table_json = table.to_jsonable()
+                    tel_json = tel.to_jsonable()
+                else:
+                    table_json, tel_json = module.run(**kwargs).to_jsonable(), None
+            if tel_json is not None:
+                return "ok", {"table": table_json, "telemetry": tel_json}
+            return "ok", table_json
         except Exception as exc:  # noqa: BLE001 -- mirrors the worker protocol
             return "error", {
                 "type": type(exc).__name__,
@@ -318,6 +353,7 @@ class Runner:
                 attempt,
                 self.config.fault_plan,
                 self.config.telemetry_stride if self.config.telemetry else None,
+                self._shard_settings(),
             ),
             name=f"repro-{exp_id}-attempt{attempt}",
         )

@@ -1,0 +1,985 @@
+"""Block-level supervision for sharded sweeps: the execution layer that
+keeps a ``(cell x rep-block)`` sweep alive despite crashing, hanging, or
+poisoned workers.
+
+The paper's protocols make progress although an adversary may disrupt a
+``(T, 1-eps)`` fraction of slots; this module ports that mindset to the
+sweep scheduler itself.  ``ShardedScheduler`` used to be a bare
+``Pool.map`` -- one SIGKILL, hang, or poison block lost the entire sweep.
+The supervisor replaces that with:
+
+* **async block dispatch** -- one work item per message on a persistent
+  worker-process pool, so a failure costs one block, never the sweep;
+* **per-block deadlines** -- a hung block is killed at its wall-clock
+  budget and its worker respawned;
+* **death detection** -- a worker that dies without reporting (SIGKILL,
+  OOM) is detected via its process sentinel and the orphaned block is
+  re-dispatched onto a respawned worker;
+* **bounded retry** -- transient failures back off exponentially with
+  seeded jitter (:class:`~repro.experiments.retry.RetryPolicy`, the PR-2
+  machinery); :class:`~repro.errors.ReproError` failures are permanent by
+  contract and never retried;
+* **quarantine** -- a block that exhausts its attempts is quarantined;
+  with ``keep_going`` the sweep completes around it and reports a
+  failure table, otherwise :class:`~repro.errors.ShardFailureError`;
+* **speculative re-execution** -- block seeds derive from
+  ``(root_seed, *path, SHARD_BLOCK_TAG, b)``, so every block is a pure
+  deterministic function: duplicating a straggler is safe, the first
+  result wins, and when both land they are verified identical;
+* **block checkpoints** -- completed blocks snapshot atomically
+  (SHA-256-checked, same discipline as the table checkpoints), so a
+  killed sweep resumes mid-cell and bit-reproduces the remainder;
+* **graceful shutdown** -- SIGINT/SIGTERM stop dispatch, drain in-flight
+  blocks, checkpoint them, and then raise ``KeyboardInterrupt``; a second
+  signal aborts immediately.
+
+Every recovery event publishes a telemetry counter:
+``shard_retries_total{kind=...}``, ``shard_redispatch_total``,
+``shard_quarantined_total{kind=...}``, ``shard_speculative_wins_total``
+(plus ``shard_speculative_mismatch_total`` and
+``shard_blocks_restored_total``), so a chaotic sweep leaves a complete
+audit trail in the metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import signal
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro import telemetry as _telemetry
+from repro.errors import ConfigurationError, ReproError, ShardFailureError
+from repro.experiments.retry import RetryPolicy
+from repro.telemetry import get_telemetry
+
+__all__ = [
+    "ShardContext",
+    "get_shard_context",
+    "configure_shard_context",
+    "shard_context",
+    "active_shard_jobs",
+    "SupervisionConfig",
+    "BlockFailure",
+    "ShardReport",
+    "BlockCheckpointStore",
+    "BlockSupervisor",
+]
+
+_log = logging.getLogger(__name__)
+
+#: Schema version embedded in every block checkpoint.
+BLOCK_CHECKPOINT_FORMAT = 1
+
+#: Cap on the supervision loop's wait so drain requests (SIGINT/SIGTERM)
+#: are noticed promptly even when no result or deadline is imminent.
+_WAIT_CAP_S = 0.5
+
+
+# -- ambient shard context --------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ShardContext:
+    """Process-wide defaults for sharded cell execution.
+
+    ``run_all --shard-jobs N`` configures this inside each experiment
+    attempt (parent or isolated worker alike), so experiment modules keep
+    their ``run(preset, seed)`` signature and still land on the supervised
+    sharded path: :func:`repro.experiments.cells.run_cells` consults the
+    context when the caller passes no explicit jobs.  ``jobs=None`` means
+    sharding is not forced -- the inert default.
+    """
+
+    jobs: int | None = None
+    block_size: int | None = None
+    block_timeout: float | None = None
+    checkpoint_dir: str | None = None
+    fault_plan: object | None = None  # experiments.faults.FaultPlan
+    #: Use a thread-safe start method for shard workers (needed when cells
+    #: are dispatched from runner threads rather than the main thread).
+    threadsafe: bool = False
+
+
+_INERT_CONTEXT = ShardContext()
+_active_context: ShardContext = _INERT_CONTEXT
+
+
+def get_shard_context() -> ShardContext:
+    """The ambient shard context (the inert default when unconfigured)."""
+    return _active_context
+
+
+def configure_shard_context(ctx: ShardContext | None) -> ShardContext:
+    """Install *ctx* (None resets to inert); returns the previous context."""
+    global _active_context
+    previous = _active_context
+    _active_context = ctx if ctx is not None else _INERT_CONTEXT
+    return previous
+
+
+@contextmanager
+def shard_context(**kwargs):
+    """Scoped :func:`configure_shard_context` for tests and library callers."""
+    previous = configure_shard_context(ShardContext(**kwargs))
+    try:
+        yield get_shard_context()
+    finally:
+        configure_shard_context(previous)
+
+
+def active_shard_jobs() -> int | None:
+    """The ambient shard job count, or None when sharding is not forced."""
+    return _active_context.jobs
+
+
+# -- report -----------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class BlockFailure:
+    """One quarantined block: which block, why, after how many attempts."""
+
+    spec_index: int
+    block_index: int
+    kind: str  # "error" | "crash" | "timeout"
+    message: str
+    attempts: int
+
+
+@dataclass(slots=True)
+class ShardReport:
+    """What the supervisor did to finish (or give up on) a sweep."""
+
+    blocks: int = 0
+    completed: int = 0
+    restored: int = 0
+    retries: int = 0
+    redispatches: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    speculative_mismatches: int = 0
+    quarantined: list[BlockFailure] = field(default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Every block produced a result and the sweep was not interrupted."""
+        return not self.quarantined and not self.interrupted
+
+    def quarantine_table(self):
+        """The FAILURES-style summary table of quarantined blocks."""
+        from repro.experiments.harness import Column, Table
+
+        table = Table(
+            name="SHARD-FAILURES",
+            title="rep-blocks that did not complete",
+            claim=(
+                "block-level graceful degradation: keep_going quarantines "
+                "poison blocks instead of aborting the sweep"
+            ),
+            columns=[
+                Column("spec", "spec"),
+                Column("block", "block"),
+                Column("kind", "kind"),
+                Column("attempts", "attempts"),
+                Column("error", "error"),
+            ],
+        )
+        for failure in self.quarantined:
+            table.add_row(
+                spec=failure.spec_index,
+                block=failure.block_index,
+                kind=failure.kind,
+                attempts=failure.attempts,
+                error=failure.message[:160],
+            )
+        return table
+
+    def summary(self) -> str:
+        """One human-readable line for logs and CLI footers."""
+        return (
+            f"blocks={self.blocks} completed={self.completed} "
+            f"restored={self.restored} retries={self.retries} "
+            f"redispatched={self.redispatches} "
+            f"speculative={self.speculative_launches}"
+            f"(wins={self.speculative_wins}) "
+            f"quarantined={len(self.quarantined)}"
+        )
+
+
+# -- block checkpoints ------------------------------------------------------
+
+
+class BlockCheckpointStore:
+    """Atomic, checksummed snapshots of completed rep-blocks.
+
+    One JSON file per block, keyed by a fingerprint of the *spec content*
+    plus the block partition -- never by position -- so a resume restores
+    a block only when its parameters (and therefore its derived seeds)
+    match exactly, and differently-parameterized sweeps can never collide
+    in one directory.  Files follow the same discipline as the table
+    checkpoints: same-directory tmp + rename, embedded SHA-256 verified on
+    load, damaged files treated as absent.
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    @staticmethod
+    def block_key(spec, block_size: int, block_index: int) -> str:
+        """Content-addressed key of one (spec, partition, block) unit."""
+        if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+            fingerprint = dataclasses.asdict(spec)
+        else:
+            fingerprint = repr(spec)
+        payload = json.dumps(
+            {
+                "format": BLOCK_CHECKPOINT_FORMAT,
+                "spec": fingerprint,
+                "block_size": block_size,
+                "block": block_index,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"block-{key}.json"
+
+    def load(self, key: str) -> list | None:
+        """Restore one block's results, or None to recompute.
+
+        A missing file, unparseable JSON, a checksum mismatch, or an
+        undecodable payload all mean "recompute" -- the store never trusts
+        a damaged checkpoint.
+        """
+        from repro.sim.metrics import RunResult
+
+        try:
+            data = json.loads(self._path(key).read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None
+        results = data.get("results")
+        if results is None or data.get("checksum") != _results_checksum(results):
+            return None
+        try:
+            return [RunResult.from_jsonable(r) for r in results]
+        except (KeyError, TypeError):
+            return None
+
+    def save(self, key: str, results: Sequence) -> str:
+        """Atomically snapshot one block's results; returns the checksum.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the results
+        are not JSON-serializable run results (the supervisor then runs
+        uncheckpointed for the rest of the sweep).
+        """
+        from repro.experiments.checkpoint import atomic_write_text
+
+        jsonable = [r.to_jsonable() for r in results]
+        digest = _results_checksum(jsonable)
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self._path(key),
+            json.dumps(
+                {
+                    "format": BLOCK_CHECKPOINT_FORMAT,
+                    "checksum": digest,
+                    "results": jsonable,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+        )
+        return digest
+
+
+def _results_checksum(results_jsonable) -> str:
+    payload = json.dumps(results_jsonable, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- supervision configuration ---------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisionConfig:
+    """Knobs of one supervised sweep (see the module docstring)."""
+
+    jobs: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    block_timeout: float | None = None
+    keep_going: bool = False
+    speculate: bool = True
+    straggler_factor: float = 4.0
+    straggler_min_done: int = 3
+    fault_plan: object | None = None  # experiments.faults.FaultPlan
+    threadsafe: bool = False
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.block_timeout is not None and self.block_timeout <= 0:
+            raise ConfigurationError(
+                f"block_timeout must be > 0, got {self.block_timeout}"
+            )
+        if self.straggler_factor <= 1.0:
+            raise ConfigurationError(
+                f"straggler_factor must be > 1, got {self.straggler_factor}"
+            )
+
+
+# -- worker process body ----------------------------------------------------
+
+
+def _block_worker_main(conn, worker_fn, fault_plan) -> None:
+    """Child-process loop: receive ``(task_id, execution, item)``, run, reply.
+
+    Module-level (picklable by reference) so it works under fork,
+    forkserver and spawn alike.  Exceptions are serialized rather than
+    raised so the parent decides retryability; only a hard kill (or an
+    injected ``kill@block`` fault) leaves the pipe silent, which the
+    parent detects via the process sentinel.
+    """
+    # A worker respawned while the supervisor's drain handlers are active
+    # inherits them under fork; reset so terminate() actually terminates
+    # (SIGTERM) and a terminal Ctrl+C (delivered to the whole foreground
+    # group) lets the parent drain while this worker finishes (SIGINT).
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):
+        pass
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg is None:
+                break
+            task_id, execution, item = msg
+            try:
+                if fault_plan is not None:
+                    fault_plan.fire_block(task_id, execution)
+                payload = worker_fn(item)
+                if fault_plan is not None and fault_plan.should_corrupt_block(
+                    task_id, execution
+                ):
+                    payload = fault_plan.corrupt_block_payload(payload)
+                conn.send(("ok", task_id, execution, payload))
+            except BaseException as exc:  # noqa: BLE001 -- ship everything home
+                try:
+                    conn.send(
+                        (
+                            "error",
+                            task_id,
+                            execution,
+                            {
+                                "type": type(exc).__name__,
+                                "message": str(exc),
+                                "permanent": isinstance(exc, ReproError),
+                            },
+                        )
+                    )
+                except (OSError, ValueError):
+                    break
+    finally:
+        conn.close()
+
+
+class _Worker:
+    """One supervised worker process and its duplex command pipe."""
+
+    __slots__ = ("proc", "conn", "task_id", "execution", "started", "deadline")
+
+    def __init__(self, ctx, worker_fn, fault_plan, number: int):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_block_worker_main,
+            args=(child_conn, worker_fn, fault_plan),
+            name=f"repro-shard-worker-{number}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()  # parent holds only its own end
+        self.conn = parent_conn
+        self.task_id: int | None = None
+        self.execution = 0
+        self.started = 0.0
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task_id is not None
+
+    def dispatch(self, task_id: int, execution: int, item, timeout) -> None:
+        self.task_id = task_id
+        self.execution = execution
+        self.started = time.monotonic()
+        self.deadline = None if timeout is None else self.started + timeout
+        self.conn.send((task_id, execution, item))
+
+    def release(self) -> None:
+        self.task_id = None
+        self.deadline = None
+
+    def stop(self) -> None:
+        """Ask the worker to exit cleanly (idle workers only)."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError):
+            pass
+        self.proc.join(2)
+        if self.proc.is_alive():
+            self.kill()
+        self.conn.close()
+
+    def kill(self) -> None:
+        """Terminate-then-kill; never waits on a wedged worker forever."""
+        self.proc.terminate()
+        self.proc.join(2)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(2)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+# -- task state -------------------------------------------------------------
+
+_PENDING, _RUNNING, _DONE, _QUARANTINED = "pending", "running", "done", "quarantined"
+
+
+@dataclass(slots=True)
+class _Task:
+    """Supervision state of one ``(spec, block)`` work item."""
+
+    task_id: int
+    spec_index: int
+    block_index: int
+    item: object
+    key: str | None  # checkpoint key (None when checkpointing is off)
+    status: str = _PENDING
+    attempts: int = 0  # executions dispatched (incl. speculative)
+    failures: int = 0
+    running: int = 0  # live executions right now
+    not_before: float = 0.0
+    payload: object = None
+    speculated: bool = False
+    last_failure: tuple[str, str] | None = None  # (kind, message)
+
+
+class BlockSupervisor:
+    """Drive a list of block tasks to completion under supervision.
+
+    One-shot: construct, :meth:`run`, discard.  The pooled path spawns its
+    own worker processes (it does not reuse a ``multiprocessing.Pool`` --
+    per-task kill/respawn needs process identity, which ``Pool`` hides);
+    ``jobs=1`` runs blocks inline with the same retry/quarantine/
+    checkpoint semantics (timeouts, kills and speculation need real
+    workers and are unavailable inline).
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable,
+        config: SupervisionConfig,
+        checkpoint: BlockCheckpointStore | None = None,
+    ):
+        self.worker_fn = worker_fn
+        self.config = config
+        self.checkpoint = checkpoint
+        self.report = ShardReport()
+        self._drain = False
+        self._abort = False
+        self._checkpointing = checkpoint is not None
+        self._workers: list[_Worker] = []
+        self._worker_seq = 0
+        self._ctx = None
+        self._queue: deque | None = None
+        self._done_elapsed: list[float] = []
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _tel(self):
+        return get_telemetry()
+
+    def _restore(self, task: _Task) -> bool:
+        """Restore a completed block from its checkpoint, if valid."""
+        if self.checkpoint is None or task.key is None:
+            return False
+        results = self.checkpoint.load(task.key)
+        if results is None:
+            return False
+        task.status = _DONE
+        task.payload = (results, None)  # checkpointed telemetry is not replayed
+        self.report.restored += 1
+        self._tel().counter("shard_blocks_restored_total").inc()
+        return True
+
+    def _save(self, task: _Task, results) -> None:
+        """Checkpoint one completed block (disabling on unserializable data)."""
+        if not self._checkpointing or self.checkpoint is None or task.key is None:
+            return
+        try:
+            self.checkpoint.save(task.key, results)
+        except ConfigurationError as exc:
+            self._checkpointing = False
+            _log.warning(
+                "disabling block checkpoints for this sweep: %s", exc
+            )
+
+    def _complete(self, task: _Task, payload, speculative_win: bool) -> None:
+        task.status = _DONE
+        task.payload = payload
+        self.report.completed += 1
+        if speculative_win:
+            self.report.speculative_wins += 1
+            self._tel().counter("shard_speculative_wins_total").inc()
+        results, tel_json = _split_payload(payload)
+        if results is not None:
+            self._save(task, results)
+        if tel_json:
+            live = self._tel()
+            if live.enabled:
+                live.merge(_telemetry.Telemetry.from_jsonable(tel_json))
+
+    def _verify_duplicate(self, task: _Task, payload) -> None:
+        """Check a second (speculative) result against the accepted one."""
+        a, _ = _split_payload(task.payload)
+        b, _ = _split_payload(payload)
+        try:
+            identical = a == b
+        except Exception:  # exotic result types: treat as mismatch
+            identical = False
+        if not identical:
+            self.report.speculative_mismatches += 1
+            self._tel().counter("shard_speculative_mismatch_total").inc()
+            _log.warning(
+                "speculative duplicate of block (spec %d, block %d) produced "
+                "a different result; kept the first-arriving one (block "
+                "execution is expected to be deterministic -- investigate)",
+                task.spec_index,
+                task.block_index,
+            )
+
+    def _failed(self, task: _Task, kind: str, message: str, permanent: bool,
+                now: float, redispatch: bool = False) -> None:
+        """Account one failed execution; schedule a retry or quarantine."""
+        if task.status == _DONE:
+            return  # a speculative copy failed after the block completed
+        task.failures += 1
+        task.last_failure = (kind, message)
+        if redispatch:
+            self.report.redispatches += 1
+            self._tel().counter("shard_redispatch_total").inc()
+        if task.running > 0:
+            return  # another execution of this block is still in flight
+        no_retry = (
+            permanent
+            or (kind == "timeout" and not self.config.retry.retry_timeouts)
+            or task.attempts >= self.config.retry.max_attempts
+        )
+        if no_retry:
+            task.status = _QUARANTINED
+            self.report.quarantined.append(
+                BlockFailure(
+                    spec_index=task.spec_index,
+                    block_index=task.block_index,
+                    kind=kind,
+                    message=message,
+                    attempts=task.attempts,
+                )
+            )
+            self._tel().counter("shard_quarantined_total", kind=kind).inc()
+            return
+        task.status = _PENDING
+        delay = 0.0 if redispatch else self.config.retry.delay(
+            f"{task.spec_index}/{task.block_index}", task.failures
+        )
+        task.not_before = now + delay
+        self.report.retries += 1
+        self._tel().counter("shard_retries_total", kind=kind).inc()
+        if self._queue is not None and task not in self._queue:
+            self._queue.append(task)
+
+    # -- public entry ------------------------------------------------------
+
+    def run(self, items: Sequence[tuple[int, int, object]], block_size: int):
+        """Supervise every ``(spec_index, block_index, item)`` work unit.
+
+        Returns ``(payloads, report)`` where ``payloads[i]`` is the i-th
+        item's worker payload (``None`` for quarantined blocks).  Raises
+        :class:`~repro.errors.ShardFailureError` when blocks were
+        quarantined and ``keep_going`` is off, and ``KeyboardInterrupt``
+        after a signal-requested drain.
+        """
+        tasks = []
+        for task_id, (spec_index, block_index, item) in enumerate(items):
+            key = None
+            if self.checkpoint is not None:
+                spec = item[0] if isinstance(item, tuple) and item else item
+                key = self.checkpoint.block_key(spec, block_size, block_index)
+            tasks.append(
+                _Task(
+                    task_id=task_id,
+                    spec_index=spec_index,
+                    block_index=block_index,
+                    item=item,
+                    key=key,
+                )
+            )
+        self.report.blocks = len(tasks)
+        for task in tasks:
+            self._restore(task)
+
+        pending = [t for t in tasks if t.status == _PENDING]
+        if pending:
+            if self.config.jobs == 1:
+                self._run_inline(pending)
+            else:
+                self._run_pooled(tasks, pending)
+
+        if self.report.interrupted:
+            done = self.report.completed + self.report.restored
+            raise KeyboardInterrupt(
+                f"sharded sweep interrupted: {done}/{self.report.blocks} "
+                "blocks finished"
+                + (
+                    " and checkpointed"
+                    if self._checkpointing and self.checkpoint is not None
+                    else ""
+                )
+            )
+        if self.report.quarantined and not self.config.keep_going:
+            worst = self.report.quarantined[0]
+            raise ShardFailureError(
+                f"{len(self.report.quarantined)} rep-block(s) quarantined "
+                f"after bounded retries (first: spec {worst.spec_index} "
+                f"block {worst.block_index}, {worst.kind}: {worst.message}); "
+                "pass keep_going=True to collect partial results",
+                report=self.report,
+            )
+        return [t.payload for t in tasks], self.report
+
+    # -- inline (jobs=1) path ----------------------------------------------
+
+    def _run_inline(self, pending: list[_Task]) -> None:
+        """Sequential execution with the same retry/quarantine semantics.
+
+        Each execution runs under a private telemetry sink (merged into
+        the surrounding live sink only on success), so retried failures
+        never double-count and the merge discipline matches the pooled
+        path exactly.
+        """
+        plan = self.config.fault_plan
+        for task in pending:
+            while task.status == _PENDING:
+                task.attempts += 1
+                execution = task.attempts
+                previous = _telemetry.install(_telemetry.NULL_TELEMETRY)
+                try:
+                    if plan is not None:
+                        plan.fire_block(task.task_id, execution, in_process=True)
+                    payload = self.worker_fn(task.item)
+                    if plan is not None and plan.should_corrupt_block(
+                        task.task_id, execution
+                    ):
+                        payload = plan.corrupt_block_payload(payload)
+                except KeyboardInterrupt:
+                    self.report.interrupted = True
+                    _telemetry.install(previous)
+                    return
+                except Exception as exc:  # noqa: BLE001 -- mirrors the worker
+                    _telemetry.install(previous)
+                    self._failed(
+                        task,
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        isinstance(exc, ReproError),
+                        time.monotonic(),
+                    )
+                    if task.status == _PENDING:
+                        time.sleep(max(0.0, task.not_before - time.monotonic()))
+                else:
+                    _telemetry.install(previous)
+                    self._complete(task, payload, speculative_win=False)
+
+    # -- pooled path --------------------------------------------------------
+
+    def _spawn_worker(self, ctx) -> _Worker:
+        self._worker_seq += 1
+        return _Worker(
+            ctx, self.worker_fn, self.config.fault_plan, self._worker_seq
+        )
+
+    def _run_pooled(self, tasks: list[_Task], pending: list[_Task]) -> None:
+        from repro.experiments.parallel import _check_picklable_fn, subprocess_context
+
+        _check_picklable_fn(self.worker_fn)
+        self._ctx = subprocess_context(self.config.threadsafe)
+        queue = deque(sorted(pending, key=lambda t: t.task_id))
+        self._queue = queue
+        jobs = min(self.config.jobs, len(queue))
+        self._workers = [self._spawn_worker(self._ctx) for _ in range(jobs)]
+        handlers = self._install_signal_handlers()
+        try:
+            self._supervise_loop(tasks, queue)
+        finally:
+            self._restore_signal_handlers(handlers)
+            for worker in self._workers:
+                if worker.busy or self._abort:
+                    worker.kill()
+                else:
+                    worker.stop()
+            self._workers = []
+
+    def _supervise_loop(self, tasks: list[_Task], queue: deque) -> None:
+        while True:
+            now = time.monotonic()
+            if self._abort:
+                self.report.interrupted = True
+                return
+            unfinished = [t for t in tasks if t.status in (_PENDING, _RUNNING)]
+            if not unfinished:
+                return
+            if self._drain and not any(t.status == _RUNNING for t in tasks):
+                self.report.interrupted = True
+                return
+            self._dispatch_ready(tasks, queue, now)
+            timeout = self._wait_timeout(queue, now)
+            busy = [w for w in self._workers if w.busy]
+            channels = [w.conn for w in busy] + [w.proc.sentinel for w in busy]
+            if not channels:
+                if self._drain:
+                    self.report.interrupted = True
+                    return
+                # Nothing in flight: every remaining task is backing off.
+                time.sleep(max(0.0, min(timeout, _WAIT_CAP_S)))
+                continue
+            ready = connection_wait(channels, timeout)
+            now = time.monotonic()
+            for worker in list(busy):
+                if worker.conn in ready:
+                    self._handle_message(tasks, worker, now)
+                elif worker.proc.sentinel in ready:
+                    self._handle_death(tasks, worker, now)
+            self._handle_deadlines(tasks, now)
+
+    def _dispatch_ready(self, tasks: list[_Task], queue: deque, now: float) -> None:
+        if self._drain:
+            return
+        for worker in [w for w in self._workers if not w.busy]:
+            task = self._next_ready(queue, now)
+            if task is None:
+                break
+            self._dispatch_to(worker, task)
+        # Any still-idle workers may speculate on stragglers.
+        if not self.config.speculate:
+            return
+        if any(t.status == _PENDING for t in tasks):
+            return  # real work still queued or backing off: no duplicates
+        for worker in [w for w in self._workers if not w.busy]:
+            task = self._straggler_candidate(tasks, now)
+            if task is None:
+                return
+            task.speculated = True
+            self.report.speculative_launches += 1
+            self._dispatch_to(worker, task)
+
+    def _dispatch_to(self, worker: _Worker, task: _Task) -> bool:
+        """Send one execution to *worker*, replacing it if the pipe is dead."""
+        task.status = _RUNNING
+        task.attempts += 1
+        task.running += 1
+        try:
+            worker.dispatch(
+                task.task_id, task.attempts, task.item, self.config.block_timeout
+            )
+            return True
+        except (OSError, ValueError):
+            # The worker died while idle; undo the accounting, swap it out.
+            task.attempts -= 1
+            task.running -= 1
+            if task.running == 0:
+                task.status = _PENDING
+                if self._queue is not None and task not in self._queue:
+                    self._queue.append(task)
+            worker.kill()
+            self._workers.remove(worker)
+            self._workers.append(self._spawn_worker(self._ctx))
+            return False
+
+    def _next_ready(self, queue: deque, now: float):
+        """Pop the first pending task whose backoff has elapsed (FIFO)."""
+        for _ in range(len(queue)):
+            task = queue.popleft()
+            if task.status != _PENDING:
+                continue  # completed by a speculative duplicate meanwhile
+            if task.not_before <= now:
+                return task
+            queue.append(task)  # still backing off; rotate
+        return None
+
+    def _straggler_candidate(self, tasks: list[_Task], now: float):
+        """The longest-running non-duplicated block, if it qualifies."""
+        done_elapsed = self._done_elapsed
+        if len(done_elapsed) < self.config.straggler_min_done:
+            return None
+        sorted_elapsed = sorted(done_elapsed)
+        median = sorted_elapsed[len(sorted_elapsed) // 2]
+        threshold = max(self.config.straggler_factor * median, 0.05)
+        candidates = [
+            (now - w.started, w.task_id)
+            for w in self._workers
+            if w.busy and tasks[w.task_id].status == _RUNNING
+            and not tasks[w.task_id].speculated
+            and tasks[w.task_id].running == 1
+            and now - w.started > threshold
+        ]
+        if not candidates:
+            return None
+        candidates.sort(reverse=True)
+        return tasks[candidates[0][1]]
+
+    def _wait_timeout(self, queue: deque, now: float) -> float | None:
+        bounds = [_WAIT_CAP_S]
+        for worker in self._workers:
+            if worker.busy and worker.deadline is not None:
+                bounds.append(max(0.0, worker.deadline - now))
+        for task in queue:
+            if task.status == _PENDING and task.not_before > now:
+                bounds.append(task.not_before - now)
+        return min(bounds)
+
+    def _record_done_elapsed(self, elapsed: float) -> None:
+        self._done_elapsed.append(elapsed)
+
+    def _handle_message(self, tasks: list[_Task], worker: _Worker, now: float) -> None:
+        try:
+            msg = worker.conn.recv()
+        except (EOFError, OSError):
+            self._handle_death(tasks, worker, now)
+            return
+        status, task_id, execution, payload = msg
+        task = tasks[task_id]
+        task.running -= 1
+        elapsed = now - worker.started
+        worker.release()
+        if status == "ok":
+            if task.status == _DONE:
+                self._verify_duplicate(task, payload)
+                return
+            self._record_done_elapsed(elapsed)
+            win = task.speculated and execution == task.attempts
+            self._complete(task, payload, speculative_win=win)
+        else:
+            self._failed(
+                task,
+                "error",
+                f"{payload['type']}: {payload['message']}",
+                payload["permanent"],
+                now,
+            )
+
+    def _handle_death(self, tasks: list[_Task], worker: _Worker, now: float) -> None:
+        """A worker died without reporting: respawn it, re-dispatch the block."""
+        task = tasks[worker.task_id]
+        task.running -= 1
+        worker.kill()
+        exitcode = worker.proc.exitcode
+        self._workers.remove(worker)
+        self._workers.append(self._spawn_worker(self._ctx))
+        self._failed(
+            task,
+            "crash",
+            (
+                f"worker died without a result while running block "
+                f"(spec {task.spec_index}, block {task.block_index}); "
+                f"exit code {exitcode}"
+            ),
+            False,
+            now,
+            redispatch=True,
+        )
+
+    def _handle_deadlines(self, tasks: list[_Task], now: float) -> None:
+        for worker in list(self._workers):
+            if not worker.busy or worker.deadline is None or now < worker.deadline:
+                continue
+            task = tasks[worker.task_id]
+            task.running -= 1
+            worker.kill()
+            self._workers.remove(worker)
+            self._workers.append(self._spawn_worker(self._ctx))
+            if task.status == _DONE:
+                continue  # a duplicate already won; the kill just freed a slot
+            self._failed(
+                task,
+                "timeout",
+                (
+                    f"block (spec {task.spec_index}, block {task.block_index}) "
+                    f"exceeded {self.config.block_timeout:.1f}s and its worker "
+                    "was killed"
+                ),
+                False,
+                now,
+            )
+
+    # -- signal handling ----------------------------------------------------
+
+    def _install_signal_handlers(self):
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        handlers = {}
+
+        def on_signal(signum, frame):
+            if self._drain:
+                self._abort = True
+            else:
+                self._drain = True
+                _log.warning(
+                    "shard supervisor: received signal %d -- draining "
+                    "in-flight blocks (signal again to abort immediately)",
+                    signum,
+                )
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                handlers[sig] = signal.signal(sig, on_signal)
+            except (ValueError, OSError):
+                pass
+        return handlers
+
+    def _restore_signal_handlers(self, handlers) -> None:
+        if not handlers:
+            return
+        for sig, previous in handlers.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):
+                pass
+
+
+def _split_payload(payload):
+    """Unpack a worker payload into ``(results, telemetry_jsonable)``."""
+    if isinstance(payload, tuple) and len(payload) == 2:
+        return payload
+    return payload, None

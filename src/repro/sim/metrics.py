@@ -33,6 +33,25 @@ class EnergyStats:
     def total(self) -> int:
         return self.transmissions + self.listening
 
+    def to_jsonable(self) -> dict:
+        """Plain-data form for block checkpoints (NumPy scalars demoted)."""
+        return {
+            "transmissions": int(self.transmissions),
+            "listening": int(self.listening),
+            "per_station_transmissions": [
+                int(t) for t in self.per_station_transmissions
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "EnergyStats":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            transmissions=data["transmissions"],
+            listening=data["listening"],
+            per_station_transmissions=list(data["per_station_transmissions"]),
+        )
+
     def transmissions_per_station(self, n: int) -> float:
         """Mean transmissions per station.
 
@@ -163,3 +182,78 @@ class RunResult:
                 f"(n={self.n}, restarts={self.restarts})"
             )
         return self
+
+    def to_jsonable(self) -> dict:
+        """A plain-data dict that round-trips through JSON bit-exactly.
+
+        This is the payload of the shard supervisor's block-level
+        checkpoints (:mod:`repro.experiments.shard_supervisor`): a block
+        restored on ``--resume`` must be indistinguishable from one just
+        computed, so every field the experiment summaries read survives
+        the round trip with native Python types (NumPy scalars demoted).
+        Traced runs are refused -- a :class:`ChannelTrace` is a debugging
+        artifact orders of magnitude larger than the result and no sharded
+        cell records one.
+        """
+        if self.trace is not None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "RunResult.to_jsonable cannot serialize a recorded channel "
+                "trace; sharded cells must run untraced"
+            )
+        return {
+            "n": int(self.n),
+            "slots": int(self.slots),
+            "elected": bool(self.elected),
+            "leader": None if self.leader is None else int(self.leader),
+            "first_single_slot": (
+                None
+                if self.first_single_slot is None
+                else int(self.first_single_slot)
+            ),
+            "all_terminated": bool(self.all_terminated),
+            "leaders_count": int(self.leaders_count),
+            "jams": int(self.jams),
+            "jam_denied": int(self.jam_denied),
+            "energy": self.energy.to_jsonable(),
+            "policy_result": _plain_result(self.policy_result),
+            "timed_out": bool(self.timed_out),
+            "leader_survived": bool(self.leader_survived),
+            "restarts": int(self.restarts),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_jsonable` (trace is always None)."""
+        return cls(
+            n=data["n"],
+            slots=data["slots"],
+            elected=data["elected"],
+            leader=data["leader"],
+            first_single_slot=data["first_single_slot"],
+            all_terminated=data["all_terminated"],
+            leaders_count=data["leaders_count"],
+            jams=data["jams"],
+            jam_denied=data["jam_denied"],
+            energy=EnergyStats.from_jsonable(data["energy"]),
+            policy_result=data["policy_result"],
+            timed_out=data["timed_out"],
+            leader_survived=data["leader_survived"],
+            restarts=data["restarts"],
+        )
+
+
+def _plain_result(value):
+    """Demote a policy result to a JSON-native scalar (or refuse)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # NumPy scalar
+        return item()
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"policy_result {value!r} is not JSON-serializable; block "
+        "checkpoints support scalar policy results only"
+    )

@@ -62,6 +62,26 @@ class TestDeterminism:
             assert sched.blocks_for(16) == [16]
             assert sched.blocks_for(3) == [3]
 
+    def test_block_partition_edge_cases(self):
+        with ShardedScheduler(jobs=1, block_size=1) as unit:
+            assert unit.blocks_for(1) == [1]
+            assert unit.blocks_for(5) == [1] * 5
+        with ShardedScheduler(jobs=1, block_size=16) as sched:
+            assert sched.blocks_for(1) == [1]
+            assert sched.blocks_for(17) == [16, 1]  # remainder of one
+            assert sched.blocks_for(15) == [15]  # single short block
+            assert sched.blocks_for(48) == [16, 16, 16]  # exact multiple
+        with ShardedScheduler(jobs=1, block_size=10**6) as huge:
+            assert huge.blocks_for(7) == [7]  # block_size >> reps
+
+    def test_block_partition_covers_reps_exactly(self):
+        with ShardedScheduler(jobs=1, block_size=7) as sched:
+            for reps in range(1, 60):
+                blocks = sched.blocks_for(reps)
+                assert sum(blocks) == reps
+                assert all(b == 7 for b in blocks[:-1])
+                assert 1 <= blocks[-1] <= 7
+
     def test_scalar_and_batched_paths_shard_identically_in_law(self):
         """Sharding composes with either engine: same spec, scalar path,
         still deterministic across job counts."""
@@ -72,6 +92,67 @@ class TestDeterminism:
         a = run_cells_sharded([spec], jobs=1, block_size=8)
         b = run_cells_sharded([spec], jobs=2, block_size=8)
         assert _key(a[0]) == _key(b[0])
+
+
+class TestBlockSeedCollisionFreedom:
+    """Property test: block seeds ``(root_seed, *path, SHARD_BLOCK_TAG, b)``
+    depend only on the spec and the partition -- so for any job count and
+    any kill schedule the per-spec results are bit-identical, and no two
+    (spec, block) units can share a seed path."""
+
+    SPECS = [
+        CellSpec(
+            kind="lesk", n=32, eps=0.5, T=8, adversary="saturating",
+            reps=24, root_seed=5, path=(6, i),
+        )
+        for i in range(3)
+    ]
+
+    @pytest.mark.parametrize(
+        "jobs,kill_schedule",
+        [
+            (1, None),
+            (2, None),
+            (3, None),
+            (2, "block0:kill@1"),
+            (2, "block2:kill@1,block5:kill@1"),
+            (3, "block1:kill@1,block1:kill@2,block4:kill@1"),
+        ],
+    )
+    def test_any_jobs_and_kill_schedule_bit_identical(self, jobs, kill_schedule):
+        from repro.experiments.faults import FaultPlan
+        from repro.experiments.retry import RetryPolicy
+
+        reference = run_cells_sharded(self.SPECS, jobs=1, block_size=8)
+        plan = (
+            FaultPlan.from_spec(kill_schedule) if kill_schedule else None
+        )
+        chaotic = run_cells_sharded(
+            self.SPECS, jobs=jobs, block_size=8, fault_plan=plan,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.001),
+        )
+        assert [_key(c) for c in chaotic] == [_key(c) for c in reference]
+
+    def test_seed_paths_are_unique_across_blocks_and_specs(self):
+        from repro.experiments.cells import SHARD_BLOCK_TAG
+
+        paths = set()
+        with ShardedScheduler(jobs=1, block_size=8) as sched:
+            for spec in self.SPECS:
+                for b, _ in enumerate(sched.blocks_for(spec.reps)):
+                    path = (spec.root_seed, *spec.path, SHARD_BLOCK_TAG, b)
+                    assert path not in paths
+                    paths.add(path)
+        assert len(paths) == 9  # 3 specs x 3 blocks
+
+    def test_blocks_of_one_spec_produce_distinct_streams(self):
+        """Adjacent blocks must not reuse seeds: identical parameters,
+        different block index, different replicate outcomes."""
+        cells = run_cells_sharded(
+            [self.SPECS[0]], jobs=1, block_size=8
+        )
+        blocks = [_key(cells[0][i * 8:(i + 1) * 8]) for i in range(3)]
+        assert blocks[0] != blocks[1] != blocks[2]
 
 
 class TestTelemetryMerge:

@@ -1,0 +1,160 @@
+"""End-to-end tests for ``python -m repro sweep`` (experiments.sweep).
+
+The CLI is the shard-chaos vehicle: a faulted run must exit 2 with a
+quarantine table and partial outputs, and a fault-free ``--resume`` must
+finish from the block checkpoints, exit 0, and write byte-identical
+outputs to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import build_specs, main
+
+FAST = [
+    "--kind", "lesk", "--n", "16", "--adversary", "saturating",
+    "--eps", "0.5", "--T", "8", "--reps", "8", "--block-size", "4",
+    "--backoff", "0.01",
+]
+
+CHAOS = "block0:kill@1,block0:kill@2,block0:kill@3"
+
+
+class TestBuildSpecs:
+    def test_grid_order_and_paths(self):
+        specs = build_specs(
+            ["lesk", "lesu"], [16, 32], ["none"], 0.5, 8, 4, 7, 99
+        )
+        assert [s.kind for s in specs] == ["lesk", "lesk", "lesu", "lesu"]
+        assert [s.n for s in specs] == [16, 32, 16, 32]
+        assert [s.path for s in specs] == [(99, 0), (99, 1), (99, 2), (99, 3)]
+
+    def test_paths_depend_on_ordinal_not_parameters(self):
+        a = build_specs(["lesk"], [16], ["none"], 0.5, 8, 4, 7, 99)
+        b = build_specs(["lesk"], [64], ["none"], 0.5, 8, 4, 7, 99)
+        assert a[0].path == b[0].path == (99, 0)
+
+
+class TestHealthyRun:
+    def test_exit_zero_and_outputs(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(FAST + ["--jobs", "1", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "SWEEP" in stdout and "quarantined=0" in stdout
+        assert (out / "sweep.txt").exists()
+        assert (out / "sweep.csv").exists()
+        assert (out / "sweep-manifest.json").exists()
+        assert not (out / "failures.txt").exists()
+        assert len(list((out / "shards").glob("block-*.json"))) == 2
+
+    def test_jobs_invariance(self, tmp_path, capsys):
+        one, two = tmp_path / "one", tmp_path / "two"
+        assert main(FAST + ["--jobs", "1", "--out", str(one)]) == 0
+        assert main(FAST + ["--jobs", "2", "--out", str(two)]) == 0
+        capsys.readouterr()
+        assert (one / "sweep.txt").read_text() == (two / "sweep.txt").read_text()
+
+
+class TestChaosAndResume:
+    def test_kill_chaos_exits_2_then_resume_bit_reproduces(
+        self, tmp_path, capsys
+    ):
+        healthy, chaos = tmp_path / "healthy", tmp_path / "chaos"
+        assert main(FAST + ["--jobs", "2", "--out", str(healthy)]) == 0
+        code = main(
+            FAST
+            + ["--jobs", "2", "--out", str(chaos), "--keep-going",
+               "--inject-faults", CHAOS]
+        )
+        assert code == 2
+        stdout = capsys.readouterr().out
+        assert "SHARD-FAILURES" in stdout
+        assert "crash" in (chaos / "failures.txt").read_text()
+        # The resume run carries NO fault spec, so the poison block
+        # completes; outputs must be byte-identical to the healthy run.
+        assert main(
+            FAST + ["--jobs", "2", "--out", str(chaos), "--resume"]
+        ) == 0
+        assert "restored=1" in capsys.readouterr().out
+        assert (
+            (chaos / "sweep.txt").read_text()
+            == (healthy / "sweep.txt").read_text()
+        )
+        assert not (chaos / "failures.txt").exists()
+
+    def test_total_failure_exits_1(self, tmp_path, capsys):
+        # Both blocks poisoned: nothing usable -> exit 1 even with
+        # keep_going.
+        plan = CHAOS + ",block1:kill@1,block1:kill@2,block1:kill@3"
+        code = main(
+            FAST
+            + ["--jobs", "2", "--out", str(tmp_path / "dead"),
+               "--keep-going", "--inject-faults", plan]
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_quarantine_without_keep_going_exits_1(self, tmp_path, capsys):
+        code = main(
+            FAST + ["--jobs", "2", "--inject-faults", CHAOS]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "SHARD-FAILURES" in err
+
+
+class TestResumeValidation:
+    def test_resume_requires_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main(FAST + ["--resume"])
+        capsys.readouterr()
+
+    def test_resume_refuses_parameter_drift(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(FAST + ["--jobs", "1", "--out", str(out)]) == 0
+        code = main(
+            FAST + ["--jobs", "1", "--out", str(out), "--resume",
+                    "--seed", "999"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "refusing to resume" in err
+
+    def test_resume_into_empty_dir_refused(self, tmp_path, capsys):
+        code = main(
+            FAST + ["--jobs", "1", "--out", str(tmp_path / "nothing"),
+                    "--resume"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "sweep-manifest" in err
+
+    def test_fresh_run_clears_stale_blocks(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(FAST + ["--jobs", "1", "--out", str(out)]) == 0
+        stale = out / "shards" / "block-deadbeef.json"
+        stale.write_text("{}")
+        assert main(FAST + ["--jobs", "1", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert not stale.exists()
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--jobs", "0"],
+            ["--block-size", "0"],
+            ["--reps", "0"],
+            ["--retries", "0"],
+        ],
+    )
+    def test_bad_numbers_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            main(FAST[2:] + argv)
+        capsys.readouterr()
+
+    def test_unknown_kind_rejected(self, capsys):
+        assert main(["--kind", "nope", "--reps", "4"]) == 1
+        assert "unknown cell kinds" in capsys.readouterr().err

@@ -77,6 +77,75 @@ def test_merge_is_associative(trial):
     assert left.to_jsonable() == right.to_jsonable()
 
 
+#: The shard supervisor's counter families (experiments.shard_supervisor):
+#: merged from worker shards into the parent sink, these must obey the
+#: same exactly-once arithmetic as any other counter.
+SHARD_NAMES = (
+    "shard_retries_total",
+    "shard_redispatch_total",
+    "shard_quarantined_total",
+    "shard_speculative_wins_total",
+)
+SHARD_LABEL_SETS = ({}, {"kind": "error"}, {"kind": "crash"}, {"kind": "timeout"})
+
+
+def apply_shard_ops(reg: MetricsRegistry, seed: int, ops: int = 200) -> None:
+    """Drive the shard counter families the way a chaotic sweep would."""
+    rng = np.random.default_rng(seed)
+    for _ in range(ops):
+        name = SHARD_NAMES[int(rng.integers(len(SHARD_NAMES)))]
+        # Retries and quarantines carry a failure-kind label; the
+        # redispatch and speculation counters are unlabelled.
+        if name in ("shard_retries_total", "shard_quarantined_total"):
+            labels = SHARD_LABEL_SETS[int(rng.integers(len(SHARD_LABEL_SETS)))]
+        else:
+            labels = {}
+        reg.counter(name, **labels).inc(int(rng.integers(1, 4)))
+
+
+@pytest.mark.parametrize("k", [2, 3, 5, 8])
+def test_shard_counter_merge_equals_single_process(k):
+    seeds = list(range(500, 500 + k))
+
+    def shard_reg(s):
+        reg = MetricsRegistry()
+        apply_shard_ops(reg, s)
+        return reg
+
+    merged = MetricsRegistry.merge_all(shard_reg(s) for s in seeds)
+    single = MetricsRegistry()
+    for s in seeds:
+        apply_shard_ops(single, s)
+    assert merged.to_jsonable() == single.to_jsonable()
+    for name in SHARD_NAMES:
+        assert merged.counter_total(name) == single.counter_total(name) > 0
+
+
+@pytest.mark.parametrize("trial", range(4))
+def test_shard_counter_merge_is_commutative_and_associative(trial):
+    def shard_reg(s):
+        reg = MetricsRegistry()
+        apply_shard_ops(reg, s)
+        return reg
+
+    a, b, c = (shard_reg(700 + 10 * trial + i) for i in range(3))
+    left = copy_of(a).merge(copy_of(b)).merge(copy_of(c))
+    right = copy_of(c).merge(copy_of(a).merge(copy_of(b)))
+    assert left.to_jsonable() == right.to_jsonable()
+
+
+def test_shard_counter_kind_labels_stay_disjoint():
+    """Merging never conflates failure kinds: per-label series survive."""
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("shard_retries_total", kind="crash").inc(2)
+    b.counter("shard_retries_total", kind="timeout").inc(3)
+    b.counter("shard_retries_total", kind="crash").inc(5)
+    merged = copy_of(a).merge(b)
+    assert merged.counter("shard_retries_total", kind="crash").value == 7
+    assert merged.counter("shard_retries_total", kind="timeout").value == 3
+    assert merged.counter_total("shard_retries_total") == 10
+
+
 def test_gauge_merge_is_commutative_and_keeps_latest():
     a, b = MetricsRegistry(), MetricsRegistry()
     a.gauge("u").set(1.0, seq=1)
