@@ -11,6 +11,9 @@ Commands
 ``experiments``forward to ``repro.experiments.run_all``
 ``sweep``      supervised sharded cell sweep (``repro.experiments.sweep``)
 ``telemetry``  report on a run directory's telemetry export
+``scenario``   validate/run/submit/replay scenario documents
+               (``repro.service.cli``)
+``serve``      long-running scenario job service with an HTTP API
 
 Examples::
 
@@ -24,6 +27,9 @@ Examples::
     python -m repro experiments --preset small --only T1
     python -m repro sweep --kind lesk --n 64,128 --jobs 4 --out runs/sweep
     python -m repro telemetry report runs/smoke
+    python -m repro scenario validate examples/scenarios/quick-grid.yaml
+    python -m repro scenario run examples/scenarios/quick-grid.yaml --store runs/store
+    python -m repro serve --store runs/store --port 8765
 """
 
 from __future__ import annotations
@@ -180,6 +186,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.telemetry.report import main as telemetry_main
 
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        from repro.service.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -238,6 +252,17 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "telemetry",
         help="inspect a run's telemetry export (all arguments forwarded)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "scenario",
+        help="validate/run/submit/replay scenario documents "
+        "(all arguments forwarded)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "serve",
+        help="run the scenario job service (all arguments forwarded)",
         add_help=False,
     )
 

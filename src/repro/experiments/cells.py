@@ -32,7 +32,7 @@ telemetry shard home for merging.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from functools import lru_cache
 
 from repro import telemetry
@@ -115,6 +115,8 @@ def lesk_cell(
     *path: int,
     batched: bool = True,
     max_slots: int | None = None,
+    faults=None,
+    compact_interval: int | None = None,
 ) -> list:
     """Replicated LESK elections for one table cell.
 
@@ -123,6 +125,10 @@ def lesk_cell(
     each replication is a scalar :func:`repro.core.election.elect_leader`
     call.  ``max_slots=None`` selects the same
     :func:`~repro.core.config.default_slot_budget` either way.
+
+    *faults* (a :class:`~repro.resilience.faults.FaultModel`) applies on
+    both engine paths; *compact_interval* (dead-rep compaction) is a
+    batched-engine perf knob, ignored by the scalar loop.
     """
     if _use_batched(batched, adversary):
         budget = (
@@ -136,6 +142,8 @@ def lesk_cell(
             root_seed,
             *path,
             max_slots=budget,
+            faults=faults,
+            compact_interval=compact_interval,
         )
     return replicate(
         lambda s: elect_leader(
@@ -146,6 +154,7 @@ def lesk_cell(
             adversary=adversary,
             seed=s,
             max_slots=max_slots,
+            faults=faults,
         ),
         reps,
         root_seed,
@@ -163,6 +172,8 @@ def lesu_cell(
     *path: int,
     batched: bool = True,
     max_slots: int | None = None,
+    faults=None,
+    compact_interval: int | None = None,
 ) -> list:
     """Replicated LESU (Algorithm 2, unknown eps/T) elections for one cell."""
     if _use_batched(batched, adversary):
@@ -177,6 +188,8 @@ def lesu_cell(
             root_seed,
             *path,
             max_slots=budget,
+            faults=faults,
+            compact_interval=compact_interval,
         )
     return replicate(
         lambda s: elect_leader(
@@ -187,6 +200,7 @@ def lesu_cell(
             adversary=adversary,
             seed=s,
             max_slots=max_slots,
+            faults=faults,
         ),
         reps,
         root_seed,
@@ -204,6 +218,8 @@ def estimation_cell(
     *path: int,
     batched: bool = True,
     max_slots: int | None = None,
+    faults=None,
+    compact_interval: int | None = None,
 ) -> list:
     """Replicated standalone ``Estimation(2)`` runs (halt on Single).
 
@@ -220,6 +236,8 @@ def estimation_cell(
             root_seed,
             *path,
             max_slots=budget,
+            faults=faults,
+            compact_interval=compact_interval,
         )
     return replicate(
         lambda s: simulate_uniform_fast(
@@ -229,6 +247,7 @@ def estimation_cell(
             max_slots=budget,
             seed=s,
             halt_on_single=True,
+            faults=faults,
         ),
         reps,
         root_seed,
@@ -246,6 +265,8 @@ def sweep_cell(
     *path: int,
     batched: bool = True,
     max_slots: int | None = None,
+    faults=None,
+    compact_interval: int | None = None,
 ) -> list:
     """Replicated Nakano--Olariu doubling-sweep (CD) baseline runs."""
     budget = max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
@@ -258,6 +279,8 @@ def sweep_cell(
             root_seed,
             *path,
             max_slots=budget,
+            faults=faults,
+            compact_interval=compact_interval,
         )
     return replicate(
         lambda s: simulate_uniform_fast(
@@ -266,6 +289,7 @@ def sweep_cell(
             adversary=make_adversary(adversary, T=T, eps=eps),
             max_slots=budget,
             seed=s,
+            faults=faults,
         ),
         reps,
         root_seed,
@@ -283,6 +307,8 @@ def nocd_cell(
     *path: int,
     batched: bool = True,
     max_slots: int | None = None,
+    faults=None,
+    compact_interval: int | None = None,
 ) -> list:
     """Replicated no-CD repeated-sweep baseline runs."""
     budget = max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
@@ -295,6 +321,8 @@ def nocd_cell(
             root_seed,
             *path,
             max_slots=budget,
+            faults=faults,
+            compact_interval=compact_interval,
         )
     return replicate(
         lambda s: simulate_uniform_fast(
@@ -303,6 +331,7 @@ def nocd_cell(
             adversary=make_adversary(adversary, T=T, eps=eps),
             max_slots=budget,
             seed=s,
+            faults=faults,
         ),
         reps,
         root_seed,
@@ -326,7 +355,10 @@ class CellSpec:
 
     Plain frozen data so it pickles across the worker-pool boundary; the
     ``path`` is the cell's seed-derivation path exactly as passed to the
-    unsharded cell functions.
+    unsharded cell functions.  ``faults`` composes a model-level
+    :class:`~repro.resilience.faults.FaultModel` into the cell (applied on
+    both engine paths); ``compact_interval`` enables dead-rep compaction
+    on the batched engine.
     """
 
     kind: str
@@ -339,6 +371,8 @@ class CellSpec:
     path: tuple[int, ...]
     batched: bool = True
     max_slots: int | None = None
+    faults: object | None = None  # resilience.faults.FaultModel
+    compact_interval: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in CELL_KINDS:
@@ -348,6 +382,54 @@ class CellSpec:
             )
         if self.reps < 1:
             raise ConfigurationError(f"reps must be >= 1, got {self.reps}")
+        if self.compact_interval is not None and self.compact_interval < 1:
+            raise ConfigurationError(
+                f"compact_interval must be >= 1, got {self.compact_interval}"
+            )
+
+    def to_jsonable(self) -> dict:
+        """Plain-data form that round-trips exactly through JSON.
+
+        Optional fields at their defaults are omitted, so
+        ``from_jsonable(spec.to_jsonable())`` reproduces the spec and
+        ``to_jsonable(from_jsonable(data))`` reproduces the dict.
+        """
+        data = {
+            "kind": self.kind,
+            "n": self.n,
+            "eps": self.eps,
+            "T": self.T,
+            "adversary": self.adversary,
+            "reps": self.reps,
+            "root_seed": self.root_seed,
+            "path": list(self.path),
+        }
+        if not self.batched:
+            data["batched"] = self.batched
+        if self.max_slots is not None:
+            data["max_slots"] = self.max_slots
+        if self.faults is not None:
+            data["faults"] = self.faults.to_jsonable()
+        if self.compact_interval is not None:
+            data["compact_interval"] = self.compact_interval
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "CellSpec":
+        """Inverse of :meth:`to_jsonable`; rejects unknown keys."""
+        from repro.resilience.faults import FaultModel
+
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown CellSpec fields: {unknown}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        kwargs["path"] = tuple(kwargs.get("path", ()))
+        if kwargs.get("faults") is not None:
+            kwargs["faults"] = FaultModel.from_jsonable(kwargs["faults"])
+        return cls(**kwargs)
 
 
 def run_shard(item: tuple) -> tuple[list, dict]:
@@ -374,6 +456,8 @@ def run_shard(item: tuple) -> tuple[list, dict]:
             block_index,
             batched=spec.batched,
             max_slots=spec.max_slots,
+            faults=spec.faults,
+            compact_interval=spec.compact_interval,
         )
     return results, shard.to_jsonable()
 
@@ -398,6 +482,8 @@ def run_cell_direct(spec: CellSpec) -> list:
         *spec.path,
         batched=spec.batched,
         max_slots=spec.max_slots,
+        faults=spec.faults,
+        compact_interval=spec.compact_interval,
     )
 
 

@@ -43,6 +43,7 @@ __all__ = [
     "payload_checksum",
     "corrupt_checkpoint",
     "build_manifest",
+    "cli_invocation",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -107,7 +108,12 @@ def _git_sha() -> str | None:
 
 
 def build_manifest(
-    preset: str, ids: list[str], seed: int | None, sharded: dict | None = None
+    preset: str,
+    ids: list[str],
+    seed: int | None,
+    sharded: dict | None = None,
+    invocation: dict | None = None,
+    scenario_digest: str | None = None,
 ) -> dict:
     """The self-describing header of a run directory.
 
@@ -116,6 +122,12 @@ def build_manifest(
     block checkpoints are content-addressed over the full cell spec and
     partition, so resuming with different shard settings is safe (blocks
     that match restore, the rest recompute) -- but worth a warning.
+
+    *invocation* records exactly how the run was produced: the CLI
+    subcommand and argv (see :func:`cli_invocation`).  *scenario_digest*
+    is the content address of the scenario document behind a service run
+    (:mod:`repro.service`), so any stored run names its inputs precisely.
+    Both are informational -- never compared on ``--resume``.
     """
     import numpy
 
@@ -131,7 +143,25 @@ def build_manifest(
     }
     if sharded is not None:
         manifest["sharded"] = sharded
+    if invocation is not None:
+        manifest["invocation"] = invocation
+    if scenario_digest is not None:
+        manifest["scenario_digest"] = scenario_digest
     return manifest
+
+
+def cli_invocation(subcommand: str, argv: list[str] | None) -> dict:
+    """The ``invocation`` manifest entry for a CLI entry point.
+
+    *argv* is the argument list the entry point's ``main`` received;
+    ``None`` means it read :data:`sys.argv` (recorded as such).
+    """
+    import sys
+
+    return {
+        "subcommand": subcommand,
+        "argv": list(sys.argv[1:] if argv is None else argv),
+    }
 
 
 def corrupt_checkpoint(path: Path, seed: int = 0) -> None:

@@ -226,6 +226,8 @@ def replicate_batched(
     root_seed: int,
     *path: int,
     max_slots: int,
+    faults=None,
+    compact_interval: int | None = None,
 ) -> list:
     """Batched counterpart of :func:`replicate` for uniform protocols.
 
@@ -240,6 +242,10 @@ def replicate_batched(
     (Per-replication bitstreams differ from the scalar loop's -- the batch
     interleaves its draws -- but the run-law is identical; see
     ``tests/sim/test_batched.py``.)
+
+    *faults* (a :class:`~repro.resilience.faults.FaultModel`) and
+    *compact_interval* (dead-rep compaction stride) forward to the engine;
+    both default to off, leaving every faults-off pin bit-identical.
     """
     if reps < 1:
         raise ConfigurationError(f"reps must be >= 1, got {reps}")
@@ -252,6 +258,8 @@ def replicate_batched(
         reps=reps,
         max_slots=max_slots,
         root_seed=derive_seed(root_seed, *path),
+        faults=faults,
+        compact_interval=compact_interval,
     )
     results = batch.results()
     _record_cell(results, path)

@@ -53,7 +53,7 @@ import threading
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.experiments.checkpoint import RunDir, build_manifest
+from repro.experiments.checkpoint import RunDir, build_manifest, cli_invocation
 from repro.experiments.faults import FaultPlan
 from repro.experiments.runner import (
     ExperimentOutcome,
@@ -220,7 +220,13 @@ def main(argv: list[str] | None = None) -> int:
             "shard_block_size": args.shard_block_size,
             "shard_timeout": args.shard_timeout,
         }
-    manifest = build_manifest(args.preset, ids, args.seed, sharded=sharded)
+    manifest = build_manifest(
+        args.preset,
+        ids,
+        args.seed,
+        sharded=sharded,
+        invocation=cli_invocation("experiments", argv),
+    )
     if resume:
         run_dir = RunDir(args.resume)
         try:

@@ -47,13 +47,17 @@ import sys
 from pathlib import Path
 
 from repro.errors import ConfigurationError, ReproError
-from repro.experiments.cells import CELL_KINDS, CellSpec, run_cells_sharded_report
-from repro.experiments.checkpoint import SHARD_SUBDIR, atomic_write_text
+from repro.experiments.cells import CellSpec, run_cells_sharded_report
+from repro.experiments.checkpoint import (
+    SHARD_SUBDIR,
+    atomic_write_text,
+    cli_invocation,
+)
 from repro.experiments.faults import FaultPlan
 from repro.experiments.harness import Column, Table, summarize_times
 from repro.experiments.retry import RetryPolicy
 
-__all__ = ["main", "build_specs", "sweep_table"]
+__all__ = ["main", "build_specs", "sweep_scenario", "sweep_table"]
 
 SWEEP_MANIFEST = "sweep-manifest.json"
 
@@ -79,6 +83,47 @@ def _csv_list(raw: str, convert=str) -> list:
     return values
 
 
+def sweep_scenario(
+    kinds: list[str],
+    ns: list[int],
+    adversaries: list[str],
+    eps: float,
+    T: int,
+    reps: int,
+    seed: int,
+    path_tag: int,
+    block_size: int = 64,
+):
+    """Compile sweep CLI arguments into a validated scenario document.
+
+    The sweep CLI and ``repro scenario run`` share one grid compiler
+    (:mod:`repro.service.scenario`), so both validate identically and
+    expand to identical :class:`CellSpec` lists -- the sweep grid is just
+    a scenario whose eps/T axes are scalars.
+    """
+    from repro.service.scenario import (
+        SCENARIO_SCHEMA_VERSION,
+        scenario_from_jsonable,
+    )
+
+    doc = {
+        "scenario": "sweep",
+        "schema": SCENARIO_SCHEMA_VERSION,
+        "seed": seed,
+        "path_tag": path_tag,
+        "grid": {
+            "kind": list(kinds),
+            "n": list(ns),
+            "eps": [eps],
+            "T": [T],
+            "adversary": list(adversaries),
+        },
+        "reps": reps,
+        "sharding": {"block_size": block_size},
+    }
+    return scenario_from_jsonable(doc, source="<repro sweep>")
+
+
 def build_specs(
     kinds: list[str],
     ns: list[int],
@@ -93,25 +138,15 @@ def build_specs(
 
     Each spec's seed path is ``(path_tag, i)`` with *i* its grid ordinal,
     so the grid layout -- not the job count or visit order -- fixes every
-    cell's seeds.
+    cell's seeds.  Compiled through the scenario layer
+    (:func:`sweep_scenario`), which validates the grid and preserves this
+    expansion order exactly.
     """
-    specs = []
-    for kind in kinds:
-        for adversary in adversaries:
-            for n in ns:
-                specs.append(
-                    CellSpec(
-                        kind=kind,
-                        n=n,
-                        eps=eps,
-                        T=T,
-                        adversary=adversary,
-                        reps=reps,
-                        root_seed=seed,
-                        path=(path_tag, len(specs)),
-                    )
-                )
-    return specs
+    from repro.service.scenario import expand
+
+    return expand(
+        sweep_scenario(kinds, ns, adversaries, eps, T, reps, seed, path_tag)
+    )
 
 
 def sweep_table(specs: list[CellSpec], results: list[list]) -> Table:
@@ -254,24 +289,27 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume requires --out DIR")
 
     try:
+        from repro.service.scenario import expand, scenario_digest
+
         kinds = _csv_list(args.kind)
-        unknown = [k for k in kinds if k not in CELL_KINDS]
-        if unknown:
-            raise ConfigurationError(
-                f"unknown cell kinds {unknown}; known: {sorted(CELL_KINDS)}"
-            )
         ns = _csv_list(args.n, int)
         adversaries = _csv_list(args.adversary)
         fault_plan = (
             FaultPlan.from_spec(args.inject_faults) if args.inject_faults else None
         )
-        specs = build_specs(
+        # One grid compiler for sweep and `repro scenario run`: the CLI
+        # arguments become a scenario document, validated and expanded by
+        # the service layer (identical CellSpecs, identical seed paths).
+        scenario = sweep_scenario(
             kinds, ns, adversaries, args.eps, args.T, args.reps,
-            args.seed, args.path_tag,
+            args.seed, args.path_tag, args.block_size,
         )
+        specs = expand(scenario)
 
         checkpoint_dir = None
         manifest = _manifest(args, kinds, ns, adversaries)
+        manifest["scenario_digest"] = scenario_digest(scenario)
+        manifest["invocation"] = cli_invocation("sweep", argv)
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             if args.resume:

@@ -1,0 +1,240 @@
+"""Job queue scheduling scenario runs onto the sharded scheduler.
+
+:class:`JobService` owns a :class:`~repro.service.store.RunStore` and a
+bounded FIFO of run ids.  Submissions register the scenario in the store
+(idempotent by content digest) and enqueue it; worker threads drain the
+queue, executing each run through :meth:`RunStore.execute` -- i.e. the
+supervised sharded scheduler with block checkpoints, so a run killed
+mid-flight resumes where it left off.
+
+Durability and backpressure:
+
+* the queue is **bounded** -- when it is full, :meth:`submit` raises
+  :class:`BackpressureError` (the HTTP layer maps it to 429) instead of
+  buffering unbounded work;
+* all job state lives in the store (``status.json`` per run), so a
+  service restart recovers by :meth:`rescan`\\ ning the store: runs left
+  ``queued`` or ``running`` are re-enqueued and resume from their shard
+  checkpoints;
+* :meth:`stop` supports both a **drain** (finish everything already
+  queued, the SIGTERM path) and an immediate stop (cooperatively cancel
+  the in-flight run between cells; queued runs stay ``queued`` in the
+  store for the next rescan).
+
+Telemetry (through the process-global registry): ``service_queue_depth``
+gauge, ``service_submissions_total{outcome=}`` /
+``service_jobs_total{state=}`` counters, and
+``service_queue_wait_seconds`` / ``service_job_seconds`` histograms.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro import telemetry
+from repro.errors import ConfigurationError, ReproError
+from repro.service.scenario import Scenario
+from repro.service.store import RunStore
+
+__all__ = ["BackpressureError", "JobService", "DEFAULT_QUEUE_LIMIT"]
+
+DEFAULT_QUEUE_LIMIT = 64
+
+_STOP = None  # queue sentinel
+
+
+class BackpressureError(ReproError):
+    """Raised when the job queue is full; resubmit after runs drain."""
+
+
+class JobService:
+    """Bounded job queue executing scenario runs against a store."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        jobs_per_run: int = 1,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        workers: int = 1,
+    ):
+        if queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if jobs_per_run < 1:
+            raise ConfigurationError(
+                f"jobs_per_run must be >= 1, got {jobs_per_run}"
+            )
+        self.store = store
+        self.jobs_per_run = jobs_per_run
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"repro-job-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        self._lock = threading.Lock()
+        self._enqueued: set[str] = set()  # ids currently queued or running
+        self._cancel_requested: set[str] = set()
+        self._stopping = threading.Event()
+        self._cancel_all = threading.Event()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start worker threads and recover interrupted runs from the store."""
+        if self._started:
+            return
+        self._started = True
+        self.rescan()
+        for worker in self._workers:
+            worker.start()
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service.
+
+        With *drain* (the SIGTERM path) every queued run finishes first;
+        without it the in-flight run is cancelled at its next between-cell
+        checkpoint and queued runs stay ``queued`` in the store, to be
+        recovered by the next :meth:`rescan`.
+        """
+        self._stopping.set()
+        if not drain:
+            self._cancel_all.set()
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.join(timeout=timeout)
+
+    def rescan(self) -> list[str]:
+        """Re-enqueue runs the store says are ``queued`` or ``running``.
+
+        A ``running`` run is one a previous service instance died inside;
+        its shard checkpoints make re-execution a cheap resume.  Returns
+        the recovered run ids.
+        """
+        recovered = []
+        for summary in self.store.query():
+            if summary.get("state") in ("queued", "running"):
+                if self._try_enqueue(summary["run_id"]):
+                    recovered.append(summary["run_id"])
+        return recovered
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, scenario: Scenario, invocation: dict | None = None) -> dict:
+        """Register and enqueue a scenario; returns a submission summary.
+
+        Content addressing makes this idempotent: resubmitting a document
+        whose run is already ``done`` returns immediately with the stored
+        state and does not re-execute.
+        """
+        tel = telemetry.get_telemetry()
+        if self._stopping.is_set():
+            tel.counter("service_submissions_total", outcome="rejected").inc()
+            raise BackpressureError("service is shutting down")
+        record, created = self.store.register(scenario, invocation=invocation)
+        state = self.store.status(record.run_id).get("state")
+        if state == "done":
+            tel.counter("service_submissions_total", outcome="cached").inc()
+            return {"run_id": record.run_id, "created": created, "state": state}
+        if not self._try_enqueue(record.run_id):
+            tel.counter("service_submissions_total", outcome="rejected").inc()
+            raise BackpressureError(
+                f"job queue full ({self._queue.maxsize} pending); retry later"
+            )
+        with self._lock:
+            self._cancel_requested.discard(record.run_id)
+        tel.counter("service_submissions_total", outcome="accepted").inc()
+        return {"run_id": record.run_id, "created": created, "state": "queued"}
+
+    def _try_enqueue(self, run_id: str) -> bool:
+        with self._lock:
+            if run_id in self._enqueued:
+                return True  # already pending; coalesce
+            try:
+                self._queue.put_nowait((run_id, time.monotonic()))
+            except queue.Full:
+                return False
+            self._enqueued.add(run_id)
+            self._gauge_depth()
+            return True
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, run_id: str) -> dict:
+        """Request cooperative cancellation of a queued or running run."""
+        record = self.store.get(run_id)  # raises on unknown id
+        state = self.store.status(record.run_id).get("state")
+        if state in ("done", "failed", "cancelled"):
+            return {"run_id": record.run_id, "state": state}
+        with self._lock:
+            self._cancel_requested.add(record.run_id)
+        return {"run_id": record.run_id, "state": "cancelling"}
+
+    def _should_cancel(self, run_id: str) -> bool:
+        if self._cancel_all.is_set():
+            return True
+        with self._lock:
+            return run_id in self._cancel_requested
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker(self) -> None:
+        tel = telemetry.get_telemetry()
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            run_id, enqueued_at = item
+            tel.histogram(
+                "service_queue_wait_seconds", buckets=telemetry.SECONDS_BUCKETS
+            ).observe(time.monotonic() - enqueued_at)
+            try:
+                if self._should_cancel(run_id):
+                    self.store.set_state(run_id, "cancelled")
+                    self.store.append_journal(
+                        run_id, {"event": "cancelled", "while": "queued"}
+                    )
+                else:
+                    record = self.store.get(run_id)
+                    self.store.execute(
+                        record,
+                        jobs=self.jobs_per_run,
+                        should_cancel=lambda: self._should_cancel(run_id),
+                    )
+            except Exception as exc:  # store marked the run failed
+                self.store.append_journal(
+                    run_id,
+                    {"event": "worker-error",
+                     "error": f"{type(exc).__name__}: {exc}"},
+                )
+            finally:
+                with self._lock:
+                    self._enqueued.discard(run_id)
+                    self._cancel_requested.discard(run_id)
+                    self._gauge_depth()
+                self._queue.task_done()
+
+    def _gauge_depth(self) -> None:
+        telemetry.get_telemetry().gauge("service_queue_depth").set(
+            len(self._enqueued)
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-level counters for the status endpoint."""
+        with self._lock:
+            return {
+                "pending": len(self._enqueued),
+                "queue_limit": self._queue.maxsize,
+                "workers": len(self._workers),
+                "jobs_per_run": self.jobs_per_run,
+                "stopping": self._stopping.is_set(),
+            }

@@ -157,4 +157,8 @@ class TestArgumentValidation:
 
     def test_unknown_kind_rejected(self, capsys):
         assert main(["--kind", "nope", "--reps", "4"]) == 1
-        assert "unknown cell kinds" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # The sweep grid now compiles through the scenario layer, so the
+        # message is path-qualified like any scenario validation error.
+        assert "grid.kind[0]" in err
+        assert "unknown cell kind 'nope'" in err

@@ -1,0 +1,166 @@
+"""HTTP API: live-server round-trips over the full surface."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.api import make_server
+from repro.service.jobs import JobService
+from repro.service.scenario import scenario_from_jsonable
+from repro.service.store import RunStore
+
+DOC = b"""
+scenario: api-t
+schema: 1
+seed: 5
+grid:
+  kind: [lesk]
+  n: [8]
+  adversary: [random]
+reps: 3
+sharding: {block_size: 2}
+"""
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A live service on an ephemeral port; yields its base URL."""
+    service = JobService(RunStore(tmp_path / "store"), queue_limit=4)
+    service.start()
+    srv = make_server(service, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{srv.server_address[1]}", service
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        service.stop(drain=True)
+
+
+def request(method: str, url: str, body: bytes | None = None):
+    req = urllib.request.Request(url, data=body, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+def submit_and_wait(base: str, doc: bytes = DOC, timeout: float = 30.0) -> str:
+    code, body = request("POST", f"{base}/v1/scenarios", doc)
+    assert code == 200, body
+    run_id = json.loads(body)["run_id"]
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, status = request("GET", f"{base}/v1/runs/{run_id}")
+        if json.loads(status).get("state") in ("done", "failed"):
+            return run_id
+        time.sleep(0.02)
+    raise AssertionError(f"run {run_id} never finished: {status}")
+
+
+class TestSubmitAndFetch:
+    def test_full_round_trip(self, server):
+        base, _ = server
+        run_id = submit_and_wait(base)
+
+        code, body = request("GET", f"{base}/v1/runs/{run_id}")
+        status = json.loads(body)
+        assert (code, status["state"]) == (200, "done")
+        assert status["cells_done"] == status["cells_total"] == 1
+
+        code, body = request("GET", f"{base}/v1/runs/{run_id}/results")
+        assert code == 200
+        table = json.loads(body)["table"]
+        assert table["rows"][0]["reps"] == 3
+
+        code, text = request(
+            "GET", f"{base}/v1/runs/{run_id}/results?format=txt"
+        )
+        assert code == 200 and "scenario api-t" in text
+        code, csv_text = request(
+            "GET", f"{base}/v1/runs/{run_id}/results?format=csv"
+        )
+        assert code == 200 and csv_text.startswith("kind,")
+
+        code, journal = request("GET", f"{base}/v1/runs/{run_id}/journal")
+        events = [json.loads(line)["event"] for line in journal.splitlines()]
+        assert events[0] == "registered" and events[-1] == "done"
+
+        code, body = request("GET", f"{base}/v1/runs")
+        assert code == 200 and json.loads(body)[0]["run_id"] == run_id
+
+    def test_replay_endpoint_reproduces(self, server):
+        base, _ = server
+        run_id = submit_and_wait(base)
+        code, body = request("POST", f"{base}/v1/runs/{run_id}/replay")
+        assert code == 200
+        assert json.loads(body)["identical"] is True
+
+    def test_tampered_results_return_500(self, server):
+        base, service = server
+        run_id = submit_and_wait(base)
+        path = (
+            service.store.run_dir(run_id) / "tables" / "SCENARIO.json"
+        )
+        data = json.loads(path.read_text())
+        data["table"]["rows"][0]["success"] = 0.5
+        path.write_text(json.dumps(data))
+        code, body = request("GET", f"{base}/v1/runs/{run_id}/results")
+        assert code == 500
+        assert "integrity" in json.loads(body)["error"]
+        code, body = request("POST", f"{base}/v1/runs/{run_id}/replay")
+        assert code == 500
+
+
+class TestErrors:
+    def test_invalid_document_is_400_with_paths(self, server):
+        base, _ = server
+        bad = b'{"scenario":"x","schema":1,"grid":{"n":[8],"adversary":["bogus"]},"reps":1}'
+        code, body = request("POST", f"{base}/v1/scenarios", bad)
+        assert code == 400
+        assert "grid.adversary[0]" in json.loads(body)["error"]
+
+    def test_unknown_run_is_404(self, server):
+        base, _ = server
+        code, body = request("GET", f"{base}/v1/runs/ffffffffffffffff")
+        assert code == 404
+        code, body = request("GET", f"{base}/v1/runs/ffffffffffffffff/results")
+        assert code == 404
+
+    def test_results_before_done_is_409(self, server):
+        base, service = server
+        record, _ = service.store.register(
+            scenario_from_jsonable(
+                {
+                    "scenario": "never-run",
+                    "schema": 1,
+                    "seed": 6,
+                    "grid": {"n": [8]},
+                    "reps": 1,
+                }
+            )
+        )
+        code, body = request("GET", f"{base}/v1/runs/{record.run_id}/results")
+        assert code == 409
+
+    def test_unknown_route_is_404(self, server):
+        base, _ = server
+        assert request("GET", f"{base}/nope")[0] == 404
+        assert request("POST", f"{base}/v1/nope")[0] == 404
+
+
+class TestOps:
+    def test_healthz_and_metrics(self, server):
+        base, _ = server
+        code, body = request("GET", f"{base}/healthz")
+        assert code == 200 and json.loads(body)["ok"]
+        code, body = request("GET", f"{base}/metrics")
+        assert code == 200  # telemetry disabled by default -> stub body

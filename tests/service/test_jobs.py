@@ -1,0 +1,149 @@
+"""Job service: lifecycle, backpressure, cancellation, restart recovery."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service.jobs import BackpressureError, JobService
+from repro.service.scenario import scenario_from_jsonable
+from repro.service.store import RunStore
+
+
+def scen(name: str, seed: int = 3, reps: int = 2) -> dict:
+    return scenario_from_jsonable(
+        {
+            "scenario": name,
+            "schema": 1,
+            "seed": seed,
+            "grid": {"kind": ["lesk"], "n": [8], "adversary": ["random"]},
+            "reps": reps,
+            "sharding": {"block_size": 2},
+        }
+    )
+
+
+def wait_state(store, run_id, states=("done", "failed"), timeout=30.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = store.status(run_id).get("state")
+        if state in states:
+            return state
+        time.sleep(0.02)
+    raise AssertionError(
+        f"run {run_id} never reached {states}; stuck at "
+        f"{store.status(run_id)!r}"
+    )
+
+
+class TestLifecycle:
+    def test_submit_executes_to_done(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)
+        svc.start()
+        try:
+            summary = svc.submit(scen("lifecycle"))
+            assert summary["state"] == "queued"
+            assert wait_state(store, summary["run_id"]) == "done"
+            store.load_table(summary["run_id"])  # table exists + verifies
+        finally:
+            svc.stop(drain=True)
+
+    def test_resubmit_of_done_run_is_cached(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)
+        svc.start()
+        try:
+            first = svc.submit(scen("cached"))
+            wait_state(store, first["run_id"])
+            again = svc.submit(scen("cached"))
+            assert again["run_id"] == first["run_id"]
+            assert again["state"] == "done"
+        finally:
+            svc.stop(drain=True)
+
+    def test_invalid_params_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        with pytest.raises(Exception):
+            JobService(store, queue_limit=0)
+        with pytest.raises(Exception):
+            JobService(store, workers=0)
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_submission(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store, queue_limit=2)  # workers never started
+        assert svc.submit(scen("bp-0", seed=100))["state"] == "queued"
+        assert svc.submit(scen("bp-1", seed=101))["state"] == "queued"
+        with pytest.raises(BackpressureError, match="queue full"):
+            svc.submit(scen("bp-2", seed=102))
+
+    def test_duplicate_pending_submission_coalesces(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store, queue_limit=1)
+        svc.submit(scen("bp-dup"))
+        # the same document again occupies no extra queue slot
+        assert svc.submit(scen("bp-dup"))["state"] == "queued"
+
+    def test_stopping_service_rejects_submissions(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)
+        svc.start()
+        svc.stop(drain=True)
+        with pytest.raises(BackpressureError, match="shutting down"):
+            svc.submit(scen("late"))
+
+
+class TestCancel:
+    def test_cancel_queued_run(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)  # not started: stays queued
+        summary = svc.submit(scen("cancel-q"))
+        assert svc.cancel(summary["run_id"])["state"] == "cancelling"
+        svc.start()
+        try:
+            assert (
+                wait_state(store, summary["run_id"], states=("cancelled",))
+                == "cancelled"
+            )
+        finally:
+            svc.stop(drain=True)
+
+    def test_cancel_finished_run_reports_final_state(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)
+        svc.start()
+        try:
+            summary = svc.submit(scen("cancel-done"))
+            wait_state(store, summary["run_id"])
+            assert svc.cancel(summary["run_id"])["state"] == "done"
+        finally:
+            svc.stop(drain=True)
+
+
+class TestRestartRecovery:
+    def test_rescan_requeues_interrupted_runs(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        # simulate a dead service: runs registered but never executed,
+        # one marked running as if the process died mid-flight
+        queued, _ = store.register(scen("recover-a", seed=201))
+        crashed, _ = store.register(scen("recover-b", seed=202))
+        store.set_state(crashed.run_id, "running")
+
+        svc = JobService(store)
+        svc.start()  # rescan happens here
+        try:
+            assert wait_state(store, queued.run_id) == "done"
+            assert wait_state(store, crashed.run_id) == "done"
+            assert store.replay(crashed.run_id).identical
+        finally:
+            svc.stop(drain=True)
+
+    def test_stats_shape(self, tmp_path):
+        svc = JobService(RunStore(tmp_path / "s"), queue_limit=5)
+        stats = svc.stats()
+        assert stats["queue_limit"] == 5
+        assert stats["pending"] == 0
+        assert not stats["stopping"]
