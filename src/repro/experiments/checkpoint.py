@@ -23,6 +23,7 @@ runner recomputes rather than trusting a damaged file.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -32,6 +33,7 @@ import tempfile
 import threading
 import time
 from pathlib import Path
+from typing import Callable
 
 from repro.errors import ChecksumMismatchError, ConfigurationError
 from repro.experiments.harness import Table
@@ -39,12 +41,31 @@ from repro.experiments.harness import Table
 __all__ = [
     "RunDir",
     "atomic_write_text",
+    "failing_writes",
     "table_payload",
     "payload_checksum",
     "corrupt_checkpoint",
     "build_manifest",
     "cli_invocation",
 ]
+
+#: Active write-fault injectors (chaos testing only).  A stack of
+#: zero-arg exception factories; when non-empty, every
+#: :func:`atomic_write_text` call raises a fresh exception from the top
+#: entry instead of writing.  The hook lives *inside* the writer (rather
+#: than monkeypatching it) so ``from ... import atomic_write_text``
+#: bindings taken by other modules are affected too.
+_write_faults: list[Callable[[], BaseException]] = []
+
+
+@contextlib.contextmanager
+def failing_writes(make_exc: Callable[[], BaseException]):
+    """Make every atomic write fail for the duration (disk-full drills)."""
+    _write_faults.append(make_exc)
+    try:
+        yield
+    finally:
+        _write_faults.remove(make_exc)
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
@@ -64,6 +85,8 @@ _MANIFEST_ADVISORY_KEYS = ("git_sha", "python", "numpy", "sharded")
 
 def atomic_write_text(path: Path, text: str) -> None:
     """Write *text* to *path* via a same-directory tmp file + rename."""
+    if _write_faults:
+        raise _write_faults[-1]()
     path = Path(path)
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"

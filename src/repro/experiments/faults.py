@@ -48,6 +48,26 @@ and the retry (execution 2) is undisturbed.  Block fault kinds:
 ``corrupt-result``
     Let the block succeed but deterministically perturb its results:
     exercises speculative-duplicate mismatch detection.
+
+**Service-level faults** target the job-service worker fleet
+(:mod:`repro.service.supervisor`) instead of an experiment or block.
+Three pseudo-ids name the substrate being attacked, and ``@SEQ`` counts
+*dispatches across the whole fleet* (the supervisor's global job
+sequence, starting at 1) -- so a requeued run's retry lands on the next
+sequence number and is undisturbed unless separately targeted:
+
+``worker:kill@SEQ`` / ``worker:hang@SEQ``
+    SIGKILL the worker process executing dispatch SEQ (exercises death
+    detection + requeue) or hang it forever (exercises the per-run
+    wall-clock deadline; heartbeats keep flowing, so this specifically
+    proves the deadline path, not staleness detection).
+``store:tamper@SEQ``
+    Let dispatch SEQ complete, then silently perturb its stored result
+    table without updating the checksum -- exercises verify-on-read
+    quarantine.
+``disk:full@SEQ``
+    Make every atomic write during dispatch SEQ fail with ``ENOSPC``
+    (via :func:`repro.experiments.checkpoint.failing_writes`).
 """
 
 from __future__ import annotations
@@ -68,12 +88,21 @@ __all__ = [
     "InjectedFaultError",
     "FAULT_KINDS",
     "BLOCK_FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
 ]
 
 FAULT_KINDS = ("raise", "config", "hang", "corrupt")
 
 #: Fault kinds valid for ``block<N>`` pseudo-ids (shard-level chaos).
 BLOCK_FAULT_KINDS = ("kill", "hang", "corrupt-result")
+
+#: Service-level pseudo-ids and the fault kinds each accepts
+#: (see repro.service.chaos; ``@SEQ`` counts fleet-wide dispatches).
+SERVICE_FAULT_KINDS = {
+    "worker": ("kill", "hang"),
+    "store": ("tamper",),
+    "disk": ("full",),
+}
 
 #: Pseudo-id naming a sharded work unit by its global task ordinal.
 _BLOCK_ID_RE = re.compile(r"^block(\d+)$")
@@ -102,6 +131,13 @@ class Fault:
                     f"unknown block fault kind {self.kind!r} for "
                     f"{self.exp_id!r}; expected one of {BLOCK_FAULT_KINDS}"
                 )
+        elif self.exp_id in SERVICE_FAULT_KINDS:
+            allowed = SERVICE_FAULT_KINDS[self.exp_id]
+            if self.kind not in allowed:
+                raise ConfigurationError(
+                    f"unknown service fault kind {self.kind!r} for "
+                    f"{self.exp_id!r}; expected one of {allowed}"
+                )
         elif self.kind not in FAULT_KINDS:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
@@ -115,6 +151,10 @@ class Fault:
         """The task ordinal for ``block<N>`` pseudo-ids, else None."""
         match = _BLOCK_ID_RE.match(self.exp_id)
         return int(match.group(1)) if match else None
+
+    def service_target(self) -> str | None:
+        """The substrate name for service pseudo-ids, else None."""
+        return self.exp_id if self.exp_id in SERVICE_FAULT_KINDS else None
 
     def to_spec(self) -> str:
         """Render as one ``ID:KIND@ATTEMPT`` spec atom."""
@@ -147,6 +187,8 @@ class FaultPlan:
                 faults.append(
                     Fault(exp_id.strip(), kind.strip(), int(attempt) if attempt else 1)
                 )
+            except ConfigurationError:
+                raise  # Fault.__post_init__ already said what is wrong
             except ValueError as exc:
                 raise ConfigurationError(
                     f"bad fault spec {atom!r}; expected ID:KIND[@ATTEMPT] with "
@@ -168,7 +210,12 @@ class FaultPlan:
         """
         known = set(known_ids)
         unknown = sorted(
-            {f.exp_id for f in self.faults if f.block_index() is None} - known
+            {
+                f.exp_id
+                for f in self.faults
+                if f.block_index() is None and f.service_target() is None
+            }
+            - known
         )
         if unknown:
             raise ConfigurationError(
@@ -239,6 +286,21 @@ class FaultPlan:
         if fault.kind == "hang":
             while True:  # hold the worker until its block deadline kills it
                 time.sleep(_HANG_NAP_S)
+
+    # -- service-level faults -----------------------------------------------
+
+    def service_fault_for(self, target: str, seq: int) -> Fault | None:
+        """The fault planned for (substrate, fleet dispatch seq), if any."""
+        for fault in self.faults:
+            if fault.exp_id == target and fault.attempt == seq:
+                return fault
+        return None
+
+    def service_seqs(self) -> tuple[int, ...]:
+        """All dispatch sequence numbers named by service faults (sorted)."""
+        return tuple(
+            sorted(f.attempt for f in self.faults if f.service_target())
+        )
 
     def should_corrupt_block(self, task_id: int, execution: int) -> bool:
         """Whether to perturb the payload produced by this execution."""

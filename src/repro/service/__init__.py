@@ -11,12 +11,20 @@ declarative, replayable pipeline (see ``docs/service.md``):
   directories keyed by scenario digest: register, query, execute with
   shard checkpoints, stream journals, load checksummed result tables,
   and bit-replay any run from its manifest;
+* :mod:`repro.service.ledger` -- the durable WAL-mode sqlite index over
+  the store (state transitions, attempts, digests, a FAILURES view),
+  reconciled against directory truth on startup;
 * :mod:`repro.service.jobs` -- a restart-surviving job queue with bounded
-  concurrency and backpressure scheduling scenario runs onto the
-  supervised sharded scheduler;
+  concurrency and backpressure scheduling scenario runs onto a
+  supervised worker-process fleet (heartbeats, per-run deadlines,
+  crash requeue, bounded seeded retry, quarantine, degraded mode);
+* :mod:`repro.service.supervisor` -- the fleet itself (the PR 7
+  terminate-then-kill supervision idiom applied to whole runs);
+* :mod:`repro.service.chaos` -- deterministic service-level fault
+  injection (``worker:kill/hang``, ``store:tamper``, ``disk:full``);
 * :mod:`repro.service.api` -- the local HTTP surface
   (``python -m repro serve``) exposing submit/status/progress/results/
-  cancel/replay plus Prometheus metrics;
+  cancel/replay/failures plus Prometheus metrics;
 * :mod:`repro.service.cli` -- ``python -m repro scenario
   {validate,run,submit,status,results,replay,list}``.
 """
@@ -31,12 +39,19 @@ from repro.service.scenario import (
     parse_scenario,
     scenario_digest,
 )
-from repro.service.jobs import BackpressureError, JobService
+from repro.service.jobs import (
+    BackpressureError,
+    JobService,
+    ServiceDegradedError,
+)
+from repro.service.ledger import RunLedger
 from repro.service.store import ReplayReport, RunRecord, RunStore
+from repro.service.supervisor import FleetEvent, WorkerFleet
 
 __all__ = [
     "JobService",
     "BackpressureError",
+    "ServiceDegradedError",
     "SCENARIO_SCHEMA_VERSION",
     "Scenario",
     "parse_scenario",
@@ -46,4 +61,7 @@ __all__ = [
     "RunStore",
     "RunRecord",
     "ReplayReport",
+    "RunLedger",
+    "WorkerFleet",
+    "FleetEvent",
 ]

@@ -10,22 +10,34 @@ method   path                            action
 POST     ``/v1/scenarios``               submit a scenario document (YAML/JSON
                                          body); 200 with ``run_id``, 400 on
                                          validation error (path-qualified
-                                         message in ``error``), 429 when the
-                                         bounded queue is full
-GET      ``/v1/runs``                    list runs (``?state=``, ``?name=``)
+                                         message in ``error``), 429 (with a
+                                         ``Retry-After`` header) when the
+                                         bounded queue is full, 503 (also
+                                         ``Retry-After``) while degraded
+GET      ``/v1/runs``                    list runs (``?state=``, ``?name=``);
+                                         ``?limit=``/``?offset=`` paginate in
+                                         stable registration order (served
+                                         from the sqlite ledger) and switch
+                                         the response to an envelope with
+                                         ``runs``/``total``/``limit``/``offset``
+GET      ``/v1/failures``                the FAILURES view: failed and
+                                         quarantined runs, newest first
 GET      ``/v1/runs/<id>``               status + journal-derived progress
 GET      ``/v1/runs/<id>/journal``       the append-only event log (JSONL)
 GET      ``/v1/runs/<id>/results``       checksummed result table
                                          (``?format=json|txt|csv``); 409 until
                                          the run is ``done``, 500 on tamper
+                                         (verify-on-read: the run is
+                                         quarantined, the bytes never served)
 POST     ``/v1/runs/<id>/cancel``        cooperative cancellation
 POST     ``/v1/runs/<id>/replay``        synchronous bit-replay; ``identical``
                                          in the body, 500 on divergence/tamper
-GET      ``/healthz``                    liveness + queue stats
+GET      ``/healthz``                    liveness + queue/worker/degraded stats
 GET      ``/metrics``                    Prometheus text exposition
 =======  ==============================  =======================================
 
-Run ids accept any unique digest prefix, mirroring the CLI.
+Run ids accept any unique digest prefix, mirroring the CLI.  Reads keep
+working while the service is degraded -- only submissions 503.
 """
 
 from __future__ import annotations
@@ -36,7 +48,11 @@ from urllib.parse import parse_qs, urlparse
 
 from repro import telemetry
 from repro.errors import ChecksumMismatchError, ConfigurationError
-from repro.service.jobs import BackpressureError, JobService
+from repro.service.jobs import (
+    BackpressureError,
+    JobService,
+    ServiceDegradedError,
+)
 from repro.service.scenario import parse_scenario
 
 __all__ = ["make_server", "ServiceHandler"]
@@ -63,25 +79,36 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def svc(self) -> JobService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: dict | None = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, str(value))
         self.end_headers()
         self.wfile.write(body)
 
-    def _json(self, code: int, payload: dict | list) -> None:
+    def _json(
+        self, code: int, payload: dict | list, headers: dict | None = None
+    ) -> None:
         self._send(
             code,
             (json.dumps(payload, sort_keys=True) + "\n").encode(),
             "application/json",
+            headers=headers,
         )
 
     def _text(self, code: int, text: str, content_type: str = "text/plain") -> None:
         self._send(code, text.encode(), content_type)
 
-    def _error(self, code: int, message: str) -> None:
-        self._json(code, {"error": message})
+    def _error(self, code: int, message: str, headers: dict | None = None) -> None:
+        self._json(code, {"error": message}, headers=headers)
 
     def _body(self) -> str:
         length = int(self.headers.get("Content-Length") or 0)
@@ -109,14 +136,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 )
                 self._text(200, text, "text/plain; version=0.0.4")
             elif parts == ["v1", "runs"]:
-                query = parse_qs(url.query)
-                self._json(
-                    200,
-                    self.svc.store.query(
-                        state=(query.get("state") or [None])[0],
-                        name=(query.get("name") or [None])[0],
-                    ),
-                )
+                self._list_runs(parse_qs(url.query))
+            elif parts == ["v1", "failures"]:
+                self._json(200, self.svc.store.failures())
             elif len(parts) == 3 and parts[:2] == ["v1", "runs"]:
                 record = self.svc.store.get(parts[2])
                 self._json(200, self.svc.store.progress(record.run_id))
@@ -129,6 +151,46 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except ChecksumMismatchError as exc:
             self._error(500, str(exc))
 
+    def _list_runs(self, query: dict) -> None:
+        """GET /v1/runs: bare list, or a paginated envelope with limit/offset.
+
+        The response shape is backward compatible: without pagination
+        params clients get the PR 8 bare JSON list; with either param
+        they get ``{"runs", "total", "limit", "offset"}`` so they can
+        page through ``total`` in stable registration order.
+        """
+        state = (query.get("state") or [None])[0]
+        name = (query.get("name") or [None])[0]
+        raw_limit = (query.get("limit") or [None])[0]
+        raw_offset = (query.get("offset") or [None])[0]
+        if raw_limit is None and raw_offset is None:
+            self._json(200, self.svc.store.query(state=state, name=name))
+            return
+        try:
+            limit = None if raw_limit is None else int(raw_limit)
+            offset = 0 if raw_offset is None else int(raw_offset)
+            if (limit is not None and limit < 0) or offset < 0:
+                raise ValueError
+        except ValueError:
+            self._error(
+                400,
+                f"limit/offset must be non-negative integers "
+                f"(got limit={raw_limit!r}, offset={raw_offset!r})",
+            )
+            return
+        runs = self.svc.store.query(
+            state=state, name=name, limit=limit, offset=offset
+        )
+        self._json(
+            200,
+            {
+                "runs": runs,
+                "total": self.svc.store.count(state=state, name=name),
+                "limit": limit,
+                "offset": offset,
+            },
+        )
+
     def _get_run_sub(self, run_id: str, sub: str, query: dict) -> None:
         store = self.svc.store
         record = store.get(run_id)
@@ -139,13 +201,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
             ]
             self._text(200, "\n".join(lines) + "\n", "application/jsonl")
         elif sub == "results":
-            state = store.status(record.run_id).get("state")
+            status = store.status(record.run_id)
+            state = status.get("state")
+            if state == "quarantined":
+                # Never serve a quarantined run; surface why it is parked.
+                self._error(
+                    500,
+                    f"run {record.run_id} is quarantined: "
+                    f"{status.get('error', 'unknown reason')}",
+                )
+                return
             if state != "done":
                 self._error(
                     409, f"run {record.run_id} is {state!r}, not 'done'"
                 )
                 return
-            table = store.load_table(record.run_id)  # integrity-checked
+            # Verify-on-read: a checksum mismatch quarantines the run and
+            # raises (mapped to 500 below); tampered bytes never leave.
+            table = store.serve_table(record.run_id)
             fmt = (query.get("format") or ["json"])[0]
             if fmt == "txt":
                 self._text(200, table.render() + "\n")
@@ -194,7 +267,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
             else:
                 self._error(404, f"no route for POST {url.path}")
         except BackpressureError as exc:
-            self._error(429, str(exc))
+            self._error(
+                429, str(exc),
+                headers={"Retry-After": self.svc.retry_after_hint()},
+            )
+        except ServiceDegradedError as exc:
+            self._error(
+                503, str(exc),
+                headers={"Retry-After": self.svc.retry_after_hint()},
+            )
         except ConfigurationError as exc:
             self._error(404 if "no run" in str(exc) else 400, str(exc))
         except ChecksumMismatchError as exc:

@@ -11,11 +11,22 @@
 * ``replay RUN_ID``     bit-replay; exit 0 iff the recomputed table is
                         byte-identical to the stored one (tampered or
                         bit-rotted stores exit nonzero)
-* ``list``              enumerate registered runs
+* ``list``              enumerate registered runs (``--state``,
+                        ``--limit``/``--offset`` pagination,
+                        ``--failures`` for the quarantine view)
 
-``serve`` runs the long-lived job daemon: bounded queue, worker threads,
-store rescan on boot (crash recovery), HTTP API, and a SIGTERM handler
-that drains the queue before exiting.
+``submit --url`` retries 429 (queue full) and 503 (degraded) responses
+with bounded seeded backoff, honoring the server's ``Retry-After``
+hint, before giving up.
+
+``serve`` runs the long-lived job daemon: bounded queue, a supervised
+worker-process fleet (per-run deadlines, heartbeats, crash requeue,
+quarantine -- ``--worker-mode thread`` restores the PR 8 in-process
+path), a sqlite ledger reconciled on boot (crash recovery, even from
+SIGKILL), HTTP API, and a SIGTERM handler that drains the queue before
+exiting.  ``--inject-faults`` arms the service chaos layer
+(``worker:kill@SEQ``, ``worker:hang@SEQ``, ``store:tamper@SEQ``,
+``disk:full@SEQ``).
 
 Exit codes follow the repo convention: 0 success, 1 failure (validation
 error, divergent replay, failed run), 130 interrupted.
@@ -44,18 +55,20 @@ DEFAULT_PORT = 8765
 # -- HTTP client helpers ----------------------------------------------------
 
 
-def _request(method: str, url: str, body: bytes | None = None) -> tuple[int, str]:
+def _request(
+    method: str, url: str, body: bytes | None = None
+) -> tuple[int, str, dict]:
     req = urllib.request.Request(url, data=body, method=method)
     try:
         with urllib.request.urlopen(req, timeout=60) as resp:
-            return resp.status, resp.read().decode()
+            return resp.status, resp.read().decode(), dict(resp.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, exc.read().decode()
+        return exc.code, exc.read().decode(), dict(exc.headers or {})
     except urllib.error.URLError as exc:
         raise ConfigurationError(f"cannot reach service at {url}: {exc.reason}")
 
 
-def _print_response(status: int, body: str) -> int:
+def _print_response(status: int, body: str, headers: dict | None = None) -> int:
     print(body.rstrip("\n"))
     return 0 if status < 400 else 1
 
@@ -111,9 +124,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     if args.url:
         body = open(args.file, "rb").read()
-        return _print_response(
-            *_request("POST", f"{args.url}/v1/scenarios", body)
-        )
+        return _submit_with_retry(args, body)
     scenario = load_scenario(args.file)
     store = _store(args)
     record, created = store.register(
@@ -130,6 +141,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _submit_with_retry(args: argparse.Namespace, body: bytes) -> int:
+    """POST a scenario, retrying 429/503 with bounded seeded backoff.
+
+    Backpressure is the service working as designed, so the client's
+    default is to wait it out: up to ``--retries`` attempts, sleeping
+    the deterministic :class:`~repro.experiments.retry.RetryPolicy`
+    delay or the server's ``Retry-After`` hint, whichever is larger.
+    """
+    from repro.experiments.retry import RetryPolicy
+
+    policy = RetryPolicy(
+        max_attempts=max(1, args.retries), backoff_base=args.backoff,
+        backoff_cap=30.0,
+    )
+    url = f"{args.url}/v1/scenarios"
+    for attempt in range(1, policy.max_attempts + 1):
+        status, text, headers = _request("POST", url, body)
+        if status not in (429, 503) or attempt == policy.max_attempts:
+            return _print_response(status, text, headers)
+        delay = policy.delay("submit", attempt)
+        try:
+            delay = max(delay, float(headers.get("Retry-After", 0)))
+        except (TypeError, ValueError):
+            pass
+        print(
+            f"service busy (HTTP {status}); retrying in {delay:.1f}s "
+            f"(attempt {attempt}/{policy.max_attempts})",
+            file=sys.stderr,
+        )
+        time.sleep(delay)
+    raise AssertionError("unreachable")
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -180,9 +224,27 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.url:
-        return _print_response(*_request("GET", f"{args.url}/v1/runs"))
+        if args.failures:
+            return _print_response(*_request("GET", f"{args.url}/v1/failures"))
+        params = [
+            f"{key}={value}"
+            for key, value in (
+                ("state", args.state),
+                ("limit", args.limit),
+                ("offset", args.offset),
+            )
+            if value is not None
+        ]
+        query = f"?{'&'.join(params)}" if params else ""
+        return _print_response(*_request("GET", f"{args.url}/v1/runs{query}"))
     store = _store(args)
-    for summary in store.query():
+    if args.failures:
+        rows = store.failures()
+    else:
+        rows = store.query(
+            state=args.state, limit=args.limit, offset=args.offset or 0
+        )
+    for summary in rows:
         print(json.dumps(summary, sort_keys=True))
     return 0
 
@@ -217,6 +279,14 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("submit", help="register (and on a live service, enqueue)")
     p.add_argument("file", help="scenario YAML/JSON file")
+    p.add_argument(
+        "--retries", type=int, default=5,
+        help="attempts before giving up on 429/503 (--url mode)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.5,
+        help="base seconds for the seeded retry backoff (--url mode)",
+    )
     _add_locator(p)
     p.set_defaults(fn=_cmd_submit)
 
@@ -240,6 +310,15 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_replay)
 
     p = sub.add_parser("list", help="enumerate registered runs")
+    p.add_argument("--state", default=None, help="filter by run state")
+    p.add_argument(
+        "--limit", type=int, default=None, help="page size (stable ordering)"
+    )
+    p.add_argument("--offset", type=int, default=None, help="page start")
+    p.add_argument(
+        "--failures", action="store_true",
+        help="show the FAILURES view (failed + quarantined runs)",
+    )
     _add_locator(p)
     p.set_defaults(fn=_cmd_list)
 
@@ -280,6 +359,26 @@ def serve_main(argv: list[str] | None = None) -> int:
         "--queue-limit", type=int, default=16, help="max pending runs (backpressure)"
     )
     parser.add_argument(
+        "--worker-mode", choices=("process", "thread"), default="process",
+        help="run executor substrate: supervised worker processes "
+        "(default) or the legacy in-process threads",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None,
+        help="per-run wall-clock deadline in seconds (process mode); a run "
+        "past it is killed, requeued with backoff, then quarantined",
+    )
+    parser.add_argument(
+        "--degraded-after", type=int, default=3,
+        help="consecutive worker failures before submissions get 503",
+    )
+    parser.add_argument(
+        "--inject-faults", default="",
+        help="service chaos plan, e.g. 'worker:kill@1,disk:full@2' "
+        "(worker:kill/hang, store:tamper, disk:full; @N is the fleet-wide "
+        "dispatch sequence)",
+    )
+    parser.add_argument(
         "--telemetry", action="store_true", help="enable the live metrics registry"
     )
     parser.add_argument(
@@ -289,16 +388,23 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     from repro import telemetry
     from repro.service.api import make_server
+    from repro.service.chaos import ServiceFaultPlan
     from repro.service.jobs import JobService
     from repro.service.store import RunStore
 
     if args.telemetry:
         telemetry.configure()
+    if args.inject_faults:
+        ServiceFaultPlan.from_spec(args.inject_faults)  # fail fast on typos
     service = JobService(
         RunStore(args.store),
         jobs_per_run=args.jobs,
         queue_limit=args.queue_limit,
         workers=args.workers,
+        worker_mode=args.worker_mode,
+        run_timeout=args.run_timeout,
+        degraded_after=args.degraded_after,
+        fault_spec=args.inject_faults,
     )
     service.start()
     server = make_server(service, args.host, args.port, verbose=args.verbose)

@@ -1,29 +1,56 @@
-"""Job queue scheduling scenario runs onto the sharded scheduler.
+"""Job scheduling: supervised worker processes executing scenario runs.
 
 :class:`JobService` owns a :class:`~repro.service.store.RunStore` and a
-bounded FIFO of run ids.  Submissions register the scenario in the store
-(idempotent by content digest) and enqueue it; worker threads drain the
-queue, executing each run through :meth:`RunStore.execute` -- i.e. the
-supervised sharded scheduler with block checkpoints, so a run killed
-mid-flight resumes where it left off.
+bounded pending set of run ids.  Submissions register the scenario in
+the store (idempotent by content digest) and enqueue it; a dispatcher
+thread hands runs to a supervised :class:`~repro.service.supervisor
+.WorkerFleet` of child *processes* (the default since PR 9 -- a hung or
+crashed run can no longer wedge the daemon), each executing through
+:meth:`RunStore.execute` -- i.e. the supervised sharded scheduler with
+block checkpoints, so a run killed mid-flight resumes where it left off.
+
+Robustness semantics (the PR 7 supervision idiom, one level up):
+
+* **worker death** (SIGKILL, OOM, crash): detected via the process
+  sentinel; the worker is respawned and the orphaned run requeued
+  immediately (its shard checkpoints make the retry a cheap resume);
+* **run deadline** (``run_timeout``): a run past its wall-clock budget
+  has its worker terminate-then-killed and is requeued with backoff;
+* **heartbeat stall**: a busy worker that stops beating is presumed
+  wedged, killed, and its run requeued;
+* **bounded seeded retry**: each run gets at most ``retry.max_attempts``
+  dispatches; transient failures back off deterministically
+  (:class:`~repro.experiments.retry.RetryPolicy`), :class:`ReproError`
+  failures are permanent and never retried;
+* **quarantine**: a run that exhausts its budget flips to
+  ``quarantined`` -- parked in the FAILURES view, never auto-retried;
+* **degraded mode**: after ``degraded_after`` *consecutive* substrate
+  failures (deaths/timeouts/stalls) the service stops accepting
+  submissions (:class:`ServiceDegradedError`, HTTP 503) while still
+  serving reads; one successful run restores it.
 
 Durability and backpressure:
 
-* the queue is **bounded** -- when it is full, :meth:`submit` raises
-  :class:`BackpressureError` (the HTTP layer maps it to 429) instead of
-  buffering unbounded work;
-* all job state lives in the store (``status.json`` per run), so a
-  service restart recovers by :meth:`rescan`\\ ning the store: runs left
-  ``queued`` or ``running`` are re-enqueued and resume from their shard
-  checkpoints;
+* the pending set is **bounded** -- when full, :meth:`submit` raises
+  :class:`BackpressureError` (the HTTP layer maps it to 429 with a
+  ``Retry-After`` hint) instead of buffering unbounded work;
+* all job state lives in the store (``status.json`` per run, mirrored
+  into the sqlite ledger), so a service restart -- even SIGKILL --
+  recovers by :meth:`rescan`: the ledger is reconciled against the
+  directory and runs left ``queued`` or ``running`` are re-enqueued;
 * :meth:`stop` supports both a **drain** (finish everything already
-  queued, the SIGTERM path) and an immediate stop (cooperatively cancel
-  the in-flight run between cells; queued runs stay ``queued`` in the
-  store for the next rescan).
+  queued, the SIGTERM path) and an immediate stop (kill in-flight
+  workers; their runs stay ``running`` in the store for the next
+  rescan).
 
-Telemetry (through the process-global registry): ``service_queue_depth``
-gauge, ``service_submissions_total{outcome=}`` /
-``service_jobs_total{state=}`` counters, and
+``worker_mode="thread"`` preserves the PR 8 in-process worker threads
+(no process isolation, no deadlines -- but zero spawn overhead), which
+doubles as the overhead baseline for the supervised path.
+
+Telemetry: ``service_queue_depth`` / ``service_degraded`` gauges,
+``service_submissions_total{outcome=}`` / ``service_jobs_total{state=}``
+/ ``service_worker_deaths_total{cause=}`` / ``service_run_retries_total``
+/ ``service_runs_quarantined_total{kind=}`` counters, and
 ``service_queue_wait_seconds`` / ``service_job_seconds`` histograms.
 """
 
@@ -32,21 +59,63 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
+from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.errors import ConfigurationError, ReproError
+from repro.experiments.retry import RetryPolicy
 from repro.service.scenario import Scenario
 from repro.service.store import RunStore
+from repro.service.supervisor import DEFAULT_HEARTBEAT_INTERVAL_S, WorkerFleet
 
-__all__ = ["BackpressureError", "JobService", "DEFAULT_QUEUE_LIMIT"]
+__all__ = [
+    "BackpressureError",
+    "ServiceDegradedError",
+    "JobService",
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_DEGRADED_AFTER",
+]
 
 DEFAULT_QUEUE_LIMIT = 64
 
-_STOP = None  # queue sentinel
+#: Consecutive substrate failures (worker deaths / deadline kills /
+#: stalls) before the service stops accepting submissions.
+DEFAULT_DEGRADED_AFTER = 3
+
+_STOP = None  # thread-mode queue sentinel
+
+#: How long one dispatcher supervision wait lasts.
+_POLL_S = 0.2
+
+
+def _default_retry() -> RetryPolicy:
+    # Service-level policy: quick deterministic backoff, and -- unlike
+    # run_all -- timeouts ARE retried (a deadline kill resumes cheaply
+    # from shard checkpoints, so the retry is worth it by default).
+    return RetryPolicy(
+        max_attempts=3, backoff_base=0.1, backoff_cap=5.0, retry_timeouts=True
+    )
 
 
 class BackpressureError(ReproError):
     """Raised when the job queue is full; resubmit after runs drain."""
+
+
+class ServiceDegradedError(ReproError):
+    """Raised while the service refuses submissions after repeated
+    worker deaths (reads still work); mapped to HTTP 503."""
+
+
+@dataclass
+class _JobState:
+    """Dispatcher-side bookkeeping for one pending or in-flight run."""
+
+    run_id: str
+    enqueued_at: float
+    attempts: int = 0
+    not_before: float = 0.0
+    in_flight: bool = field(default=False)
 
 
 class JobService:
@@ -58,6 +127,12 @@ class JobService:
         jobs_per_run: int = 1,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         workers: int = 1,
+        worker_mode: str = "process",
+        run_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        degraded_after: int = DEFAULT_DEGRADED_AFTER,
+        fault_spec: str = "",
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL_S,
     ):
         if queue_limit < 1:
             raise ConfigurationError(
@@ -69,59 +144,128 @@ class JobService:
             raise ConfigurationError(
                 f"jobs_per_run must be >= 1, got {jobs_per_run}"
             )
+        if worker_mode not in ("process", "thread"):
+            raise ConfigurationError(
+                f"worker_mode must be 'process' or 'thread', got {worker_mode!r}"
+            )
+        if worker_mode == "thread" and fault_spec:
+            raise ConfigurationError(
+                "--inject-faults needs worker processes; thread-mode workers "
+                "cannot survive a worker:kill (use --worker-mode process)"
+            )
+        if degraded_after < 1:
+            raise ConfigurationError(
+                f"degraded_after must be >= 1, got {degraded_after}"
+            )
         self.store = store
         self.jobs_per_run = jobs_per_run
-        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
-        self._workers = [
-            threading.Thread(target=self._worker, name=f"repro-job-{i}", daemon=True)
-            for i in range(workers)
-        ]
+        self.queue_limit = queue_limit
+        self.worker_mode = worker_mode
+        self.run_timeout = run_timeout
+        self.retry = retry if retry is not None else _default_retry()
+        self.degraded_after = degraded_after
+        self.fault_spec = fault_spec
+        self.heartbeat_interval = heartbeat_interval
         self._lock = threading.Lock()
-        self._enqueued: set[str] = set()  # ids currently queued or running
+        self._enqueued: set[str] = set()  # ids pending or in flight
         self._cancel_requested: set[str] = set()
         self._stopping = threading.Event()
+        self._drain = True
         self._cancel_all = threading.Event()
         self._started = False
+        self._degraded = False
+        self._failure_streak = 0
+        # process mode
+        self._pending: deque[_JobState] = deque()
+        self._in_flight: dict[str, _JobState] = {}
+        self._fleet: WorkerFleet | None = None
+        self._dispatcher: threading.Thread | None = None
+        self.num_workers = workers
+        # thread mode
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._threads = (
+            [
+                threading.Thread(
+                    target=self._worker, name=f"repro-job-{i}", daemon=True
+                )
+                for i in range(workers)
+            ]
+            if worker_mode == "thread"
+            else []
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        """Start worker threads and recover interrupted runs from the store."""
+        """Start the workers and recover interrupted runs from the store.
+
+        Idempotent: a second ``start()`` is a no-op (the restart-race
+        tests pin this), and recovery itself is idempotent because the
+        pending set coalesces duplicate enqueues.
+        """
         if self._started:
             return
         self._started = True
+        try:
+            self.store.reconcile_ledger()
+        except Exception:  # ledger is an index; never block startup on it
+            pass
         self.rescan()
-        for worker in self._workers:
-            worker.start()
+        if self.worker_mode == "thread":
+            for worker in self._threads:
+                worker.start()
+            return
+        self._fleet = WorkerFleet(
+            self.store.root,
+            self.num_workers,
+            jobs_per_run=self.jobs_per_run,
+            run_timeout=self.run_timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            fault_spec=self.fault_spec,
+        )
+        self._fleet.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatch", daemon=True
+        )
+        self._dispatcher.start()
 
     def stop(self, drain: bool = True, timeout: float | None = None) -> None:
         """Stop the service.
 
         With *drain* (the SIGTERM path) every queued run finishes first;
-        without it the in-flight run is cancelled at its next between-cell
-        checkpoint and queued runs stay ``queued`` in the store, to be
-        recovered by the next :meth:`rescan`.
+        without it in-flight workers are killed (their runs stay
+        ``running`` in the store, resumed by the next :meth:`rescan`)
+        and queued runs stay ``queued``.
         """
+        self._drain = drain
         self._stopping.set()
         if not drain:
             self._cancel_all.set()
-        for _ in self._workers:
-            self._queue.put(_STOP)
-        for worker in self._workers:
-            if worker.is_alive():
-                worker.join(timeout=timeout)
+        if self.worker_mode == "thread":
+            for _ in self._threads:
+                self._queue.put(_STOP)
+            for worker in self._threads:
+                if worker.is_alive():
+                    worker.join(timeout=timeout)
+            return
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
+        if self._fleet is not None:
+            self._fleet.shutdown(kill=not drain)
+            self._fleet = None
 
     def rescan(self) -> list[str]:
         """Re-enqueue runs the store says are ``queued`` or ``running``.
 
-        A ``running`` run is one a previous service instance died inside;
-        its shard checkpoints make re-execution a cheap resume.  Returns
-        the recovered run ids.
+        A ``running`` run is one a previous service instance died inside
+        (or one a current worker holds -- the coalescing pending set
+        makes that a no-op); its shard checkpoints make re-execution a
+        cheap resume.  Returns the newly recovered run ids.
         """
         recovered = []
         for summary in self.store.query():
             if summary.get("state") in ("queued", "running"):
-                if self._try_enqueue(summary["run_id"]):
+                if self._try_enqueue(summary["run_id"]) == "added":
                     recovered.append(summary["run_id"])
         return recovered
 
@@ -138,6 +282,13 @@ class JobService:
         if self._stopping.is_set():
             tel.counter("service_submissions_total", outcome="rejected").inc()
             raise BackpressureError("service is shutting down")
+        if self._degraded:
+            tel.counter("service_submissions_total", outcome="rejected").inc()
+            raise ServiceDegradedError(
+                f"service degraded after {self._failure_streak} consecutive "
+                "worker failures; not accepting submissions (reads still "
+                "served; recovers after one successful run)"
+            )
         record, created = self.store.register(scenario, invocation=invocation)
         state = self.store.status(record.run_id).get("state")
         if state == "done":
@@ -146,24 +297,43 @@ class JobService:
         if not self._try_enqueue(record.run_id):
             tel.counter("service_submissions_total", outcome="rejected").inc()
             raise BackpressureError(
-                f"job queue full ({self._queue.maxsize} pending); retry later"
+                f"job queue full ({self.queue_limit} pending); retry later"
             )
         with self._lock:
             self._cancel_requested.discard(record.run_id)
+        self.store.clear_cancel(record.run_id)
         tel.counter("service_submissions_total", outcome="accepted").inc()
         return {"run_id": record.run_id, "created": created, "state": "queued"}
 
-    def _try_enqueue(self, run_id: str) -> bool:
+    def retry_after_hint(self) -> int:
+        """Suggested client backoff (seconds) for 429/503 responses."""
+        with self._lock:
+            backlog = len(self._enqueued)
+        return max(1, min(30, backlog))
+
+    def _try_enqueue(self, run_id: str) -> str:
+        """Enqueue a run; returns ``"added"``, ``"coalesced"``, or ``""``.
+
+        Both truthy outcomes mean the run is (now) pending or in flight;
+        the empty string means the queue is full.
+        """
         with self._lock:
             if run_id in self._enqueued:
-                return True  # already pending; coalesce
-            try:
-                self._queue.put_nowait((run_id, time.monotonic()))
-            except queue.Full:
-                return False
+                return "coalesced"  # already pending or in flight
+            if self.worker_mode == "thread":
+                try:
+                    self._queue.put_nowait((run_id, time.monotonic()))
+                except queue.Full:
+                    return ""
+            else:
+                if len(self._enqueued) >= self.queue_limit:
+                    return ""
+                self._pending.append(
+                    _JobState(run_id=run_id, enqueued_at=time.monotonic())
+                )
             self._enqueued.add(run_id)
             self._gauge_depth()
-            return True
+            return "added"
 
     # -- cancellation ------------------------------------------------------
 
@@ -171,10 +341,12 @@ class JobService:
         """Request cooperative cancellation of a queued or running run."""
         record = self.store.get(run_id)  # raises on unknown id
         state = self.store.status(record.run_id).get("state")
-        if state in ("done", "failed", "cancelled"):
+        if state in ("done", "failed", "cancelled", "quarantined"):
             return {"run_id": record.run_id, "state": state}
         with self._lock:
             self._cancel_requested.add(record.run_id)
+        # The on-disk marker reaches an executor in another process.
+        self.store.request_cancel(record.run_id)
         return {"run_id": record.run_id, "state": "cancelling"}
 
     def _should_cancel(self, run_id: str) -> bool:
@@ -183,7 +355,170 @@ class JobService:
         with self._lock:
             return run_id in self._cancel_requested
 
-    # -- worker loop -------------------------------------------------------
+    # -- process-mode dispatcher -------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """Own the fleet: dispatch ready runs, supervise, retry, quarantine."""
+        fleet = self._fleet
+        while True:
+            if self._stopping.is_set() and not self._drain:
+                return  # stop() kills the fleet; runs resume on next start
+            self._dispatch_ready(fleet)
+            if self._stopping.is_set() and self._drain:
+                with self._lock:
+                    drained = not self._pending and not self._in_flight
+                if drained:
+                    return
+            for event in fleet.poll(_POLL_S):
+                self._handle_event(event)
+
+    def _dispatch_ready(self, fleet: WorkerFleet) -> None:
+        tel = telemetry.get_telemetry()
+        while fleet.idle_count > 0:
+            job = self._next_ready()
+            if job is None:
+                return
+            if self._should_cancel(job.run_id):
+                self._finish_cancelled_queued(job)
+                continue
+            job.attempts += 1
+            job.in_flight = True
+            with self._lock:
+                self._in_flight[job.run_id] = job
+            if job.attempts == 1:
+                tel.histogram(
+                    "service_queue_wait_seconds",
+                    buckets=telemetry.SECONDS_BUCKETS,
+                ).observe(time.monotonic() - job.enqueued_at)
+            else:
+                tel.counter("service_run_retries_total").inc()
+            self.store.record_attempt(job.run_id)
+            fleet.dispatch(job.run_id)
+
+    def _next_ready(self) -> _JobState | None:
+        """Pop the first pending job whose backoff window has elapsed."""
+        now = time.monotonic()
+        with self._lock:
+            for _ in range(len(self._pending)):
+                job = self._pending.popleft()
+                if job.not_before <= now:
+                    return job
+                self._pending.append(job)  # still backing off; rotate
+        return None
+
+    def _finish_cancelled_queued(self, job: _JobState) -> None:
+        try:
+            self.store.set_state(job.run_id, "cancelled")
+            self.store.append_journal(
+                job.run_id, {"event": "cancelled", "while": "queued"}
+            )
+            self.store.clear_cancel(job.run_id)
+        except Exception:
+            pass
+        self._count_job("cancelled")
+        self._forget(job.run_id)
+
+    def _handle_event(self, event) -> None:
+        with self._lock:
+            job = self._in_flight.pop(event.run_id, None)
+        if job is None:
+            return  # stale event for a run we no longer track
+        job.in_flight = False
+        if event.kind == "done":
+            self._count_job(event.state, event.elapsed)
+            if event.state == "done":
+                self._note_success()
+            self._forget(job.run_id)
+            return
+        if event.kind == "failed":
+            self.store.append_journal(
+                job.run_id, {"event": "worker-error", "error": event.message}
+            )
+            if event.permanent:
+                # Permanent failures (ReproError) are never retried.
+                # store.execute marks the run failed itself, but an error
+                # raised before it (e.g. an unreadable scenario.json in
+                # store.get) would leave the run queued -- settle it here.
+                if self.store.status(job.run_id).get("state") not in (
+                    "failed", "cancelled", "quarantined",
+                ):
+                    try:
+                        self.store.set_state(
+                            job.run_id, "failed", error=event.message
+                        )
+                    except Exception:
+                        pass
+                self._count_job("failed", event.elapsed)
+                self._forget(job.run_id)
+                return
+            self._retry_or_quarantine(job, event, delay=True)
+            return
+        # died / timeout / stalled: the substrate failed, not the run.
+        self._note_substrate_failure()
+        self.store.append_journal(
+            job.run_id, {"event": f"worker-{event.kind}", "error": event.message}
+        )
+        if event.kind in ("timeout", "stalled") and not self.retry.retry_timeouts:
+            self._quarantine(job, event)
+            return
+        self._retry_or_quarantine(job, event, delay=event.kind != "died")
+
+    def _retry_or_quarantine(self, job: _JobState, event, delay: bool) -> None:
+        if job.attempts >= self.retry.max_attempts:
+            self._quarantine(job, event)
+            return
+        if delay:
+            job.not_before = time.monotonic() + self.retry.delay(
+                job.run_id, job.attempts
+            )
+        else:
+            job.not_before = 0.0  # a worker death requeues immediately
+        with self._lock:
+            self._pending.append(job)
+
+    def _quarantine(self, job: _JobState, event) -> None:
+        reason = (
+            f"{event.message} (attempt {job.attempts}/{self.retry.max_attempts})"
+        )
+        try:
+            self.store.quarantine(job.run_id, reason, kind="poison")
+        except Exception:
+            pass
+        self._count_job("quarantined", event.elapsed)
+        self._forget(job.run_id)
+
+    def _forget(self, run_id: str) -> None:
+        with self._lock:
+            self._enqueued.discard(run_id)
+            self._cancel_requested.discard(run_id)
+            self._gauge_depth()
+
+    def _note_substrate_failure(self) -> None:
+        self._failure_streak += 1
+        if self._failure_streak >= self.degraded_after and not self._degraded:
+            self._degraded = True
+            telemetry.get_telemetry().gauge("service_degraded").set(1)
+
+    def _note_success(self) -> None:
+        self._failure_streak = 0
+        if self._degraded:
+            self._degraded = False
+            telemetry.get_telemetry().gauge("service_degraded").set(0)
+
+    @staticmethod
+    def _count_job(state: str, seconds: float | None = None) -> None:
+        # Parent-side accounting: the worker process's telemetry registry
+        # is a fork-copy, so its increments never reach the daemon's
+        # /metrics; the dispatcher counts terminal outcomes instead
+        # (thread mode counts inside store.execute and skips this).
+        tel = telemetry.get_telemetry()
+        tel.counter("service_jobs_total", state=state).inc()
+        if seconds is not None:
+            tel.histogram(
+                "service_job_seconds", buckets=telemetry.SECONDS_BUCKETS
+            ).observe(seconds)
+
+    # -- thread-mode worker loop (the PR 8 path; overhead baseline) --------
 
     def _worker(self) -> None:
         tel = telemetry.get_telemetry()
@@ -201,6 +536,7 @@ class JobService:
                     self.store.append_journal(
                         run_id, {"event": "cancelled", "while": "queued"}
                     )
+                    self.store.clear_cancel(run_id)
                 else:
                     record = self.store.get(run_id)
                     self.store.execute(
@@ -215,10 +551,7 @@ class JobService:
                      "error": f"{type(exc).__name__}: {exc}"},
                 )
             finally:
-                with self._lock:
-                    self._enqueued.discard(run_id)
-                    self._cancel_requested.discard(run_id)
-                    self._gauge_depth()
+                self._forget(run_id)
                 self._queue.task_done()
 
     def _gauge_depth(self) -> None:
@@ -233,8 +566,13 @@ class JobService:
         with self._lock:
             return {
                 "pending": len(self._enqueued),
-                "queue_limit": self._queue.maxsize,
-                "workers": len(self._workers),
+                "in_flight": len(self._in_flight),
+                "queue_limit": self.queue_limit,
+                "workers": self.num_workers,
+                "worker_mode": self.worker_mode,
                 "jobs_per_run": self.jobs_per_run,
+                "run_timeout": self.run_timeout,
+                "degraded": self._degraded,
+                "failure_streak": self._failure_streak,
                 "stopping": self._stopping.is_set(),
             }

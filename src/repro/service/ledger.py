@@ -1,0 +1,339 @@
+"""Durable sqlite job ledger: the run store's O(1) index.
+
+The ledger (``STORE_ROOT/ledger.db``) records every run's current state,
+attempt count, and content digest plus an append-only log of state
+transitions.  It exists so the service never has to walk ``runs/*/`` and
+parse one ``status.json`` per run just to answer ``/v1/runs`` -- listing,
+filtering, and pagination are single indexed SQL queries regardless of
+how many runs the store has accumulated.
+
+Design rules (the same discipline as the shard checkpoints):
+
+* **The store is the source of truth, the ledger is the index.**  Every
+  write lands in ``status.json`` (atomic tmp+rename) *first* and in the
+  ledger second; a daemon SIGKILLed between the two leaves the ledger at
+  most one transition stale, which :meth:`RunLedger.reconcile` repairs
+  on the next startup by replaying the directory state into the index.
+* **Crash safety via WAL.**  The database runs in write-ahead-log mode
+  with ``synchronous=NORMAL`` -- a torn write cannot corrupt committed
+  rows, and readers (the HTTP threads) never block the writer.
+* **Multi-process friendly.**  Worker *processes* executing runs update
+  run state through their own connections; a generous busy timeout keeps
+  concurrent commits from surfacing as ``database is locked``.
+* **Best-effort by contract.**  Callers in :mod:`repro.service.store`
+  treat every ledger failure as "fall back to the directory walk"; a
+  corrupt or unwritable ledger degrades listing performance, never
+  correctness.
+
+The ``failures`` SQL view is the poison-run quarantine surface: every
+run whose state is ``failed`` or ``quarantined``, with its attempt count
+and last recorded error, newest first.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["LEDGER_NAME", "LEDGER_SCHEMA_VERSION", "RunLedger"]
+
+LEDGER_NAME = "ledger.db"
+
+#: Schema version stamped into the ``meta`` table; bumping it recreates
+#: the index (cheap -- it is derivable from the store).
+LEDGER_SCHEMA_VERSION = 1
+
+_BUSY_TIMEOUT_MS = 30_000
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    seq      INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id   TEXT NOT NULL UNIQUE,
+    scenario TEXT,
+    digest   TEXT,
+    state    TEXT NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    error    TEXT,
+    updated  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_state ON runs(state);
+CREATE TABLE IF NOT EXISTS transitions (
+    seq    INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id TEXT NOT NULL,
+    state  TEXT NOT NULL,
+    ts     REAL NOT NULL,
+    detail TEXT
+);
+CREATE INDEX IF NOT EXISTS transitions_run ON transitions(run_id);
+CREATE VIEW IF NOT EXISTS failures AS
+    SELECT run_id, scenario, state, attempts, error, updated
+    FROM runs WHERE state IN ('failed', 'quarantined')
+    ORDER BY seq DESC;
+"""
+
+_ROW_KEYS = ("run_id", "scenario", "state", "attempts", "error", "updated")
+
+
+class RunLedger:
+    """One store's sqlite index (see the module docstring).
+
+    A single connection per instance, guarded by a lock so the HTTP
+    handler threads and the dispatcher can share it; separate processes
+    open their own instances against the same file (WAL handles the
+    concurrency).  All methods raise :class:`sqlite3.Error` / ``OSError``
+    on an unusable database -- the store catches these and falls back to
+    directory scans.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._conn: sqlite3.Connection | None = None
+        self._lock = threading.Lock()
+
+    # -- connection --------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is not None:
+            return self._conn
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(
+            str(self.path),
+            timeout=_BUSY_TIMEOUT_MS / 1000,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; explicit BEGIN where needed
+        )
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        conn.executescript(_SCHEMA)
+        stored = conn.execute(
+            "SELECT value FROM meta WHERE key='schema'"
+        ).fetchone()
+        if stored is None:
+            conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES('schema', ?)",
+                (str(LEDGER_SCHEMA_VERSION),),
+            )
+        elif stored["value"] != str(LEDGER_SCHEMA_VERSION):
+            # The index is derivable: wipe and let reconcile rebuild it.
+            conn.executescript(
+                "DROP VIEW IF EXISTS failures;"
+                "DROP TABLE IF EXISTS transitions;"
+                "DROP TABLE IF EXISTS runs;"
+            )
+            conn.executescript(_SCHEMA)
+            conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES('schema', ?)",
+                (str(LEDGER_SCHEMA_VERSION),),
+            )
+        self._conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close the sqlite handle; the next call transparently reopens."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # -- writes ------------------------------------------------------------
+
+    def record(
+        self,
+        run_id: str,
+        state: str,
+        scenario: str | None = None,
+        digest: str | None = None,
+        error: str | None = None,
+        detail: str | None = None,
+    ) -> None:
+        """Upsert a run's current state and append the transition."""
+        now = round(time.time(), 3)
+        with self._lock:
+            conn = self._connect()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.execute(
+                    """
+                    INSERT INTO runs(run_id, scenario, digest, state, error, updated)
+                    VALUES(?, ?, ?, ?, ?, ?)
+                    ON CONFLICT(run_id) DO UPDATE SET
+                        state=excluded.state,
+                        error=excluded.error,
+                        updated=excluded.updated,
+                        scenario=COALESCE(excluded.scenario, runs.scenario),
+                        digest=COALESCE(excluded.digest, runs.digest)
+                    """,
+                    (run_id, scenario, digest, state, error, now),
+                )
+                conn.execute(
+                    "INSERT INTO transitions(run_id, state, ts, detail) "
+                    "VALUES(?, ?, ?, ?)",
+                    (run_id, state, now, detail),
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+
+    def annotate(
+        self,
+        run_id: str,
+        scenario: str | None = None,
+        digest: str | None = None,
+    ) -> None:
+        """Backfill scenario/digest metadata without logging a transition."""
+        with self._lock:
+            self._connect().execute(
+                "UPDATE runs SET scenario=COALESCE(?, scenario), "
+                "digest=COALESCE(?, digest) WHERE run_id=?",
+                (scenario, digest, run_id),
+            )
+
+    def record_attempt(self, run_id: str) -> int:
+        """Bump a run's dispatch-attempt counter; returns the new count."""
+        with self._lock:
+            conn = self._connect()
+            conn.execute(
+                "UPDATE runs SET attempts = attempts + 1 WHERE run_id = ?",
+                (run_id,),
+            )
+            row = conn.execute(
+                "SELECT attempts FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            return int(row["attempts"]) if row else 0
+
+    def forget(self, run_id: str) -> None:
+        """Drop a run (directory vanished) from the index."""
+        with self._lock:
+            conn = self._connect()
+            conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            conn.execute("DELETE FROM transitions WHERE run_id = ?", (run_id,))
+
+    # -- reads -------------------------------------------------------------
+
+    @staticmethod
+    def _filters(state: str | None, name: str | None) -> tuple[str, list]:
+        clauses, params = [], []
+        if state is not None:
+            clauses.append("state = ?")
+            params.append(state)
+        if name is not None:
+            clauses.append("scenario = ?")
+            params.append(name)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, params
+
+    def query(
+        self,
+        state: str | None = None,
+        name: str | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> list[dict]:
+        """Run summaries in stable registration (``seq``) order."""
+        where, params = self._filters(state, name)
+        sql = f"SELECT * FROM runs{where} ORDER BY seq"
+        if limit is not None or offset:
+            sql += " LIMIT ? OFFSET ?"
+            params += [-1 if limit is None else limit, offset]
+        with self._lock:
+            rows = self._connect().execute(sql, params).fetchall()
+        return [{k: row[k] for k in _ROW_KEYS} for row in rows]
+
+    def count(self, state: str | None = None, name: str | None = None) -> int:
+        """Number of runs matching the filters."""
+        where, params = self._filters(state, name)
+        with self._lock:
+            row = self._connect().execute(
+                f"SELECT COUNT(*) AS n FROM runs{where}", params
+            ).fetchone()
+        return int(row["n"])
+
+    def states(self) -> dict[str, int]:
+        """Run counts per state (the healthz summary)."""
+        with self._lock:
+            rows = self._connect().execute(
+                "SELECT state, COUNT(*) AS n FROM runs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: int(row["n"]) for row in rows}
+
+    def failures(self) -> list[dict]:
+        """The quarantine/failure view: failed + quarantined runs."""
+        with self._lock:
+            rows = self._connect().execute("SELECT * FROM failures").fetchall()
+        return [dict(row) for row in rows]
+
+    def transitions(self, run_id: str) -> list[dict]:
+        """A run's recorded state transitions, oldest first."""
+        with self._lock:
+            rows = self._connect().execute(
+                "SELECT state, ts, detail FROM transitions "
+                "WHERE run_id = ? ORDER BY seq",
+                (run_id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # -- reconciliation ----------------------------------------------------
+
+    def reconcile(self, runs_dir: str | Path) -> dict:
+        """Replay the store directory into the index; returns a summary.
+
+        The one place the service still walks ``runs/*/`` -- called once
+        at daemon startup (and lazily when the index looks out of sync)
+        so that a SIGKILLed predecessor, a hand-edited store, or a
+        deleted ledger all converge back to directory truth.  Scenario
+        names already indexed are not re-read from disk.
+        """
+        runs_dir = Path(runs_dir)
+        on_disk: dict[str, Path] = (
+            {p.name: p for p in sorted(runs_dir.iterdir()) if p.is_dir()}
+            if runs_dir.is_dir()
+            else {}
+        )
+        with self._lock:
+            conn = self._connect()
+            indexed = {
+                row["run_id"]: dict(row)
+                for row in conn.execute("SELECT * FROM runs").fetchall()
+            }
+        summary = {"added": 0, "updated": 0, "dropped": 0, "total": len(on_disk)}
+        for run_id in set(indexed) - set(on_disk):
+            self.forget(run_id)
+            summary["dropped"] += 1
+        for run_id, root in on_disk.items():
+            status = _read_json(root / "status.json")
+            state = status.get("state", "queued")
+            error = status.get("error")
+            row = indexed.get(run_id)
+            if row is not None and row["state"] == state and row["error"] == error:
+                continue
+            scenario = digest = None
+            if row is None or not row["scenario"]:
+                doc = _read_json(root / "scenario.json")
+                scenario = doc.get("scenario")
+            if row is None or not row["digest"]:
+                manifest = _read_json(root / "manifest.json")
+                digest = manifest.get("scenario_digest")
+            self.record(
+                run_id, state, scenario=scenario, digest=digest,
+                error=error, detail="reconciled",
+            )
+            summary["added" if row is None else "updated"] += 1
+        return summary
+
+
+def _read_json(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return data if isinstance(data, dict) else {}

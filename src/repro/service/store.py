@@ -9,7 +9,11 @@ by construction.  Layout::
       scenario.json        normalized scenario document (digest preimage)
       manifest.json        checkpoint.build_manifest + scenario_digest
                            + the invoking CLI argv (how it was produced)
-      status.json          {"state": queued|running|done|failed|cancelled, ...}
+      status.json          {"state": queued|running|done|failed|
+                          cancelled|quarantined, ...}
+      CANCEL               cooperative-cancel marker (present only while
+                           a cancellation is pending; polled between
+                           cells, works across process boundaries)
       journal.jsonl        append-only event log (registered, started,
                            per-cell progress, done/failed)
       shards/block-*.json  content-addressed block checkpoints written
@@ -26,11 +30,21 @@ alone -- scenario digest verified, tables recomputed in memory and
 compared byte-for-byte against the checksummed stored payloads -- so
 both silent bit-rot (checksum mismatch) and result drift (payload
 mismatch) are loud.
+
+Since PR 9 the store also maintains a durable sqlite index
+(``STORE_ROOT/ledger.db``, :class:`repro.service.ledger.RunLedger`):
+every registration and state transition is mirrored there best-effort
+(the directory stays the source of truth; a broken ledger degrades
+:meth:`query` to a directory scan, never correctness), giving O(1)
+listing/filtering/pagination and a FAILURES view over failed and
+quarantined runs.  :meth:`serve_table` is the verify-on-read gate: a
+stored table that fails its checksum is *quarantined*, never served.
 """
 
 from __future__ import annotations
 
 import json
+import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -46,6 +60,7 @@ from repro.experiments.checkpoint import (
     table_payload,
 )
 from repro.experiments.harness import Column, Table, summarize_times
+from repro.service.ledger import LEDGER_NAME, RunLedger
 from repro.service.scenario import (
     Scenario,
     expand,
@@ -69,11 +84,16 @@ STATUS_NAME = "status.json"
 JOURNAL_NAME = "journal.jsonl"
 MANIFEST_NAME = "manifest.json"
 TABLE_NAME = "SCENARIO"
+#: Cooperative cancellation marker inside a run directory; polled
+#: between cells so a cancel request crosses the worker-process boundary.
+CANCEL_NAME = "CANCEL"
 
 #: Hex digits of the scenario digest used as the run id.
 RUN_ID_LEN = 16
 
-RUN_STATES = ("queued", "running", "done", "failed", "cancelled")
+RUN_STATES = (
+    "queued", "running", "done", "failed", "cancelled", "quarantined",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -173,6 +193,8 @@ class RunStore:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        self._ledger: RunLedger | None = None
+        self._ledger_checked = False
 
     # -- paths -------------------------------------------------------------
 
@@ -183,6 +205,57 @@ class RunStore:
     def run_dir(self, run_id: str) -> Path:
         """The directory a run id addresses (whether or not it exists)."""
         return self.runs_dir / run_id
+
+    # -- ledger (the sqlite index; directory stays source of truth) --------
+
+    @property
+    def ledger(self) -> RunLedger:
+        """The store's sqlite index (created lazily on first use)."""
+        if self._ledger is None:
+            self._ledger = RunLedger(self.root / LEDGER_NAME)
+        return self._ledger
+
+    def _ledger_record(self, run_id: str, state: str, **kwargs) -> None:
+        """Mirror a transition into the index; never let it break a write."""
+        try:
+            self.ledger.record(run_id, state, **kwargs)
+        except (sqlite3.Error, OSError):
+            self._count_ledger_error()
+
+    def _synced_ledger(self) -> RunLedger | None:
+        """The ledger, reconciled once per store instance when out of sync.
+
+        Returns None (callers fall back to directory scans) when sqlite
+        is unusable.  The sync check is a cheap count comparison: it
+        catches a deleted/older ledger and runs registered behind the
+        index's back; per-row staleness is repaired by :meth:`status`
+        overlay in :meth:`query`.
+        """
+        try:
+            if not self._ledger_checked:
+                self._ledger_checked = True
+                if self.ledger.count() != len(self.run_ids()):
+                    self.ledger.reconcile(self.runs_dir)
+            return self.ledger
+        except (sqlite3.Error, OSError):
+            self._count_ledger_error()
+            return None
+
+    def reconcile_ledger(self) -> dict:
+        """Force a full directory -> ledger reconciliation (startup path)."""
+        self._ledger_checked = True
+        summary = self.ledger.reconcile(self.runs_dir)
+        tel = telemetry.get_telemetry()
+        for key in ("added", "updated", "dropped"):
+            if summary.get(key):
+                tel.counter(
+                    "service_ledger_reconciled_total", change=key
+                ).inc(summary[key])
+        return summary
+
+    @staticmethod
+    def _count_ledger_error() -> None:
+        telemetry.get_telemetry().counter("service_ledger_errors_total").inc()
 
     # -- registration ------------------------------------------------------
 
@@ -219,6 +292,10 @@ class RunStore:
             root / MANIFEST_NAME, json.dumps(manifest, indent=2, sort_keys=True)
         )
         self.set_state(run_id, "queued")
+        try:
+            self.ledger.annotate(run_id, scenario=scenario.name, digest=digest)
+        except (sqlite3.Error, OSError):
+            self._count_ledger_error()
         self.append_journal(run_id, {"event": "registered", "digest": digest})
         return record, True
 
@@ -254,8 +331,51 @@ class RunStore:
         """All registered runs (sorted by id)."""
         return [self.get(run_id) for run_id in self.run_ids()]
 
-    def query(self, state: str | None = None, name: str | None = None) -> list[dict]:
-        """Summaries of registered runs, optionally filtered."""
+    def query(
+        self,
+        state: str | None = None,
+        name: str | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> list[dict]:
+        """Summaries of registered runs, optionally filtered and paginated.
+
+        Served from the sqlite ledger in stable registration order --
+        O(page size), not O(runs).  Each summary row is overlaid with the
+        run's live ``status.json`` fields (timestamps, checksums, error
+        text), so directory truth always wins over a stale index row.
+        Falls back to a full directory scan when the ledger is unusable.
+        """
+        ledger = self._synced_ledger()
+        if ledger is None:
+            return self._query_scan(state, name, limit, offset)
+        try:
+            rows = ledger.query(state=state, name=name, limit=limit, offset=offset)
+        except (sqlite3.Error, OSError):
+            self._count_ledger_error()
+            return self._query_scan(state, name, limit, offset)
+        out = []
+        for row in rows:
+            status = self.status(row["run_id"])
+            summary = {
+                "run_id": row["run_id"],
+                "scenario": row["scenario"],
+                "attempts": row["attempts"],
+                **status,
+            }
+            if not status:  # directory row vanished; report the index view
+                summary["state"] = row["state"]
+            out.append(summary)
+        return out
+
+    def _query_scan(
+        self,
+        state: str | None,
+        name: str | None,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> list[dict]:
+        """The O(runs) directory-walk fallback (ledger unusable)."""
         out = []
         for run_id in self.run_ids():
             status = self.status(run_id)
@@ -269,7 +389,34 @@ class RunStore:
             if name is not None and scenario_name != name:
                 continue
             out.append({"run_id": run_id, "scenario": scenario_name, **status})
-        return out
+        end = None if limit is None else offset + limit
+        return out[offset:end]
+
+    def count(self, state: str | None = None, name: str | None = None) -> int:
+        """Number of registered runs matching the filters (for pagination)."""
+        ledger = self._synced_ledger()
+        if ledger is not None:
+            try:
+                return ledger.count(state=state, name=name)
+            except (sqlite3.Error, OSError):
+                self._count_ledger_error()
+        return len(self._query_scan(state, name))
+
+    def failures(self) -> list[dict]:
+        """The FAILURES view: failed and quarantined runs, newest first."""
+        ledger = self._synced_ledger()
+        if ledger is not None:
+            try:
+                return ledger.failures()
+            except (sqlite3.Error, OSError):
+                self._count_ledger_error()
+        rows = [
+            r
+            for r in self._query_scan(None, None)
+            if r.get("state") in ("failed", "quarantined")
+        ]
+        rows.reverse()
+        return rows
 
     def _load_scenario(self, root: Path) -> Scenario:
         path = root / SCENARIO_NAME
@@ -299,7 +446,13 @@ class RunStore:
             return {}
 
     def set_state(self, run_id: str, state: str, **extra) -> None:
-        """Atomically update the run's state (one of :data:`RUN_STATES`)."""
+        """Atomically update the run's state (one of :data:`RUN_STATES`).
+
+        ``status.json`` is written first (source of truth), then the
+        transition is mirrored into the sqlite ledger best-effort -- a
+        SIGKILL between the two leaves the index one transition stale,
+        repaired by reconciliation at the next startup.
+        """
         if state not in RUN_STATES:
             raise ConfigurationError(
                 f"unknown run state {state!r}; known: {RUN_STATES}"
@@ -308,6 +461,10 @@ class RunStore:
         atomic_write_text(
             self.run_dir(run_id) / STATUS_NAME,
             json.dumps(record, sort_keys=True),
+        )
+        err = extra.get("error")
+        self._ledger_record(
+            run_id, state, error=str(err) if err is not None else None
         )
 
     def append_journal(self, run_id: str, record: dict) -> None:
@@ -329,6 +486,49 @@ class RunStore:
             except json.JSONDecodeError:
                 continue
         return records
+
+    # -- cooperative cancellation (crosses process boundaries) --------------
+
+    def cancel_path(self, run_id: str) -> Path:
+        """Where a run's ``CANCEL`` marker file lives."""
+        return self.run_dir(run_id) / CANCEL_NAME
+
+    def request_cancel(self, run_id: str) -> None:
+        """Drop the cancel marker; pollers stop between cells."""
+        self.cancel_path(run_id).touch()
+
+    def cancel_requested(self, run_id: str) -> bool:
+        """Whether the run's cancel marker is present."""
+        return self.cancel_path(run_id).exists()
+
+    def clear_cancel(self, run_id: str) -> None:
+        """Remove any cancel marker (on submit and settled cancels)."""
+        self.cancel_path(run_id).unlink(missing_ok=True)
+
+    # -- attempts / quarantine ----------------------------------------------
+
+    def record_attempt(self, run_id: str) -> int:
+        """Count one dispatch attempt in the ledger; returns the total."""
+        try:
+            return self.ledger.record_attempt(run_id)
+        except (sqlite3.Error, OSError):
+            self._count_ledger_error()
+            return 0
+
+    def quarantine(self, run_id: str, reason: str, kind: str = "poison") -> None:
+        """Park a run where it can do no harm (never auto-retried/served).
+
+        *kind* labels the telemetry counter: ``poison`` (exhausted its
+        retry budget or failed permanently) or ``tamper`` (stored bytes
+        failed verify-on-read).
+        """
+        self.set_state(run_id, "quarantined", error=reason)
+        self.append_journal(
+            run_id, {"event": "quarantined", "kind": kind, "reason": reason}
+        )
+        telemetry.get_telemetry().counter(
+            "service_runs_quarantined_total", kind=kind
+        ).inc()
 
     def progress(self, run_id: str) -> dict:
         """Cells-done progress derived from the journal."""
@@ -389,6 +589,22 @@ class RunStore:
             )
         return table
 
+    def serve_table(self, run_id: str) -> Table:
+        """Verify-on-read: integrity-check the table, quarantining on failure.
+
+        The service's results path.  A table whose bytes fail the stored
+        checksum is never served: the run flips to ``quarantined`` (with
+        the mismatch recorded) and the :class:`ChecksumMismatchError`
+        propagates to the caller -- tampered data cannot reach a client,
+        and the FAILURES view names the poisoned run.
+        """
+        try:
+            return self.load_table(run_id)
+        except ChecksumMismatchError as exc:
+            if self.status(run_id).get("state") != "quarantined":
+                self.quarantine(run_id, str(exc), kind="tamper")
+            raise
+
     # -- execution ---------------------------------------------------------
 
     def execute(
@@ -403,7 +619,9 @@ class RunStore:
         Cells execute one at a time through the supervised sharded
         scheduler (block checkpoints under ``shards/`` make a killed run
         resumable), journaling per-cell progress.  *should_cancel* is
-        polled between cells for cooperative cancellation.  A run already
+        polled between cells for cooperative cancellation; the run's
+        on-disk ``CANCEL`` marker is always polled too, so a cancel
+        request reaches an executor in another process.  A run already
         ``done`` is a no-op unless *force* re-executes it (results are
         deterministic, so the tables cannot change).
         """
@@ -415,11 +633,20 @@ class RunStore:
         self.set_state(run_id, "running")
         self.append_journal(run_id, {"event": "started", "cells": len(specs)})
         started = time.monotonic()
+        cancel_path = self.cancel_path(run_id)
+        user_cancel = should_cancel
+
+        def should_cancel() -> bool:
+            if cancel_path.exists():
+                return True
+            return user_cancel is not None and user_cancel()
+
         try:
             results = self._run_specs(record, specs, jobs, should_cancel)
             if results is None:
                 self.set_state(run_id, "cancelled")
                 self.append_journal(run_id, {"event": "cancelled"})
+                self.clear_cancel(run_id)
                 self._count_job("cancelled")
                 return "cancelled"
             table = results_table(scenario, specs, results)

@@ -1,0 +1,455 @@
+"""Supervised worker-process fleet for the job service.
+
+The PR 7 shard supervisor keeps *blocks inside one run* alive under
+worker churn; this module applies the same idiom one level up, keeping
+*runs inside the daemon* alive: each run executes in a dedicated child
+process with a duplex pipe, heartbeats, and a per-run wall-clock
+deadline, so a hung or crashing run can never wedge the daemon itself.
+
+The contract mirrors ``experiments.shard_supervisor``:
+
+* one ``multiprocessing.Pipe`` per worker; the parent waits on pipe
+  connections *and* process sentinels with
+  :func:`multiprocessing.connection.wait`, so worker death is detected
+  immediately (no polling);
+* escalation is terminate-then-kill: SIGTERM, a grace join, SIGKILL;
+* the worker main is a module-level function (picklable under any start
+  method) that resets inherited signal handlers, and exits on pipe EOF
+  so a dead parent cannot leave orphans behind.
+
+What the fleet reports, the service decides: :meth:`WorkerFleet.poll`
+returns plain :class:`FleetEvent` records (``done`` / ``failed`` /
+``died`` / ``timeout`` / ``stalled``) and the :class:`~repro.service
+.jobs.JobService` dispatcher owns requeue, retry backoff, and
+quarantine policy.
+
+Workers are **not** daemonic: a run may itself spawn shard worker
+processes (``jobs_per_run > 1``), which daemonic processes are forbidden
+to do.  The fleet compensates by killing its children explicitly on
+shutdown and by the EOF exit above.
+
+Chaos hooks (:class:`repro.service.chaos.ServiceFaultPlan`) travel to
+the child as the compact fault-spec string and fire by fleet-wide
+dispatch sequence number, so an injected kill/hang schedule replays
+deterministically regardless of which worker draws which job.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.experiments.parallel import subprocess_context
+
+__all__ = ["FleetEvent", "WorkerFleet", "DEFAULT_HEARTBEAT_INTERVAL_S"]
+
+#: How often a busy worker's beat thread pings the parent.
+DEFAULT_HEARTBEAT_INTERVAL_S = 1.0
+
+#: Cap on one supervision wait so deadlines stay responsive.
+_WAIT_CAP_S = 0.5
+
+#: Grace period after SIGTERM before escalating to SIGKILL.
+_TERM_GRACE_S = 2.0
+
+
+def _service_worker_main(
+    conn, store_root: str, fault_spec: str, heartbeat_interval: float
+) -> None:
+    """Entry point of one service worker process.
+
+    Receives ``("run", job_seq, run_id, jobs)`` messages, executes each
+    run through its own :class:`~repro.service.store.RunStore` handle,
+    and replies ``("done", ...)`` / ``("failed", ...)``.  A beat thread
+    pings the parent every *heartbeat_interval* seconds while a run is
+    in flight -- it deliberately keeps beating through an injected
+    ``worker:hang``, so a hang is caught by the run deadline (proving
+    that path), while a genuinely wedged process goes stale.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Imported here (not at module top) so the fork/spawn child pays the
+    # cost once and pickling the worker fn never drags the store along.
+    from repro.service.chaos import ServiceFaultPlan, tamper_stored_table
+    from repro.service.store import RunStore
+
+    store = RunStore(store_root)
+    plan = ServiceFaultPlan.from_spec(fault_spec or "")
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # parent is gone; never outlive it
+        if msg[0] == "stop":
+            return
+        _kind, job_seq, run_id, jobs = msg
+        stop_beat = threading.Event()
+
+        def _beat(seq=job_seq, rid=run_id):
+            while not stop_beat.wait(heartbeat_interval):
+                try:
+                    conn.send(("hb", seq, rid))
+                except (BrokenPipeError, OSError):
+                    return
+
+        beat = threading.Thread(target=_beat, daemon=True, name="fleet-beat")
+        beat.start()
+        try:
+            plan.fire_worker(job_seq)  # kill/hang fire here, pre-execution
+            record = store.get(run_id)
+            with plan.disk_pressure(job_seq):
+                state = store.execute(record, jobs=jobs)
+            if state == "done" and plan.should_tamper(job_seq):
+                tamper_stored_table(record.root)
+            reply = ("done", job_seq, run_id, state)
+        except BaseException as exc:  # noqa: BLE001 -- serialized to parent
+            reply = (
+                "failed",
+                job_seq,
+                run_id,
+                {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "permanent": isinstance(exc, ReproError),
+                },
+            )
+        finally:
+            stop_beat.set()
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+@dataclass(frozen=True, slots=True)
+class FleetEvent:
+    """One supervision outcome surfaced to the dispatcher.
+
+    *kind* is one of ``done`` (run reached a terminal state itself),
+    ``failed`` (executor raised; *permanent* distinguishes ReproError),
+    ``died`` (worker process exited without a reply -- SIGKILL, OOM,
+    crash), ``timeout`` (run deadline exceeded; worker was killed), or
+    ``stalled`` (heartbeats went stale; worker was killed).
+    """
+
+    kind: str
+    run_id: str | None
+    job_seq: int
+    state: str | None = None
+    message: str | None = None
+    permanent: bool = False
+    exitcode: int | None = None
+    elapsed: float = 0.0
+
+
+@dataclass
+class _RunWorker:
+    """One supervised worker process and its in-flight job, if any."""
+
+    index: int
+    process: object = None
+    conn: object = None
+    job_seq: int | None = None
+    run_id: str | None = None
+    started: float = 0.0
+    deadline: float | None = None
+    last_beat: float = 0.0
+    deaths: int = field(default=0)
+
+    @property
+    def busy(self) -> bool:
+        return self.run_id is not None
+
+    def clear(self) -> None:
+        self.job_seq = None
+        self.run_id = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        """Terminate-then-kill escalation (the PR 7 idiom)."""
+        proc = self.process
+        if proc is None:
+            return
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(_TERM_GRACE_S)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(_TERM_GRACE_S)
+
+
+class WorkerFleet:
+    """A fixed-size fleet of supervised run-executor processes.
+
+    The dispatcher thread owns this object; no method is thread-safe.
+    ``dispatch`` hands a run to an idle worker (returning the fleet-wide
+    job sequence number that chaos plans key on), ``poll`` waits for
+    events -- completions, failures, deaths (the worker is respawned in
+    place), run-deadline timeouts, and heartbeat stalls (both kill the
+    worker first, then respawn).
+    """
+
+    def __init__(
+        self,
+        store_root: str | Path,
+        size: int,
+        *,
+        jobs_per_run: int = 1,
+        run_timeout: float | None = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout: float | None = None,
+        fault_spec: str = "",
+        threadsafe: bool = False,
+    ):
+        if size < 1:
+            raise ValueError(f"fleet size must be >= 1, got {size}")
+        self.store_root = str(store_root)
+        self.size = size
+        self.jobs_per_run = jobs_per_run
+        self.run_timeout = run_timeout
+        self.heartbeat_interval = heartbeat_interval
+        # Stale = many missed beats; generous so a fork-storm under load
+        # (a run spawning its shard workers) is never misread as a wedge.
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else max(15.0, 10.0 * heartbeat_interval)
+        )
+        self.fault_spec = fault_spec
+        self._ctx = subprocess_context(threadsafe)
+        self._workers: list[_RunWorker] = []
+        self._next_seq = 1
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._workers = [self._spawn(i) for i in range(self.size)]
+
+    def _spawn(self, index: int) -> _RunWorker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_service_worker_main,
+            args=(
+                child_conn,
+                self.store_root,
+                self.fault_spec,
+                self.heartbeat_interval,
+            ),
+            name=f"repro-fleet-{index}",
+            daemon=False,  # runs spawn shard workers; daemons cannot
+        )
+        proc.start()
+        child_conn.close()
+        return _RunWorker(
+            index=index, process=proc, conn=parent_conn, last_beat=time.monotonic()
+        )
+
+    def shutdown(self, kill: bool = True) -> None:
+        """Stop every worker (politely, then by force for the busy ones)."""
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(0.2 if kill else _TERM_GRACE_S)
+            if worker.process.is_alive():
+                if kill:
+                    worker.kill()
+                else:
+                    worker.process.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+        self._started = False
+
+    # -- dispatch ----------------------------------------------------------
+
+    def idle_workers(self) -> list[_RunWorker]:
+        """The workers currently free to take a dispatch."""
+        return [w for w in self._workers if not w.busy]
+
+    @property
+    def idle_count(self) -> int:
+        return len(self.idle_workers())
+
+    @property
+    def busy_count(self) -> int:
+        return sum(1 for w in self._workers if w.busy)
+
+    def busy_runs(self) -> list[str]:
+        """Run ids currently held by workers (for rescan coalescing)."""
+        return [w.run_id for w in self._workers if w.busy]
+
+    def dispatch(self, run_id: str) -> int:
+        """Hand *run_id* to an idle worker; returns the job sequence number."""
+        for worker in self._workers:
+            if not worker.busy:
+                seq = self._next_seq
+                self._next_seq += 1
+                now = time.monotonic()
+                worker.job_seq = seq
+                worker.run_id = run_id
+                worker.started = now
+                worker.last_beat = now
+                worker.deadline = (
+                    now + self.run_timeout if self.run_timeout else None
+                )
+                worker.conn.send(("run", seq, run_id, self.jobs_per_run))
+                return seq
+        raise RuntimeError("dispatch with no idle worker (caller bug)")
+
+    # -- supervision -------------------------------------------------------
+
+    def poll(self, timeout: float = _WAIT_CAP_S) -> list[FleetEvent]:
+        """Wait up to *timeout* for fleet events; respawn dead workers."""
+        if not self._workers:
+            return []
+        deadline = time.monotonic() + timeout
+        events: list[FleetEvent] = []
+        while not events:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            wait_for = min(remaining, _WAIT_CAP_S, self._nearest_deadline())
+            sources = [w.conn for w in self._workers] + [
+                w.process.sentinel for w in self._workers
+            ]
+            ready = connection_wait(sources, timeout=max(wait_for, 0.01))
+            by_conn = {w.conn: w for w in self._workers}
+            by_sentinel = {w.process.sentinel: w for w in self._workers}
+            for source in ready:
+                worker = by_conn.get(source)
+                if worker is not None:
+                    events.extend(self._drain(worker))
+                    continue
+                worker = by_sentinel.get(source)
+                if worker is not None and not worker.process.is_alive():
+                    # Drain any reply racing the exit before declaring death.
+                    events.extend(self._drain(worker))
+                    event = self._handle_death(worker)
+                    if event is not None:
+                        events.append(event)
+            events.extend(self._enforce_deadlines())
+        return events
+
+    def _nearest_deadline(self) -> float:
+        now = time.monotonic()
+        gaps = [w.deadline - now for w in self._workers if w.deadline is not None]
+        gaps += [
+            w.last_beat + self.heartbeat_timeout - now
+            for w in self._workers
+            if w.busy
+        ]
+        return max(min(gaps), 0.01) if gaps else _WAIT_CAP_S
+
+    def _drain(self, worker: _RunWorker) -> list[FleetEvent]:
+        events = []
+        try:
+            while worker.conn.poll():
+                msg = worker.conn.recv()
+                kind = msg[0]
+                if kind == "hb":
+                    worker.last_beat = time.monotonic()
+                    continue
+                _, job_seq, run_id, detail = msg
+                elapsed = time.monotonic() - worker.started
+                worker.clear()
+                if kind == "done":
+                    events.append(
+                        FleetEvent(
+                            kind="done", run_id=run_id, job_seq=job_seq,
+                            state=detail, elapsed=elapsed,
+                        )
+                    )
+                else:
+                    events.append(
+                        FleetEvent(
+                            kind="failed", run_id=run_id, job_seq=job_seq,
+                            message=f"{detail['type']}: {detail['message']}",
+                            permanent=detail["permanent"], elapsed=elapsed,
+                        )
+                    )
+        except (EOFError, OSError):
+            pass  # sentinel path reports the death
+        return events
+
+    def _handle_death(self, worker: _RunWorker) -> FleetEvent | None:
+        """Respawn a dead worker in place; report the orphaned run, if any."""
+        exitcode = worker.process.exitcode
+        run_id, job_seq = worker.run_id, worker.job_seq
+        elapsed = time.monotonic() - worker.started if worker.busy else 0.0
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        replacement = self._spawn(worker.index)
+        worker.process = replacement.process
+        worker.conn = replacement.conn
+        worker.deaths += 1
+        worker.clear()
+        worker.last_beat = time.monotonic()
+        telemetry.get_telemetry().counter(
+            "service_worker_deaths_total",
+            cause="idle" if run_id is None else "busy",
+        ).inc()
+        if run_id is None:
+            return None  # idle death: nothing to requeue, fleet healed
+        return FleetEvent(
+            kind="died", run_id=run_id, job_seq=job_seq,
+            message=f"worker process died (exit {exitcode})",
+            exitcode=exitcode, elapsed=elapsed,
+        )
+
+    def _enforce_deadlines(self) -> list[FleetEvent]:
+        """Kill workers past their run deadline or with stale heartbeats."""
+        now = time.monotonic()
+        events = []
+        for worker in self._workers:
+            if not worker.busy:
+                continue
+            if worker.deadline is not None and now >= worker.deadline:
+                events.append(self._kill_busy(worker, "timeout"))
+            elif now - worker.last_beat >= self.heartbeat_timeout:
+                events.append(self._kill_busy(worker, "stalled"))
+        return events
+
+    def _kill_busy(self, worker: _RunWorker, kind: str) -> FleetEvent:
+        run_id, job_seq = worker.run_id, worker.job_seq
+        elapsed = time.monotonic() - worker.started
+        worker.kill()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        replacement = self._spawn(worker.index)
+        worker.process = replacement.process
+        worker.conn = replacement.conn
+        worker.deaths += 1
+        worker.clear()
+        worker.last_beat = time.monotonic()
+        reason = (
+            f"run exceeded its {self.run_timeout}s deadline"
+            if kind == "timeout"
+            else f"no heartbeat for {self.heartbeat_timeout}s"
+        )
+        telemetry.get_telemetry().counter(
+            "service_worker_deaths_total", cause=kind
+        ).inc()
+        return FleetEvent(
+            kind=kind, run_id=run_id, job_seq=job_seq,
+            message=f"{reason}; worker killed", elapsed=elapsed,
+        )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -51,6 +52,41 @@ def request(method: str, url: str, body: bytes | None = None):
             return resp.status, resp.read().decode()
     except urllib.error.HTTPError as exc:
         return exc.code, exc.read().decode()
+
+
+def request_full(method: str, url: str, body: bytes | None = None):
+    """Like :func:`request` but also returns the response headers."""
+    req = urllib.request.Request(url, data=body, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, resp.read().decode(), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode(), dict(exc.headers)
+
+
+@contextlib.contextmanager
+def live_server(service: JobService):
+    """Serve an (optionally unstarted) JobService on an ephemeral port."""
+    srv = make_server(service, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{srv.server_address[1]}"
+    finally:
+        srv.shutdown()
+        srv.server_close()
+
+
+def scen(name: str, seed: int) -> bytes:
+    return json.dumps(
+        {
+            "scenario": name,
+            "schema": 1,
+            "seed": seed,
+            "grid": {"kind": ["lesk"], "n": [8], "adversary": ["random"]},
+            "reps": 1,
+        }
+    ).encode()
 
 
 def submit_and_wait(base: str, doc: bytes = DOC, timeout: float = 30.0) -> str:
@@ -155,6 +191,95 @@ class TestErrors:
         base, _ = server
         assert request("GET", f"{base}/nope")[0] == 404
         assert request("POST", f"{base}/v1/nope")[0] == 404
+
+
+class TestPagination:
+    def test_envelope_with_params_bare_list_without(self, tmp_path):
+        # an unstarted service: registered runs stay queued, order is stable
+        service = JobService(RunStore(tmp_path / "store"), queue_limit=8)
+        ids = []
+        with live_server(service) as base:
+            for i in range(3):
+                code, body = request(
+                    "POST", f"{base}/v1/scenarios", scen(f"page-{i}", 20 + i)
+                )
+                assert code == 200, body
+                ids.append(json.loads(body)["run_id"])
+
+            # back-compat: no params -> the bare JSON list, all runs
+            code, body = request("GET", f"{base}/v1/runs")
+            assert code == 200
+            assert [r["run_id"] for r in json.loads(body)] == ids
+
+            # with params -> the pagination envelope, from the ledger
+            code, body = request("GET", f"{base}/v1/runs?limit=2&offset=1")
+            assert code == 200
+            page = json.loads(body)
+            assert [r["run_id"] for r in page["runs"]] == ids[1:3]
+            assert (page["total"], page["limit"], page["offset"]) == (3, 2, 1)
+
+            # offset past the end is an empty page, not an error
+            code, body = request("GET", f"{base}/v1/runs?limit=2&offset=9")
+            assert code == 200 and json.loads(body)["runs"] == []
+
+    def test_bad_pagination_params_are_400(self, tmp_path):
+        service = JobService(RunStore(tmp_path / "store"))
+        with live_server(service) as base:
+            for query in ("limit=-1", "limit=x", "offset=-2", "offset=nan"):
+                code, body = request("GET", f"{base}/v1/runs?{query}")
+                assert code == 400, query
+                assert "non-negative" in json.loads(body)["error"]
+
+
+class TestRetryAfter:
+    def test_429_carries_retry_after_header(self, tmp_path):
+        # unstarted service with a one-slot queue: the second submission
+        # must be told to back off, with a machine-readable hint
+        service = JobService(RunStore(tmp_path / "store"), queue_limit=1)
+        with live_server(service) as base:
+            code, _, _ = request_full(
+                "POST", f"{base}/v1/scenarios", scen("fill", 30)
+            )
+            assert code == 200
+            code, body, headers = request_full(
+                "POST", f"{base}/v1/scenarios", scen("overflow", 31)
+            )
+            assert code == 429
+            assert "retry later" in json.loads(body)["error"]
+            assert int(headers["Retry-After"]) >= 1
+
+    def test_degraded_service_is_503_with_retry_after(self, tmp_path):
+        service = JobService(RunStore(tmp_path / "store"), degraded_after=2)
+        service._note_substrate_failure()
+        service._note_substrate_failure()
+        with live_server(service) as base:
+            code, body, headers = request_full(
+                "POST", f"{base}/v1/scenarios", scen("degraded", 32)
+            )
+            assert code == 503
+            assert "degraded" in json.loads(body)["error"]
+            assert int(headers["Retry-After"]) >= 1
+            # reads are still served while degraded
+            assert request("GET", f"{base}/v1/runs")[0] == 200
+
+
+class TestFailures:
+    def test_failures_endpoint_lists_quarantined_and_failed(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        service = JobService(store)
+        ok, _ = store.register(
+            scenario_from_jsonable(json.loads(scen("f-ok", 40)))
+        )
+        bad, _ = store.register(
+            scenario_from_jsonable(json.loads(scen("f-bad", 41)))
+        )
+        store.set_state(bad.run_id, "failed", error="boom")
+        with live_server(service) as base:
+            code, body = request("GET", f"{base}/v1/failures")
+            assert code == 200
+            rows = json.loads(body)
+            assert [r["run_id"] for r in rows] == [bad.run_id]
+            assert rows[0]["error"] == "boom"
 
 
 class TestOps:

@@ -1,0 +1,151 @@
+"""Sqlite run ledger: transitions, pagination, reconciliation, fallback."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.jobs import JobService
+from repro.service.ledger import RunLedger
+from repro.service.scenario import scenario_from_jsonable
+from repro.service.store import RunStore
+
+
+def scen(name: str, seed: int = 3) -> dict:
+    return scenario_from_jsonable(
+        {
+            "scenario": name,
+            "schema": 1,
+            "seed": seed,
+            "grid": {"kind": ["lesk"], "n": [8], "adversary": ["random"]},
+            "reps": 2,
+            "sharding": {"block_size": 2},
+        }
+    )
+
+
+class TestLedgerCore:
+    def test_record_upserts_and_logs_transitions(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.db")
+        ledger.record("r1", "queued", scenario="s", digest="d")
+        ledger.record("r1", "running")
+        ledger.record("r1", "done")
+        rows = ledger.query()
+        assert len(rows) == 1
+        assert rows[0]["state"] == "done"
+        assert rows[0]["scenario"] == "s"  # COALESCE keeps the metadata
+        states = [t["state"] for t in ledger.transitions("r1")]
+        assert states == ["queued", "running", "done"]
+
+    def test_query_order_filters_and_pagination(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.db")
+        for i in range(5):
+            ledger.record(f"r{i}", "queued", scenario=f"s{i % 2}")
+        ledger.record("r3", "done")
+        # stable registration order, not update order
+        assert [r["run_id"] for r in ledger.query()] == [
+            "r0", "r1", "r2", "r3", "r4",
+        ]
+        assert [r["run_id"] for r in ledger.query(limit=2, offset=1)] == [
+            "r1", "r2",
+        ]
+        assert [r["run_id"] for r in ledger.query(state="done")] == ["r3"]
+        assert ledger.count() == 5
+        assert ledger.count(state="queued") == 4
+        assert ledger.count(name="s1") == 2
+        assert ledger.states() == {"queued": 4, "done": 1}
+
+    def test_failures_view_newest_first(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.db")
+        ledger.record("ok", "done")
+        ledger.record("bad1", "failed", error="boom")
+        ledger.record("bad2", "quarantined", error="poison")
+        rows = ledger.failures()
+        assert [r["run_id"] for r in rows] == ["bad2", "bad1"]
+        assert rows[1]["error"] == "boom"
+
+    def test_attempts_counter(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.db")
+        ledger.record("r1", "queued")
+        assert ledger.record_attempt("r1") == 1
+        assert ledger.record_attempt("r1") == 2
+        assert ledger.query()[0]["attempts"] == 2
+        assert ledger.record_attempt("missing") == 0
+
+    def test_annotate_backfills_without_transition(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.db")
+        ledger.record("r1", "queued")
+        ledger.annotate("r1", scenario="s", digest="d")
+        row = ledger.query()[0]
+        assert (row["scenario"], len(ledger.transitions("r1"))) == ("s", 1)
+
+
+class TestStoreIntegration:
+    def test_register_and_state_changes_mirror_into_ledger(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        record, _ = store.register(scen("mirrored"))
+        store.set_state(record.run_id, "running")
+        rows = store.ledger.query()
+        assert rows[0]["run_id"] == record.run_id
+        assert rows[0]["state"] == "running"
+        assert rows[0]["scenario"] == "mirrored"
+
+    def test_deleted_ledger_is_rebuilt_from_directory(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        a, _ = store.register(scen("rebuild-a", seed=11))
+        b, _ = store.register(scen("rebuild-b", seed=12))
+        store.set_state(b.run_id, "failed", error="x")
+        store.ledger.close()
+        (tmp_path / "s" / "ledger.db").unlink()
+        # a fresh store instance auto-reconciles on first query
+        fresh = RunStore(tmp_path / "s")
+        by_id = {r["run_id"]: r for r in fresh.query()}
+        assert by_id[a.run_id]["state"] == "queued"
+        assert by_id[b.run_id]["state"] == "failed"
+        assert by_id[a.run_id]["scenario"] == "rebuild-a"
+
+    def test_reconcile_repairs_stale_rows_and_drops_ghosts(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        record, _ = store.register(scen("stale"))
+        # simulate the SIGKILL window: status.json moved on, ledger did not
+        status = record.root / "status.json"
+        status.write_text(json.dumps({"state": "done", "updated": 1.0}))
+        store.ledger.record("ghost-run", "queued")
+        summary = store.reconcile_ledger()
+        assert summary["updated"] == 1 and summary["dropped"] == 1
+        rows = store.ledger.query()
+        assert [r["run_id"] for r in rows] == [record.run_id]
+        assert rows[0]["state"] == "done"
+
+    def test_unusable_ledger_falls_back_to_directory_scan(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        record, _ = store.register(scen("fallback"))
+        store.ledger.close()
+        db = tmp_path / "s" / "ledger.db"
+        db.unlink()
+        db.mkdir()  # a directory: sqlite cannot open it
+        fresh = RunStore(tmp_path / "s")
+        rows = fresh.query()
+        assert [r["run_id"] for r in rows] == [record.run_id]
+        assert rows[0]["state"] == "queued"
+        assert fresh.count() == 1
+        assert fresh.failures() == []
+
+    def test_query_pagination_through_store(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        ids = [store.register(scen(f"p{i}", seed=50 + i))[0].run_id
+               for i in range(4)]
+        page = store.query(limit=2, offset=1)
+        assert [r["run_id"] for r in page] == ids[1:3]
+        assert store.count() == 4
+
+
+class TestServiceRecovery:
+    def test_rescan_recovers_from_ledgered_store(self, tmp_path):
+        """The ledger-backed rescan path still recovers queued + running."""
+        store = RunStore(tmp_path / "s")
+        queued, _ = store.register(scen("led-q", seed=70))
+        crashed, _ = store.register(scen("led-r", seed=71))
+        store.set_state(crashed.run_id, "running")
+        svc = JobService(store)
+        recovered = svc.rescan()
+        assert set(recovered) == {queued.run_id, crashed.run_id}

@@ -1,0 +1,120 @@
+"""Restart races: double start, rescan vs in-flight runs, drain vs replay.
+
+ISSUE 9 satellite: these paths must be idempotent and leave the store
+consistent -- no run lost, none double-completed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service.jobs import JobService
+from repro.service.scenario import scenario_from_jsonable
+from repro.service.store import RunStore
+
+
+def scen(name: str, seed: int = 3, reps: int = 2, n: int = 8):
+    return scenario_from_jsonable(
+        {
+            "scenario": name,
+            "schema": 1,
+            "seed": seed,
+            "grid": {"kind": ["lesk"], "n": [n], "adversary": ["random"]},
+            "reps": reps,
+            "sharding": {"block_size": 2},
+        }
+    )
+
+
+def wait_state(store, run_id, states, timeout=60.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = store.status(run_id).get("state")
+        if state in states:
+            return state
+        time.sleep(0.01)
+    raise AssertionError(
+        f"run {run_id} never reached {states}; stuck at "
+        f"{store.status(run_id)!r}"
+    )
+
+
+class TestDoubleStart:
+    def test_second_start_is_a_noop(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)
+        svc.start()
+        fleet = svc._fleet
+        svc.start()  # must not respawn the fleet or re-run recovery
+        assert svc._fleet is fleet
+        try:
+            summary = svc.submit(scen("double-start"))
+            assert wait_state(store, summary["run_id"], ("done",)) == "done"
+        finally:
+            svc.stop(drain=True)
+
+
+class TestRescanRaces:
+    def test_rescan_while_worker_holds_the_run_coalesces(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)
+        svc.start()
+        try:
+            # enough reps that the run is observably in flight
+            summary = svc.submit(scen("rescan-race", reps=24, n=16))
+            run_id = summary["run_id"]
+            wait_state(store, run_id, ("running",), timeout=30.0)
+            # a rescan storm while the worker holds the run must coalesce
+            for _ in range(5):
+                svc.rescan()
+            assert wait_state(store, run_id, ("done",)) == "done"
+        finally:
+            svc.stop(drain=True)
+        events = [r["event"] for r in store.journal(run_id)]
+        # exactly one completion: the run was never double-dispatched
+        assert events.count("done") == 1
+        assert store.replay(run_id).identical
+
+    def test_rescan_before_and_after_start_is_idempotent(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        record, _ = store.register(scen("rescan-idem", seed=91))
+        svc = JobService(store)
+        first = svc.rescan()
+        second = svc.rescan()  # already pending: coalesced, not re-queued
+        assert first == [record.run_id]
+        assert second == []
+        assert svc.stats()["pending"] == 1
+        svc.start()
+        try:
+            assert wait_state(store, record.run_id, ("done",)) == "done"
+        finally:
+            svc.stop(drain=True)
+        events = [r["event"] for r in store.journal(record.run_id)]
+        assert events.count("done") == 1
+
+
+class TestDrainVsReplay:
+    def test_sigterm_drain_during_replay_leaves_store_consistent(self, tmp_path):
+        store = RunStore(tmp_path / "s")
+        svc = JobService(store)
+        svc.start()
+        summary = svc.submit(scen("drain-replay"))
+        run_id = summary["run_id"]
+        wait_state(store, run_id, ("done",))
+
+        # an HTTP replay is mid-flight when the SIGTERM drain arrives
+        reports = []
+
+        def replay():
+            reports.append(store.replay(run_id))
+
+        thread = threading.Thread(target=replay)
+        thread.start()
+        svc.stop(drain=True)  # the SIGTERM path
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert reports and reports[0].identical
+        assert store.status(run_id).get("state") == "done"
+        # a second stop is also idempotent
+        svc.stop(drain=True)
