@@ -38,15 +38,27 @@ from repro.core.election import make_protocol_stations
 from repro.protocols.lesk import LESKPolicy
 from repro.protocols.vector import VectorLESKPolicy, VectorLESUPolicy
 from repro.resilience.faults import NO_FAULTS
+from repro.sim import kernels as sim_kernels
 from repro.sim.batched import simulate_uniform_batched
 from repro.sim.engine import simulate_stations
 from repro.sim.fast import simulate_uniform_fast
+from repro.sim.megakernel import simulate_uniform_megakernel
 from repro.sim.vectorized import simulate_stations_vectorized
 from repro.types import CDMode
 
 N = 512
 EPS = 0.5
 T = 32
+
+#: The megakernel gate pair runs the oblivious LESK R=256 workload in the
+#: heavy-jamming regime (the adversary may jam a ``1 - MEGA_EPS`` = 3/4
+#: share of every window).  At ``eps=0.5`` elections resolve in ~170
+#: slots, jam runs are short, and both engines sit on the same per-sample
+#: RNG floor, so the fused jam-run draws the megakernel exists for barely
+#: register; at ``eps=0.25`` jamming stretches elections ~2.5x and the
+#: megakernel's one-call-per-run draws pull ahead of the batched engine's
+#: per-slot dispatch.
+MEGA_EPS = 0.25
 
 #: Heavy-tail adaptive cell for the dead-rep compaction gate: LESU against
 #: the single-suppressor jammer has a long retirement tail, so packing the
@@ -73,6 +85,13 @@ SMOKE_VECTORIZED_SPEEDUP_FLOOR = 25.0
 #: adaptive cell, and its relaxed CI smoke floor.
 COMPACTION_SPEEDUP_FLOOR = 1.5
 SMOKE_COMPACTION_SPEEDUP_FLOOR = 1.2
+#: Minimum megakernel/batched throughput ratio on the heavy-jamming
+#: oblivious LESK workload (the ``batched-heavy`` row), and its relaxed CI
+#: smoke floor (at smoke width R=64 the per-call RNG overhead -- identical
+#: in both engines -- is a larger share of both rows, compressing the
+#: ratio).
+MEGAKERNEL_SPEEDUP_FLOOR = 3.0
+SMOKE_MEGAKERNEL_SPEEDUP_FLOOR = 2.0
 #: Maximum tolerated shard-supervision overhead (percent): the supervised
 #: block scheduler's accounting (task state, retry bookkeeping, checkpoint
 #: key hashing off) versus the legacy plain-loop path on identical cells.
@@ -171,6 +190,81 @@ def test_batched_engine_lesk(benchmark):
 
     batch = benchmark(run)
     assert batch.elected.all()
+
+
+def test_megakernel_engine_lesk(benchmark):
+    """The slot-blocked engine on the heavy-jamming gate workload."""
+
+    def run():
+        return simulate_uniform_megakernel(
+            lambda reps: VectorLESKPolicy(MEGA_EPS, reps),
+            N,
+            lambda reps: make_batched_adversary(
+                "saturating", T=T, eps=MEGA_EPS, reps=reps
+            ),
+            reps=256,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    batch = benchmark(run)
+    assert batch.elected.all()
+
+
+def test_megakernel_vs_batched_throughput():
+    """The megakernel must deliver >= 3x replication throughput over the
+    batched per-slot engine on the heavy-jamming oblivious LESK R=256
+    workload (acceptance criterion; the script-mode megakernel gate
+    enforces the same floor on the emitted rows)."""
+    reps = 256
+
+    def batched_call():
+        return simulate_uniform_batched(
+            lambda r: VectorLESKPolicy(MEGA_EPS, r),
+            N,
+            lambda r: make_batched_adversary(
+                "saturating", T=T, eps=MEGA_EPS, reps=r
+            ),
+            reps=reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    def megakernel_call():
+        return simulate_uniform_megakernel(
+            lambda r: VectorLESKPolicy(MEGA_EPS, r),
+            N,
+            lambda r: make_batched_adversary(
+                "saturating", T=T, eps=MEGA_EPS, reps=r
+            ),
+            reps=reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    batched_call(), megakernel_call()  # warm-up: schedule cache, pools
+    batched_s = megakernel_s = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        batch = batched_call()
+        batched_s = min(batched_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        mega = megakernel_call()
+        megakernel_s = min(megakernel_s, time.perf_counter() - start)
+
+    assert mega.elected.all()
+    assert batch.elected.all()
+    speedup = batched_s / megakernel_s
+    print(
+        f"\nR={reps}, n={N}, eps={MEGA_EPS}, saturating: batched "
+        f"{batched_s:.3f}s, megakernel {megakernel_s:.3f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= MEGAKERNEL_SPEEDUP_FLOOR, (
+        f"megakernel only {speedup:.1f}x faster than batched "
+        f"({batched_s:.3f}s vs {megakernel_s:.3f}s); acceptance floor "
+        f"is {MEGAKERNEL_SPEEDUP_FLOOR:.0f}x"
+    )
 
 
 def test_vectorized_faithful_engine_lesk(benchmark):
@@ -378,6 +472,68 @@ def measure_throughput(reps: int = 64, repeats: int = 3) -> dict:
         "seconds": round(elapsed, 6),
         "slots_per_sec": round(batch_slots / elapsed, 1),
     }
+
+    # Megakernel gate pair: the slot-blocked engine against the per-slot
+    # batched engine, both on the same heavy-jamming oblivious workload
+    # (MEGA_EPS) so the ratio is engine-only.
+    def batched_heavy_call():
+        return simulate_uniform_batched(
+            lambda r: VectorLESKPolicy(MEGA_EPS, r),
+            N,
+            lambda r: make_batched_adversary(
+                "saturating", T=T, eps=MEGA_EPS, reps=r
+            ),
+            reps=4 * reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
+    elapsed, batch = best_of(batched_heavy_call, repeats)
+    batch_slots = int(batch.slots.sum())
+    results["batched-heavy"] = {
+        "reps": 4 * reps,
+        "eps": MEGA_EPS,
+        "slots": batch_slots,
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(batch_slots / elapsed, 1),
+    }
+
+    def megakernel_call(backend: str = "numpy"):
+        return simulate_uniform_megakernel(
+            lambda r: VectorLESKPolicy(MEGA_EPS, r),
+            N,
+            lambda r: make_batched_adversary(
+                "saturating", T=T, eps=MEGA_EPS, reps=r
+            ),
+            reps=4 * reps,
+            max_slots=100_000,
+            root_seed=11,
+            kernel_backend=backend,
+        )
+
+    elapsed, batch = best_of(megakernel_call, repeats)
+    batch_slots = int(batch.slots.sum())
+    results["megakernel"] = {
+        "reps": 4 * reps,
+        "eps": MEGA_EPS,
+        "kernel_backend": "numpy",
+        "slots": batch_slots,
+        "seconds": round(elapsed, 6),
+        "slots_per_sec": round(batch_slots / elapsed, 1),
+    }
+
+    if sim_kernels.HAVE_NUMBA:
+        sim_kernels.warmup("numba")  # JIT compile outside the clock
+        elapsed, batch = best_of(lambda: megakernel_call("numba"), repeats)
+        batch_slots = int(batch.slots.sum())
+        results["megakernel-numba"] = {
+            "reps": 4 * reps,
+            "eps": MEGA_EPS,
+            "kernel_backend": "numba",
+            "slots": batch_slots,
+            "seconds": round(elapsed, 6),
+            "slots_per_sec": round(batch_slots / elapsed, 1),
+        }
 
     # Adaptive-adversary pair: same LESK workload, but the jammer
     # conditions on history (single-suppressor), exercising the vectorized
@@ -642,6 +798,18 @@ def profile_engines(out_dir: Path, reps: int = 8) -> list[Path]:
             root_seed=11,
         )
 
+    def megakernel_workload():
+        simulate_uniform_megakernel(
+            lambda r: VectorLESKPolicy(MEGA_EPS, r),
+            N,
+            lambda r: make_batched_adversary(
+                "saturating", T=T, eps=MEGA_EPS, reps=r
+            ),
+            reps=8 * reps,
+            max_slots=100_000,
+            root_seed=11,
+        )
+
     def compaction_workload():
         _compaction_cell(32 * reps, COMPACT_INTERVAL)
 
@@ -649,6 +817,7 @@ def profile_engines(out_dir: Path, reps: int = 8) -> list[Path]:
         "fast": fast_workload,
         "faithful": faithful_workload,
         "batched": batched_workload,
+        "megakernel": megakernel_workload,
         "vectorized-faithful": vectorized_workload,
         "batched-compaction": compaction_workload,
     }
@@ -694,6 +863,8 @@ def main(argv: list[str] | None = None) -> int:
     results = measure_throughput(reps=reps, repeats=repeats)
     for engine, row in results.items():
         print(f"{engine:>16}: {row['slots_per_sec']:>12,.0f} slots/sec")
+    if "megakernel-numba" not in results:
+        print(f"{'megakernel-numba':>16}: skipped (numba not installed)")
 
     adaptive_speedup = (
         results["batched-adaptive"]["slots_per_sec"]
@@ -742,6 +913,27 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"dead-rep compaction speedup: {compaction_speedup:.2f}x "
         f"(floor {compaction_floor:.1f}x)"
+    )
+
+    megakernel_floor = (
+        SMOKE_MEGAKERNEL_SPEEDUP_FLOOR
+        if args.smoke
+        else MEGAKERNEL_SPEEDUP_FLOOR
+    )
+    megakernel_speedup = (
+        results["megakernel"]["slots_per_sec"]
+        / results["batched-heavy"]["slots_per_sec"]
+    )
+    results["megakernel_gate"] = {
+        "speedup": round(megakernel_speedup, 2),
+        "floor": megakernel_floor,
+        "vs": "batched-heavy",
+        "eps": MEGA_EPS,
+        "smoke": args.smoke,
+    }
+    print(
+        f"megakernel speedup: {megakernel_speedup:.1f}x "
+        f"(floor {megakernel_floor:.0f}x, vs batched on eps={MEGA_EPS})"
     )
 
     gate = SMOKE_RESILIENCE_GATE_PCT if args.smoke else RESILIENCE_GATE_PCT
@@ -805,6 +997,16 @@ def main(argv: list[str] | None = None) -> int:
         failed = True
     else:
         print("dead-rep compaction gate passed")
+    if megakernel_speedup < megakernel_floor:
+        print(
+            f"GATE FAILED: megakernel only {megakernel_speedup:.1f}x "
+            f"faster than the batched engine on the heavy-jamming "
+            f"oblivious workload; floor is {megakernel_floor:.0f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print("megakernel gate passed")
     if resilience["overhead_pct"] > gate:
         print(
             f"GATE FAILED: resilience hooks-off overhead "

@@ -127,31 +127,75 @@ class VectorJammingStrategy(abc.ABC):
         surviving columns' want-streams are unchanged.
         """
 
+    def want_schedule(self, start: int, count: int) -> np.ndarray | None:
+        """Per-slot want flags for slots ``start .. start+count-1``, or
+        ``None`` when the want sequence cannot be precomputed.
+
+        Oblivious strategies whose want is a pure function of the slot
+        index (identical across replications, independent of protocol
+        state, history and the adversary RNG) override this to return a
+        ``(count,)`` boolean array; the slot-blocked megakernel uses it to
+        precompute a whole block's jam grants in one pass.  The
+        conservative default ``None`` keeps unknown, randomized and
+        history-conditioned strategies on the per-slot path.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
 
-class VectorNoJamming(VectorJammingStrategy):
+class _ConstantWantMixin:
+    """Reused constant want-mask buffers for width-uniform strategies.
+
+    The profiled batched hot path allocated a fresh ``np.ones`` /
+    ``np.full`` per slot just to say "everyone (or no one) wants to jam";
+    these buffers are allocated once per width and handed out read-shared.
+    Safe because every consumer (``JammingBudgetArray.grant`` and the
+    engines) treats the want mask as read-only.
+    """
+
+    _true_buf: np.ndarray | None = None
+    _false_buf: np.ndarray | None = None
+
+    def _want_mask(self, reps: int, flag: bool) -> np.ndarray:
+        buf = self._true_buf if flag else self._false_buf
+        if buf is None or buf.size != reps:
+            buf = np.full(reps, bool(flag))
+            if flag:
+                self._true_buf = buf
+            else:
+                self._false_buf = buf
+        return buf
+
+
+class VectorNoJamming(_ConstantWantMixin, VectorJammingStrategy):
     """Never jams any replication."""
 
     name = "none"
     uses_protocol_u = False
 
     def wants_jam_batch(self, view, rng):
-        return np.zeros(view.reps, dtype=bool)
+        return self._want_mask(view.reps, False)
+
+    def want_schedule(self, start, count):
+        return np.zeros(count, dtype=bool)
 
 
-class VectorSaturatingJammer(VectorJammingStrategy):
+class VectorSaturatingJammer(_ConstantWantMixin, VectorJammingStrategy):
     """Requests a jam in every slot of every replication (budget-clamped)."""
 
     name = "saturating"
     uses_protocol_u = False
 
     def wants_jam_batch(self, view, rng):
-        return np.ones(view.reps, dtype=bool)
+        return self._want_mask(view.reps, True)
+
+    def want_schedule(self, start, count):
+        return np.ones(count, dtype=bool)
 
 
-class VectorPeriodicFrontJammer(VectorJammingStrategy):
+class VectorPeriodicFrontJammer(_ConstantWantMixin, VectorJammingStrategy):
     """Lemma 2.7 front jammer: the pattern is a function of the slot index
     only, hence identical across replications."""
 
@@ -168,7 +212,10 @@ class VectorPeriodicFrontJammer(VectorJammingStrategy):
 
     def wants_jam_batch(self, view, rng):
         want = (view.slot % self.T) < self.jam_prefix
-        return np.full(view.reps, want, dtype=bool)
+        return self._want_mask(view.reps, want)
+
+    def want_schedule(self, start, count):
+        return (np.arange(start, start + count) % self.T) < self.jam_prefix
 
 
 class VectorRandomJammer(VectorJammingStrategy):
@@ -208,7 +255,7 @@ class VectorRandomJammer(VectorJammingStrategy):
         return draw
 
 
-class VectorBurstJammer(VectorJammingStrategy):
+class VectorBurstJammer(_ConstantWantMixin, VectorJammingStrategy):
     """Deterministic burst/gap duty cycle, identical across replications."""
 
     name = "burst"
@@ -225,7 +272,13 @@ class VectorBurstJammer(VectorJammingStrategy):
 
     def wants_jam_batch(self, view, rng):
         phase = (view.slot + self.offset) % (self.burst + self.gap)
-        return np.full(view.reps, phase < self.burst, dtype=bool)
+        return self._want_mask(view.reps, phase < self.burst)
+
+    def want_schedule(self, start, count):
+        phase = (np.arange(start, start + count) + self.offset) % (
+            self.burst + self.gap
+        )
+        return phase < self.burst
 
 
 # -- adaptive (history-conditioned) strategies ------------------------------

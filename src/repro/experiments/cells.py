@@ -4,6 +4,11 @@ The experiment tables all fill cells with "reps replications of
 protocol(n, eps, T) against a named adversary".  This module picks the
 fastest engine that can run each cell:
 
+* the slot-blocked megakernel (:mod:`repro.sim.megakernel`) when the cell
+  asks for it (``megakernel=True``, driven by the preset-level switch
+  :data:`repro.experiments.harness.MEGAKERNEL_PRESETS`): oblivious
+  (schedulable) adversaries run the fused fast path, everything else
+  delegates to the batched engine byte-identically inside the engine;
 * the batched cross-replication engine (:mod:`repro.sim.batched`) when the
   preset-level switch (:data:`repro.experiments.harness.BATCHED_PRESETS`)
   is on *and* the adversary has a vectorized implementation -- which since
@@ -47,6 +52,7 @@ from repro.experiments.harness import (
     record_engine_fallback,
     replicate,
     replicate_batched,
+    replicate_megakernel,
 )
 from repro.protocols.baselines.nakano_olariu import NoCDSweepPolicy, UniformSweepPolicy
 from repro.protocols.estimation import EstimationPolicy
@@ -114,6 +120,7 @@ def lesk_cell(
     root_seed: int,
     *path: int,
     batched: bool = True,
+    megakernel: bool = False,
     max_slots: int | None = None,
     faults=None,
     compact_interval: int | None = None,
@@ -126,6 +133,12 @@ def lesk_cell(
     call.  ``max_slots=None`` selects the same
     :func:`~repro.core.config.default_slot_budget` either way.
 
+    ``megakernel=True`` routes the batched path through the slot-blocked
+    megakernel instead (:func:`~repro.experiments.harness
+    .replicate_megakernel`): oblivious adversaries run the fused fast
+    path, everything else delegates back to the batched engine inside the
+    engine, so the flag is always safe to set.
+
     *faults* (a :class:`~repro.resilience.faults.FaultModel`) applies on
     both engine paths; *compact_interval* (dead-rep compaction) is a
     batched-engine perf knob, ignored by the scalar loop.
@@ -134,7 +147,8 @@ def lesk_cell(
         budget = (
             max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
         )
-        return replicate_batched(
+        engine = replicate_megakernel if megakernel else replicate_batched
+        return engine(
             lambda reps_: VectorLESKPolicy(eps, reps_),
             n,
             lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
@@ -171,16 +185,24 @@ def lesu_cell(
     root_seed: int,
     *path: int,
     batched: bool = True,
+    megakernel: bool = False,
     max_slots: int | None = None,
     faults=None,
     compact_interval: int | None = None,
 ) -> list:
-    """Replicated LESU (Algorithm 2, unknown eps/T) elections for one cell."""
+    """Replicated LESU (Algorithm 2, unknown eps/T) elections for one cell.
+
+    LESU has no megakernel ladder, so ``megakernel=True`` delegates back
+    to the batched engine inside the engine (loudly, via
+    ``engine_fallback_total``); the flag exists so sweeps can set it
+    uniformly across cell kinds.
+    """
     if _use_batched(batched, adversary):
         budget = (
             max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesu")
         )
-        return replicate_batched(
+        engine = replicate_megakernel if megakernel else replicate_batched
+        return engine(
             lambda reps_: VectorLESUPolicy(reps_),
             n,
             lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
@@ -217,6 +239,7 @@ def estimation_cell(
     root_seed: int,
     *path: int,
     batched: bool = True,
+    megakernel: bool = False,
     max_slots: int | None = None,
     faults=None,
     compact_interval: int | None = None,
@@ -224,11 +247,14 @@ def estimation_cell(
     """Replicated standalone ``Estimation(2)`` runs (halt on Single).
 
     Results carry ``policy_result`` (the returned round index) on both
-    engine paths; ``max_slots=None`` selects the T4 cap.
+    engine paths; ``max_slots=None`` selects the T4 cap.  Estimation has
+    no megakernel ladder, so ``megakernel=True`` delegates back to the
+    batched engine inside the engine.
     """
     budget = max_slots if max_slots is not None else estimation_slot_budget(n, T)
     if _use_batched(batched, adversary):
-        return replicate_batched(
+        engine = replicate_megakernel if megakernel else replicate_batched
+        return engine(
             lambda reps_: VectorEstimationPolicy(reps_, L=2),
             n,
             lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
@@ -264,6 +290,7 @@ def sweep_cell(
     root_seed: int,
     *path: int,
     batched: bool = True,
+    megakernel: bool = False,
     max_slots: int | None = None,
     faults=None,
     compact_interval: int | None = None,
@@ -271,7 +298,8 @@ def sweep_cell(
     """Replicated Nakano--Olariu doubling-sweep (CD) baseline runs."""
     budget = max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
     if _use_batched(batched, adversary):
-        return replicate_batched(
+        engine = replicate_megakernel if megakernel else replicate_batched
+        return engine(
             lambda reps_: VectorSweepPolicy(reps_),
             n,
             lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
@@ -306,6 +334,7 @@ def nocd_cell(
     root_seed: int,
     *path: int,
     batched: bool = True,
+    megakernel: bool = False,
     max_slots: int | None = None,
     faults=None,
     compact_interval: int | None = None,
@@ -313,7 +342,8 @@ def nocd_cell(
     """Replicated no-CD repeated-sweep baseline runs."""
     budget = max_slots if max_slots is not None else cell_slot_budget(n, eps, T, "lesk")
     if _use_batched(batched, adversary):
-        return replicate_batched(
+        engine = replicate_megakernel if megakernel else replicate_batched
+        return engine(
             lambda reps_: VectorNoCDSweepPolicy(reps_),
             n,
             lambda reps_: make_batched_adversary(adversary, T=T, eps=eps, reps=reps_),
@@ -358,7 +388,9 @@ class CellSpec:
     unsharded cell functions.  ``faults`` composes a model-level
     :class:`~repro.resilience.faults.FaultModel` into the cell (applied on
     both engine paths); ``compact_interval`` enables dead-rep compaction
-    on the batched engine.
+    on the batched engine; ``megakernel`` routes the batched path through
+    the slot-blocked megakernel engine (ineligible configurations
+    delegate back to the batched engine inside the engine).
     """
 
     kind: str
@@ -370,6 +402,7 @@ class CellSpec:
     root_seed: int
     path: tuple[int, ...]
     batched: bool = True
+    megakernel: bool = False
     max_slots: int | None = None
     faults: object | None = None  # resilience.faults.FaultModel
     compact_interval: int | None = None
@@ -406,6 +439,8 @@ class CellSpec:
         }
         if not self.batched:
             data["batched"] = self.batched
+        if self.megakernel:
+            data["megakernel"] = self.megakernel
         if self.max_slots is not None:
             data["max_slots"] = self.max_slots
         if self.faults is not None:
@@ -455,6 +490,7 @@ def run_shard(item: tuple) -> tuple[list, dict]:
             SHARD_BLOCK_TAG,
             block_index,
             batched=spec.batched,
+            megakernel=spec.megakernel,
             max_slots=spec.max_slots,
             faults=spec.faults,
             compact_interval=spec.compact_interval,
@@ -481,6 +517,7 @@ def run_cell_direct(spec: CellSpec) -> list:
         spec.root_seed,
         *spec.path,
         batched=spec.batched,
+        megakernel=spec.megakernel,
         max_slots=spec.max_slots,
         faults=spec.faults,
         compact_interval=spec.compact_interval,

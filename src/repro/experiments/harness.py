@@ -32,8 +32,10 @@ __all__ = [
     "Table",
     "replicate",
     "replicate_batched",
+    "replicate_megakernel",
     "replicate_vectorized",
     "batched_enabled",
+    "megakernel_enabled",
     "vectorized_enabled",
     "record_engine_fallback",
     "ShardedScheduler",
@@ -57,10 +59,25 @@ BATCHED_PRESETS: dict[str, bool] = {"small": True, "smoke": True, "full": True}
 #: scalar :func:`repro.sim.engine.simulate_stations` loop.
 VECTORIZED_PRESETS: dict[str, bool] = {"small": True, "smoke": True, "full": True}
 
+#: Preset-level switch for the slot-blocked megakernel engine
+#: (:mod:`repro.sim.megakernel`): presets mapped to True route their
+#: batched uniform cells through :func:`replicate_megakernel` instead of
+#: :func:`replicate_batched`.  The megakernel serves oblivious
+#: (schedulable) adversaries on the fused fast path and delegates every
+#: other configuration back to the batched engine byte-identically, so
+#: flipping this switch never changes which cells *can* run -- only how
+#: fast the oblivious ones do.
+MEGAKERNEL_PRESETS: dict[str, bool] = {"small": True, "smoke": True, "full": True}
+
 
 def batched_enabled(preset: str) -> bool:
     """Whether the batched engine is enabled for *preset*."""
     return BATCHED_PRESETS.get(preset, False)
+
+
+def megakernel_enabled(preset: str) -> bool:
+    """Whether the slot-blocked megakernel engine is enabled for *preset*."""
+    return MEGAKERNEL_PRESETS.get(preset, False)
 
 
 def vectorized_enabled(preset: str) -> bool:
@@ -252,6 +269,55 @@ def replicate_batched(
     from repro.sim.batched import simulate_uniform_batched
 
     batch = simulate_uniform_batched(
+        policy_factory,
+        n,
+        adversary_factory,
+        reps=reps,
+        max_slots=max_slots,
+        root_seed=derive_seed(root_seed, *path),
+        faults=faults,
+        compact_interval=compact_interval,
+    )
+    results = batch.results()
+    _record_cell(results, path)
+    return results
+
+
+def replicate_megakernel(
+    policy_factory: Callable,
+    n: int,
+    adversary_factory: Callable,
+    reps: int,
+    root_seed: int,
+    *path: int,
+    max_slots: int,
+    faults=None,
+    compact_interval: int | None = None,
+) -> list:
+    """Megakernel counterpart of :func:`replicate_batched`.
+
+    Routes the cell through
+    :func:`repro.sim.megakernel.simulate_uniform_megakernel`: oblivious
+    (schedulable) adversaries run the slot-blocked fused fast path, and
+    every configuration the fast path cannot serve -- adaptive
+    strategies, non-ladder policies, enabled fault models -- delegates to
+    the batched engine with the original arguments, byte-identical to
+    :func:`replicate_batched` having been called directly (the fallback
+    is loud: ``engine_fallback_total{engine="megakernel"}``).
+
+    Seeding is path-stable exactly like :func:`replicate_batched`.  Note
+    the fused path compacts dead replications maximally, so its bitstream
+    matches the batched engine's only under an explicit
+    ``compact_interval`` (any value); cells flipped onto the megakernel
+    keep the batched run-law but not the default-stream bits, so
+    fixed-seed pins that must survive the flip should pin the law, not
+    the bits (see ``docs/engines.md``).
+    """
+    if reps < 1:
+        raise ConfigurationError(f"reps must be >= 1, got {reps}")
+    from repro.sim.megakernel import simulate_uniform_megakernel
+
+    batch = simulate_uniform_megakernel(
         policy_factory,
         n,
         adversary_factory,

@@ -54,8 +54,16 @@ _COLLISION = int(ChannelState.COLLISION)
 
 def probabilities_from_exponents(u: np.ndarray) -> np.ndarray:
     """Vectorized ``probability_from_exponent``: ``2**-u`` elementwise,
-    clamped to exactly 1.0 for ``u <= 0`` and exactly 0.0 for huge ``u``."""
-    p = np.exp2(-np.clip(u, 0.0, _MAX_EXPONENT))
+    clamped to exactly 1.0 for ``u <= 0`` and exactly 0.0 for huge ``u``.
+
+    Bit-identical to the former ``exp2(-clip(u, 0, MAX))`` formulation
+    (``maximum`` realizes the lower clamp; values above ``_MAX_EXPONENT``
+    are overwritten by the mask either way), one clip pass cheaper -- the
+    engines' own in-place ``[0, 1]`` clip is the only clip left per slot.
+    """
+    p = np.maximum(u, 0.0)
+    np.negative(p, out=p)
+    np.exp2(p, out=p)
     p[u >= _MAX_EXPONENT] = 0.0
     return p
 

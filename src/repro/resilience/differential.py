@@ -23,7 +23,13 @@ Each *stack* is one semantic implementation driven by a shared world:
 * ``vectorized`` -- the vectorized *faithful* engine's semantics
   (:mod:`repro.sim.vectorized`): a width-``n`` vector policy, one column
   per station cell, per-cell transmit decisions ``U < p`` from the shared
-  uniforms, and the engine's strong-CD observation/halting expressions.
+  uniforms, and the engine's strong-CD observation/halting expressions;
+* ``megakernel`` -- the slot-blocked engine's update arithmetic
+  (:mod:`repro.sim.megakernel`): the ``_LESKLadder`` exponent state with
+  its in-place ``exp2`` probability fast path, the pluggable LESK outcome
+  kernel (:mod:`repro.sim.kernels`), and the collision-only fold, stepped
+  one slot at a time so any drift between the fused block arithmetic and
+  the per-slot policies diverges here.
 
 The shared world fixes, per slot: one uniform per station (transmit iff
 ``U < p``, the adapters' own coupling), the churn/skew participation mask,
@@ -84,7 +90,7 @@ __all__ = [
     "ADAPTIVE_DIFFERENTIAL_ADVERSARIES",
 ]
 
-STACKS = ("scalar", "fast", "vector", "vectorized")
+STACKS = ("scalar", "fast", "vector", "vectorized", "megakernel")
 
 #: Scripted jam-intent patterns (slot -> want-jam); cover
 #: never/always/periodic/bursty without any adversary state.  (The
@@ -684,11 +690,117 @@ class _VectorizedFaithfulStack:
         )
 
 
+class _MegakernelStack:
+    """The megakernel's ladder + outcome-kernel arithmetic, one rep.
+
+    Drives the slot-blocked engine's update state
+    (:class:`repro.sim.megakernel._LESKLadder`) a slot at a time: the
+    probability comes from the ladder's ``prepare_group`` fast path (the
+    in-place ``exp2(-u)`` the engine feeds its fused binomial draws),
+    Collision outcomes fold through ``apply_collision_only`` (the engine's
+    jam-run / all-collision path) and Null/Single outcomes through the
+    pluggable LESK kernel -- so a drift in any of those reductions
+    diverges against the per-slot stacks.  Faults are folded from the
+    *observed* state exactly as :meth:`VectorLESKPolicy.observe_batch`
+    would (the engine itself delegates faulty cells to the batched
+    engine, but the arithmetic contract is observed-state based either
+    way).
+    """
+
+    name = "megakernel"
+
+    def __init__(self, config: DifferentialConfig) -> None:
+        from repro.sim.kernels import get_lesk_kernel
+        from repro.sim.megakernel import _LESKLadder
+
+        self.config = config
+        self.budget = JammingBudgetArray(config.T, config.eps, reps=1)
+        self.intent = _VectorIntent(config)
+        self.ladder = _LESKLadder(
+            VectorLESKPolicy(config.eps, reps=1), get_lesk_kernel("numpy")
+        )
+        self.active = np.ones(1, dtype=bool)
+        self.halted = False
+
+    def step(self, slot: int, world: _SharedWorld) -> SlotFingerprint:
+        cfg = self.config
+        part = world.participating[slot]
+        flags = world.flags[slot]
+        ladder = self.ladder
+        u = float(ladder.u[0])
+        # The engine's probability path: prepare a zero-length jam run
+        # plus the free row (no exponent advance).
+        p_arr = ladder.prepare_group(0, True, 1)[0].copy()
+        p = float(p_arr[0])
+        if p <= 0.0:
+            k = 0
+        else:
+            k = int(np.count_nonzero(part & (world.uniforms[slot] < p)))
+        want = self.intent.want(slot, self.budget, p_arr, ladder.u, self.active)
+        jammed = bool(self.budget.grant(want)[0])
+        k_arr = np.array([k], dtype=np.int64)
+        observed_arr = np.where(
+            np.array([jammed]),
+            np.int8(ChannelState.COLLISION),
+            np.minimum(k_arr, 2).astype(np.int8),
+        )
+        self.intent.observe(slot, observed_arr, self.active)
+        erased = False
+        if flags is not None:
+            if flags.downgrade:
+                observed_arr = np.where(
+                    observed_arr == np.int8(ChannelState.SINGLE),
+                    np.int8(ChannelState.COLLISION),
+                    observed_arr,
+                )
+            if flags.flip:
+                observed_arr = np.where(
+                    observed_arr == np.int8(ChannelState.NULL),
+                    np.int8(ChannelState.COLLISION),
+                    np.where(
+                        observed_arr == np.int8(ChannelState.COLLISION),
+                        np.int8(ChannelState.NULL),
+                        observed_arr,
+                    ),
+                )
+            erased = flags.erase
+        if cfg.tamper == (self.name, slot):
+            tampered = _tampered(None if erased else ChannelState(int(observed_arr[0])))
+            erased = tampered is None
+            if not erased:
+                observed_arr = np.array([np.int8(tampered)])
+        heard_single = (
+            k == 1 and not jammed and not erased
+            and int(observed_arr[0]) == int(ChannelState.SINGLE)
+        )
+        self.halted = heard_single
+        ladder.commit_jams()
+        if not self.halted and not erased:
+            observed = int(observed_arr[0])
+            if observed == int(ChannelState.COLLISION):
+                ladder.apply_collision_only()
+            else:
+                # Null steps down, Single is a no-op -- both via the
+                # engine's pluggable kernel on the observed-state count.
+                k_eff = 0 if observed == int(ChannelState.NULL) else 1
+                ladder.apply_free_outcome(np.array([k_eff], dtype=np.int64))
+        return SlotFingerprint(
+            slot=slot,
+            p=p,
+            k=k,
+            jammed=jammed,
+            observed=_ERASED if erased else int(observed_arr[0]),
+            halted=self.halted,
+            u=u,
+        )
+
+
 _STACK_TYPES = {
     "scalar": _ScalarStack,
     "fast": _FastStack,
     "vector": _VectorStack,
     "vectorized": _VectorizedFaithfulStack,
+    "megakernel": _MegakernelStack,
 }
 
 

@@ -516,6 +516,9 @@ def _simulate_compact(
     n_live = reps
     all_live = True
     pending_retired = False
+    # Scratch for the per-slot probability clamp; resized only at
+    # compaction points so the hot loop never allocates for it.
+    p_clip = np.empty(reps)
 
     def snapshot(pos: np.ndarray, orig: np.ndarray, slot: int) -> None:
         slots[orig] = slot + 1
@@ -548,6 +551,7 @@ def _simulate_compact(
             live_active = np.ones(keep.size, dtype=bool)
             all_live = True
             pending_retired = False
+            p_clip = np.empty(keep.size)
 
         width = live_orig.size
         p = policy.transmit_probabilities(slot)
@@ -574,9 +578,10 @@ def _simulate_compact(
         if packed_rng:
             # Active-width draw, ascending original order.
             if all_live:
-                p_act = p.clip(0.0, 1.0)
+                p_act = np.clip(p, 0.0, 1.0, out=p_clip)
             else:
-                p_act = p[live_active].clip(0.0, 1.0)
+                p_act = p[live_active]
+                np.clip(p_act, 0.0, 1.0, out=p_act)
             if bf is not None:
                 p_act *= bf.p_scale
             k = rng.binomial(awake, p_act)
@@ -587,7 +592,7 @@ def _simulate_compact(
             tx_live += k
         else:
             # Full-width draw over frozen probabilities: the legacy stream.
-            p_full[live_orig] = p.clip(0.0, 1.0)
+            p_full[live_orig] = np.clip(p, 0.0, 1.0, out=p_clip)
             if bf is not None:
                 np.multiply(p_full, bf.p_scale, out=p_eff_buf)
                 k_all = rng.binomial(awake, p_eff_buf)

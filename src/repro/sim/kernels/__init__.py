@@ -1,0 +1,160 @@
+"""Optional compiled kernels for the slot-blocked megakernel engine.
+
+The megakernel (:mod:`repro.sim.megakernel`) spends its per-group time in
+two places: the fused binomial draws (numpy's ``Generator`` -- not
+JIT-able without changing the bitstream) and the LESK outcome update that
+folds a free slot's transmitter counts back into the exponent vector.
+This package holds the outcome-update kernel in two interchangeable
+backends:
+
+* ``numpy`` -- masked-ufunc reference implementation, always available,
+  bit-identical to :meth:`VectorLESKPolicy.observe_batch`;
+* ``numba`` -- a JIT single-pass loop over the same arithmetic, used when
+  the optional dependency is installed (``pip install repro[perf]``).
+
+Backend selection is soft: ``numba`` is absent from the default image, so
+``auto`` resolves to ``numpy`` there and to the JIT kernel when the wheel
+is present.  Both backends perform the identical sequence of float64
+operations per element, so results are bit-equal by construction (pinned
+by the parity tests in ``tests/sim/test_kernels.py``, which skip when
+numba is unavailable).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "HAVE_NUMBA",
+    "apply_lesk_outcomes_numpy",
+    "get_lesk_kernel",
+    "resolve_backend",
+    "warmup",
+]
+
+#: True when the optional ``numba`` wheel is importable.  Checked with
+#: ``find_spec`` so merely loading this package never pays the (multi-
+#: second) numba import cost.
+HAVE_NUMBA: bool = importlib.util.find_spec("numba") is not None
+
+_BACKENDS = ("auto", "numpy", "numba")
+
+
+def apply_lesk_outcomes_numpy(
+    u: np.ndarray,
+    k: np.ndarray,
+    inv_a: float,
+    floor_at_zero: bool = True,
+    scratch: tuple[np.ndarray, np.ndarray] | None = None,
+    nonneg: bool = False,
+) -> None:
+    """Fold one free slot's transmitter counts into the LESK exponents.
+
+    In-place on ``u``: columns with ``k == 0`` (Null) step down by 1
+    (floored at 0 when *floor_at_zero*), columns with ``k >= 2``
+    (Collision) step up by ``inv_a``; ``k == 1`` columns are untouched
+    (a Single either elects -- and was compacted out before this call --
+    or marks completion without moving ``u``).  The ufunc sequence and
+    order match :meth:`VectorLESKPolicy.observe_batch` exactly, so the
+    update is bit-identical to the per-slot engines.
+
+    *scratch* may hold two reusable boolean buffers of ``u``'s shape (the
+    megakernel passes them so its hot loop never allocates the masks).
+
+    *nonneg* asserts ``u >= 0`` everywhere (the megakernel's invariant
+    when the floor is active and the start point is non-negative): the
+    Null step then runs unmasked -- ``u - nulls`` subtracts exactly 1
+    where Null and exactly 0 elsewhere, and the full-width floor is the
+    identity on untouched columns -- which is cheaper than the buffered
+    masked ufuncs but produces bit-identical results.
+    """
+    if scratch is None:
+        nulls = k == 0
+        colls = k >= 2
+    else:
+        nulls, colls = scratch
+        np.equal(k, 0, out=nulls)
+        np.greater_equal(k, 2, out=colls)
+    if nonneg and floor_at_zero:
+        np.subtract(u, nulls, out=u)
+        np.maximum(u, 0.0, out=u)
+    else:
+        np.subtract(u, 1.0, out=u, where=nulls)
+        if floor_at_zero:
+            np.maximum(u, 0.0, out=u, where=nulls)
+    np.add(u, inv_a, out=u, where=colls)
+
+
+_numba_kernel = None
+
+
+def _load_numba_kernel():
+    """Import numba and compile the JIT backend (cached after first use)."""
+    global _numba_kernel
+    if _numba_kernel is None:
+        import numba
+
+        @numba.njit(cache=True)
+        def _apply_lesk_outcomes_jit(u, k, inv_a, floor_at_zero):
+            for i in range(u.shape[0]):
+                ki = k[i]
+                if ki == 0:
+                    v = u[i] - 1.0
+                    if floor_at_zero and v < 0.0:
+                        v = 0.0
+                    u[i] = v
+                elif ki >= 2:
+                    u[i] = u[i] + inv_a
+
+        def apply_lesk_outcomes_numba(
+            u, k, inv_a, floor_at_zero=True, scratch=None, nonneg=False
+        ):
+            _apply_lesk_outcomes_jit(u, k, inv_a, floor_at_zero)
+
+        _numba_kernel = apply_lesk_outcomes_numba
+    return _numba_kernel
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Map a requested backend name to the concrete one that will run.
+
+    ``auto`` resolves to ``numba`` when the wheel is importable and to
+    ``numpy`` otherwise; asking for ``numba`` explicitly without the
+    dependency is a configuration error (callers that want to degrade
+    silently should pass ``auto``).
+    """
+    if backend not in _BACKENDS:
+        raise ConfigurationError(
+            f"kernel backend must be one of {_BACKENDS}, got {backend!r}"
+        )
+    if backend == "auto":
+        return "numba" if HAVE_NUMBA else "numpy"
+    if backend == "numba" and not HAVE_NUMBA:
+        raise ConfigurationError(
+            "kernel backend 'numba' requested but numba is not installed "
+            "(pip install repro[perf])"
+        )
+    return backend
+
+
+def get_lesk_kernel(backend: str = "auto"):
+    """Return the LESK outcome-update callable for *backend*."""
+    resolved = resolve_backend(backend)
+    if resolved == "numba":
+        return _load_numba_kernel()
+    return apply_lesk_outcomes_numpy
+
+
+def warmup(backend: str = "auto") -> str:
+    """Trigger any JIT compilation outside the timed region.
+
+    Returns the resolved backend name; benchmarks call this before the
+    clock starts so the one-time numba compile never pollutes a sample.
+    """
+    kernel = get_lesk_kernel(backend)
+    kernel(np.zeros(1), np.zeros(1, dtype=np.int64), 0.0625, True)
+    return resolve_backend(backend)
